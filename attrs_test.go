@@ -1,0 +1,132 @@
+package lazyxml
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAttributeQueries(t *testing.T) {
+	db := Open(LD, WithAttributes())
+	mustAppend(t, db, `<people><person id="p1" age="30"><name>x</name></person><person id="p2"/></people>`)
+
+	n, err := db.Count("person/@id")
+	if err != nil || n != 2 {
+		t.Fatalf("person/@id = %d, %v", n, err)
+	}
+	n, err = db.Count("person/@age")
+	if err != nil || n != 1 {
+		t.Fatalf("person/@age = %d, %v", n, err)
+	}
+	// Descendant axis also works.
+	n, err = db.Count("people//@id")
+	if err != nil || n != 2 {
+		t.Fatalf("people//@id = %d, %v", n, err)
+	}
+	// @id is not a child of people (it belongs to person, one level down).
+	n, err = db.Count("people/@id")
+	if err != nil || n != 0 {
+		t.Fatalf("people/@id = %d, %v", n, err)
+	}
+	// Attributes carry exact global spans over their text.
+	ms, err := db.Query("person/@age")
+	if err != nil || len(ms) != 1 {
+		t.Fatal(err)
+	}
+	text, _ := db.Text()
+	if got := string(text[ms[0].DescStart:ms[0].DescEnd]); got != `age="30"` {
+		t.Fatalf("attr span = %q", got)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesOffByDefault(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, `<a id="1"/>`)
+	if n, _ := db.Count("a/@id"); n != 0 {
+		t.Fatal("attributes indexed without WithAttributes")
+	}
+	if db.Stats().Elements != 1 {
+		t.Fatalf("elements = %d", db.Stats().Elements)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesAcrossSegments(t *testing.T) {
+	db := Open(LD, WithAttributes())
+	mustAppend(t, db, "<people></people>")
+	if _, err := db.Insert(8, []byte(`<person id="p1"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("people//person/@id"); n != 1 {
+		t.Fatal("cross-segment attribute path failed")
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesSurviveRemovalAndRebuild(t *testing.T) {
+	db := Open(LD, WithAttributes())
+	mustAppend(t, db, `<a><b id="1"/><b id="2"/></a>`)
+	// Remove the first <b id="1"/> (starts at 3, 10 bytes).
+	if err := db.RemoveElementAt(3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("b/@id"); n != 1 {
+		t.Fatal("attribute records not cleaned on removal")
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("b/@id"); n != 1 {
+		t.Fatal("attributes lost on rebuild")
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesSurviveSnapshot(t *testing.T) {
+	db := Open(LS, WithAttributes())
+	mustAppend(t, db, `<a id="1"><b k="v"/></a>`)
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Count("a/@id"); n != 1 {
+		t.Fatal("attribute index lost in snapshot")
+	}
+	if err := got.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored store keeps indexing attributes on new inserts.
+	if _, err := got.Append([]byte(`<a id="9"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Count("a/@id"); n != 2 {
+		t.Fatal("restored store stopped indexing attributes")
+	}
+}
+
+func TestAttributeTwig(t *testing.T) {
+	db := Open(LD, WithAttributes())
+	mustAppend(t, db, `<site><person id="p1"><watch ref="w1"/></person></site>`)
+	tuples, err := db.QueryTwig("site//person//@ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// tinyCfg keeps every experiment in the millisecond range for tests.
+func tinyCfg() scaleCfg {
+	return scaleCfg{
+		fig11Segs:    []int{5, 10},
+		fig12Joins:   200,
+		fig13Joins:   200,
+		fig13Segs:    []int{5, 10},
+		xmarkPersons: 10,
+		xmarkItems:   3,
+		xmarkSegs:    5,
+		fig16Persons: []int{10},
+		fig17:        bench.Fig17Config{BaseSegments: 5, BaseElements: 300, PrimeKs: []int{3}},
+		fig17Elems:   []int{8},
+		fig17Tags:    []int{2},
+		fig17Segs:    []int{5},
+	}
+}
+
+func TestReportAllFiguresAtTinyScale(t *testing.T) {
+	var sb strings.Builder
+	if err := report(&sb, "all", tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 11", "Figure 12", "Figure 13", "Figure 14",
+		"Figure 15", "Figure 16", "Figure 17(a)", "Figure 17(b)", "Figure 17(c)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestReportSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := report(&sb, "14", tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 14") || strings.Contains(sb.String(), "Figure 15") {
+		t.Fatalf("wrong figure selection: %s", sb.String())
+	}
+	if err := report(&sb, "99", tinyCfg()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestScales(t *testing.T) {
+	for _, name := range []string{"small", "paper"} {
+		cfg, err := scales(name)
+		if err != nil {
+			t.Fatalf("scales(%q): %v", name, err)
+		}
+		if len(cfg.fig11Segs) == 0 || len(cfg.fig13Segs) == 0 || len(cfg.fig16Persons) == 0 {
+			t.Fatalf("scales(%q) missing sweeps: %+v", name, cfg)
+		}
+		if cfg.xmarkPersons <= 0 || cfg.xmarkSegs <= 0 {
+			t.Fatalf("scales(%q) bad xmark config", name)
+		}
+		if len(cfg.fig17.PrimeKs) == 0 {
+			t.Fatalf("scales(%q) missing PRIME K values", name)
+		}
+	}
+	if _, err := scales("bogus"); err == nil {
+		t.Fatal("scales(bogus) succeeded")
+	}
+	// Paper scale must be strictly larger than small scale.
+	small, _ := scales("small")
+	paper, _ := scales("paper")
+	if paper.xmarkPersons <= small.xmarkPersons || paper.fig12Joins <= small.fig12Joins {
+		t.Fatal("paper scale not larger than small scale")
+	}
+}

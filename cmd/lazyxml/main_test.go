@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	lazyxml "repro"
+)
+
+func newDB(t *testing.T) *lazyxml.DB {
+	t.Helper()
+	return lazyxml.Open(lazyxml.LD)
+}
+
+func TestRunInsertQueryStats(t *testing.T) {
+	db := newDB(t)
+	steps := []struct {
+		cmd, rest string
+		wantErr   bool
+	}{
+		{"append", "<a><b/></a>", false},
+		{"insert", "3 <c/>", false},
+		{"query", "a//c", false},
+		{"count", "a//b", false},
+		{"stats", "", false},
+		{"text", "", false},
+		{"check", "", false},
+		{"rebuild", "", false},
+		{"help", "", false},
+		{"insert", "notanumber <x/>", true},
+		{"insert", "onlyoffset", true},
+		{"remove", "1", true},
+		{"remove", "x y", true},
+		{"append", "", true},
+		{"rmel", "notanumber", true},
+		{"twig", "a//c", false},
+		{"twig", "a[", true},
+		{"pattern", "a[b]", false},
+		{"pattern", "a[b[c]]", true},
+		{"segments", "", false},
+		{"collapse", "1", false},
+		{"collapse", "notanumber", true},
+		{"collapse", "99", true},
+		{"nosuchcommand", "", true},
+		{"save", "", true},
+		{"snapshot", "", true},
+	}
+	for _, s := range steps {
+		err := run(db, db, nil, s.cmd, s.rest)
+		if s.wantErr && err == nil {
+			t.Errorf("%s %q: expected error", s.cmd, s.rest)
+		}
+		if !s.wantErr && err != nil {
+			t.Errorf("%s %q: %v", s.cmd, s.rest, err)
+		}
+	}
+}
+
+func TestRunRemoveAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(t)
+	if err := run(db, db, nil, "append", "<a><b/><c/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, db, nil, "rmel", "3"); err != nil { // <b/>
+		t.Fatal(err)
+	}
+	if err := run(db, db, nil, "remove", "3 4"); err != nil { // <c/>
+		t.Fatal(err)
+	}
+	if err := run(db, db, nil, "check", ""); err != nil {
+		t.Fatal(err)
+	}
+	xml := filepath.Join(dir, "out.xml")
+	snap := filepath.Join(dir, "out.snap")
+	if err := run(db, db, nil, "save", xml); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, db, nil, "snapshot", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazyxml.RestoreFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Count("a"); n != 1 {
+		t.Fatalf("restored count = %d", n)
+	}
+	if err := run(db, db, nil, "quit", ""); err != errQuit {
+		t.Fatalf("quit returned %v", err)
+	}
+}
+
+func TestRunJournaled(t *testing.T) {
+	dir := t.TempDir()
+	jdb, err := lazyxml.OpenJournal(dir, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := jdb.DB
+	if err := run(db, jdb, jdb, "append", "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, jdb, jdb, "compact", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, jdb, jdb, "rmel", "3"); err != nil {
+		t.Fatal(err)
+	}
+	jdb.Close()
+	// Reopen: compacted snapshot + journaled removal both replay.
+	j2, err := lazyxml.OpenJournal(dir, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n, _ := j2.Count("a//b"); n != 0 {
+		t.Fatal("journaled removal lost")
+	}
+	if n, _ := j2.Count("a"); n != 1 {
+		t.Fatal("snapshot content lost")
+	}
+	// compact outside journal mode errors.
+	plain := newDB(t)
+	if err := run(plain, plain, nil, "compact", ""); err == nil {
+		t.Fatal("compact without journal succeeded")
+	}
+}

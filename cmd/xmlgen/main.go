@@ -1,0 +1,85 @@
+// Command xmlgen emits deterministic XML test data on standard output:
+// the synthetic documents and XMark-like auction data used by the
+// benchmarks, plus single person/item/article fragments for update
+// workloads.
+//
+// Usage:
+//
+//	xmlgen -kind synthetic [-elements N] [-tags N] [-depth N] [-seed S]
+//	xmlgen -kind xmark     [-persons N] [-items N] [-seed S]
+//	xmlgen -kind deep      [-depth N]
+//	xmlgen -kind person    [-seed S]
+//	xmlgen -kind item      [-seed S]
+//	xmlgen -kind article   [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/xmlgen"
+)
+
+// genConfig carries every flag; emit dispatches on Kind.
+type genConfig struct {
+	Kind     string
+	Elements int
+	Tags     int
+	Depth    int
+	Persons  int
+	Items    int
+	Seed     int64
+}
+
+// emit produces the requested document or fragment.
+func emit(cfg genConfig) ([]byte, error) {
+	switch cfg.Kind {
+	case "synthetic":
+		tagNames := make([]string, cfg.Tags)
+		for i := range tagNames {
+			tagNames[i] = fmt.Sprintf("t%d", i)
+		}
+		return xmlgen.Synthetic(xmlgen.SyntheticConfig{
+			Seed: cfg.Seed, Elements: cfg.Elements, Tags: tagNames, MaxDepth: cfg.Depth,
+		}), nil
+	case "xmark":
+		return xmlgen.XMark(xmlgen.XMarkConfig{
+			Seed: cfg.Seed, Persons: cfg.Persons, Items: cfg.Items,
+		}), nil
+	case "deep":
+		return xmlgen.DeepChain(cfg.Depth, nil), nil
+	case "person":
+		r := rand.New(rand.NewSource(cfg.Seed))
+		return []byte(xmlgen.Person(r, int(cfg.Seed), xmlgen.XMarkConfig{})), nil
+	case "item":
+		r := rand.New(rand.NewSource(cfg.Seed))
+		return []byte(xmlgen.Item(r, int(cfg.Seed))), nil
+	case "article":
+		r := rand.New(rand.NewSource(cfg.Seed))
+		return []byte(xmlgen.DBLPArticle(r, fmt.Sprintf("journals/x/%d", cfg.Seed), 2005)), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", cfg.Kind)
+	}
+}
+
+func main() {
+	cfg := genConfig{}
+	flag.StringVar(&cfg.Kind, "kind", "synthetic", "synthetic, xmark, deep, person, item or article")
+	flag.IntVar(&cfg.Elements, "elements", 1000, "synthetic: approximate element count")
+	flag.IntVar(&cfg.Tags, "tags", 6, "synthetic: tag alphabet size")
+	flag.IntVar(&cfg.Depth, "depth", 6, "synthetic/deep: maximum nesting depth")
+	flag.IntVar(&cfg.Persons, "persons", 50, "xmark: person count")
+	flag.IntVar(&cfg.Items, "items", 20, "xmark: item count")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "generator seed")
+	flag.Parse()
+
+	out, err := emit(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}

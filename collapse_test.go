@@ -1,0 +1,124 @@
+package lazyxml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollapseMergesSubtree(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><x></x></a>")
+	if _, err := db.Insert(6, []byte("<b><c></c></b>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(12, []byte("<d/>")); err != nil { // inside <c>
+		t.Fatal(err)
+	}
+	if db.Segments() != 3 {
+		t.Fatalf("segments = %d", db.Segments())
+	}
+	before, err := db.Query("a//d")
+	if err != nil || len(before) != 1 {
+		t.Fatalf("a//d = %v, %v", before, err)
+	}
+	// Collapse the <b> segment (sid 2): it and its nested <d/> segment
+	// become one.
+	ms, _ := db.Query("b")
+	sid := ms[0].Desc.SID
+	newSID, err := db.Collapse(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSID == sid {
+		t.Fatal("collapse returned the old sid")
+	}
+	if db.Segments() != 2 {
+		t.Fatalf("segments after collapse = %d", db.Segments())
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Query("a//d")
+	if err != nil || len(after) != 1 {
+		t.Fatalf("a//d after collapse = %v, %v", after, err)
+	}
+	if before[0].DescStart != after[0].DescStart {
+		t.Fatal("collapse moved global positions")
+	}
+}
+
+func TestCollapseErrors(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a/>")
+	if _, err := db.Collapse(0); err == nil {
+		t.Fatal("collapsing the dummy root succeeded")
+	}
+	if _, err := db.Collapse(99); err == nil {
+		t.Fatal("collapsing an unknown segment succeeded")
+	}
+	noText := Open(LD, WithoutText())
+	if _, err := noText.Append([]byte("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noText.Collapse(1); err == nil {
+		t.Fatal("collapse without text succeeded")
+	}
+}
+
+// TestQuickCollapsePreservesQueries collapses random segments of random
+// stores and verifies queries and consistency are unaffected.
+func TestQuickCollapsePreservesQueries(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := Open(LD)
+		for i := 0; i < 10; i++ {
+			frag := randomSnapshotFragment(r, tags)
+			gp := 0
+			if db.Len() > 0 {
+				ms, err := db.Query(tags[r.Intn(len(tags))])
+				if err != nil {
+					return false
+				}
+				if len(ms) > 0 {
+					gp = ms[r.Intn(len(ms))].DescEnd
+				}
+			}
+			if _, err := db.Insert(gp, []byte(frag)); err != nil {
+				return false
+			}
+		}
+		counts := map[string]int{}
+		for _, a := range tags {
+			for _, d := range tags {
+				counts[a+"//"+d], _ = db.Count(a + "//" + d)
+			}
+		}
+		// Collapse a few random segments (some ids may already be gone —
+		// collapsed away as descendants — which must error cleanly).
+		for i := 0; i < 4; i++ {
+			sid := SID(r.Intn(db.Stats().Inserts) + 1)
+			if _, err := db.Collapse(sid); err != nil {
+				continue
+			}
+			if err := db.CheckConsistency(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		for _, a := range tags {
+			for _, d := range tags {
+				n, _ := db.Count(a + "//" + d)
+				if n != counts[a+"//"+d] {
+					t.Logf("seed %d: %s//%s changed %d -> %d", seed, a, d, counts[a+"//"+d], n)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package lazyxml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Collection manages named XML documents inside one lazy database — the
+// paper's model of "the whole XML database, whether it has been organized
+// with a tree or many sub-trees" as a single super document under a dummy
+// root. Each named document is one top-level segment; queries can run
+// over the whole collection or be scoped to one document by restricting
+// matches to the document's current global span.
+type Collection struct {
+	mu   sync.RWMutex
+	db   *DB
+	docs map[string]SID
+}
+
+// NewCollection returns an empty collection backed by a fresh database.
+func NewCollection(mode Mode, opts ...Option) *Collection {
+	return &Collection{db: Open(mode, opts...), docs: map[string]SID{}}
+}
+
+// DB exposes the underlying database (whole-collection queries, stats,
+// snapshots).
+func (c *Collection) DB() *DB { return c.db }
+
+// Put adds a named document (one well-formed XML document) to the
+// collection. The name must be new.
+func (c *Collection) Put(name string, text []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[name]; exists {
+		return fmt.Errorf("lazyxml: document %q already exists", name)
+	}
+	sid, err := c.db.Append(text)
+	if err != nil {
+		return err
+	}
+	c.docs[name] = sid
+	return nil
+}
+
+// Delete removes a named document and its text.
+func (c *Collection) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sid, ok := c.docs[name]
+	if !ok {
+		return fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	seg, ok := c.db.store.SegmentTree().Lookup(sid)
+	if !ok {
+		return fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
+	}
+	if err := c.db.Remove(seg.GP, seg.L); err != nil {
+		return err
+	}
+	delete(c.docs, name)
+	return nil
+}
+
+// Names lists the document names in sorted order.
+func (c *Collection) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.docs))
+	for name := range c.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// span returns the current global span of a named document.
+func (c *Collection) span(name string) (lo, hi int, err error) {
+	sid, ok := c.docs[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	seg, ok := c.db.store.SegmentTree().Lookup(sid)
+	if !ok {
+		return 0, 0, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
+	}
+	return seg.GP, seg.End(), nil
+}
+
+// Text returns the current text of a named document.
+func (c *Collection) Text(name string) ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi, err := c.span(name)
+	if err != nil {
+		return nil, err
+	}
+	whole, err := c.db.Text()
+	if err != nil {
+		return nil, err
+	}
+	return whole[lo:hi], nil
+}
+
+// Insert inserts a fragment at an offset relative to the named document.
+func (c *Collection) Insert(name string, off int, fragment []byte) (SID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi, err := c.span(name)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || lo+off > hi {
+		return 0, fmt.Errorf("lazyxml: offset %d outside document %q (%d bytes)", off, name, hi-lo)
+	}
+	return c.db.Insert(lo+off, fragment)
+}
+
+// Query evaluates a path expression over the whole collection.
+func (c *Collection) Query(path string) ([]Match, error) { return c.db.Query(path) }
+
+// QueryDoc evaluates a path expression scoped to one named document:
+// only matches whose elements lie inside the document's span qualify.
+// Positions in the returned matches remain global.
+func (c *Collection) QueryDoc(name, path string) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi, err := c.span(name)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := c.db.Query(path)
+	if err != nil {
+		return nil, err
+	}
+	out := ms[:0:0]
+	for _, m := range ms {
+		// A structural match is inside the document iff its descendant
+		// is (the ancestor contains the descendant, and documents are
+		// top-level disjoint spans). Single-step paths have only Desc.
+		if m.DescStart >= lo && m.DescEnd <= hi {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// CountDoc returns the number of matches of path inside one document.
+func (c *Collection) CountDoc(name, path string) (int, error) {
+	ms, err := c.QueryDoc(name, path)
+	if err != nil {
+		return 0, err
+	}
+	return len(ms), nil
+}

@@ -1,0 +1,140 @@
+package lazyxml
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCollectionPutQueryDelete(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("catalog", []byte("<catalog><book/><book/></catalog>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("orders", []byte("<orders><order><book/></order></orders>")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "catalog" || names[1] != "orders" {
+		t.Fatalf("Names = %v", names)
+	}
+	// Whole-collection query sees both documents.
+	all, err := c.Query("book")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("book = %d, %v", len(all), err)
+	}
+	// Scoped queries see only their document.
+	n, err := c.CountDoc("catalog", "catalog//book")
+	if err != nil || n != 2 {
+		t.Fatalf("catalog//book in catalog = %d, %v", n, err)
+	}
+	n, err = c.CountDoc("orders", "book")
+	if err != nil || n != 1 {
+		t.Fatalf("book in orders = %d, %v", n, err)
+	}
+	n, err = c.CountDoc("catalog", "order")
+	if err != nil || n != 0 {
+		t.Fatalf("order in catalog = %d, %v", n, err)
+	}
+	// Delete one document.
+	if err := c.Delete("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	all, err = c.Query("book")
+	if err != nil || len(all) != 1 {
+		t.Fatalf("book after delete = %d, %v", len(all), err)
+	}
+	if err := c.DB().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("a", []byte("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", []byte("<a/>")); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := c.Put("bad", []byte("<unclosed>")); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+	if err := c.Delete("missing"); err == nil {
+		t.Fatal("deleting unknown document succeeded")
+	}
+	if _, err := c.Text("missing"); err == nil {
+		t.Fatal("Text of unknown document succeeded")
+	}
+	if _, err := c.QueryDoc("missing", "a"); err == nil {
+		t.Fatal("QueryDoc of unknown document succeeded")
+	}
+	if _, err := c.Insert("a", 99, []byte("<x/>")); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+}
+
+func TestCollectionInsertRelativeOffsets(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("one", []byte("<one></one>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("two", []byte("<two></two>")); err != nil {
+		t.Fatal(err)
+	}
+	// Insert into the SECOND document at its local content offset.
+	if _, err := c.Insert("two", 5, []byte("<x/>")); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Text("two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != "<two><x/></two>" {
+		t.Fatalf("two = %s", text)
+	}
+	// The first document is untouched.
+	text, _ = c.Text("one")
+	if string(text) != "<one></one>" {
+		t.Fatalf("one = %s", text)
+	}
+	// Spans track later edits: grow doc one and re-check doc two.
+	if _, err := c.Insert("one", 5, []byte("<y/>")); err != nil {
+		t.Fatal(err)
+	}
+	text, _ = c.Text("two")
+	if !bytes.Equal(text, []byte("<two><x/></two>")) {
+		t.Fatalf("two after editing one = %s", text)
+	}
+	if n, _ := c.CountDoc("two", "two//x"); n != 1 {
+		t.Fatal("scoped query lost the match after unrelated edit")
+	}
+	if err := c.DB().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionTagCollisionAcrossDocs(t *testing.T) {
+	// Same tag names in different documents must not leak across scopes.
+	c := NewCollection(LD)
+	for _, name := range []string{"d1", "d2", "d3"} {
+		if err := c.Put(name, []byte("<doc><item/><item/></doc>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"d1", "d2", "d3"} {
+		n, err := c.CountDoc(name, "doc//item")
+		if err != nil || n != 2 {
+			t.Fatalf("%s: %d, %v", name, n, err)
+		}
+	}
+	all, _ := c.Query("doc//item")
+	if len(all) != 6 {
+		t.Fatalf("collection-wide = %d", len(all))
+	}
+}

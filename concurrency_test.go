@@ -1,0 +1,114 @@
+package lazyxml
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersOneWriter exercises the store's locking: one
+// goroutine keeps inserting registration records while several readers
+// run path queries, in both maintenance modes (LS queries sort the
+// tag-list, so they take the write path internally). Run with -race.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	for _, mode := range []Mode{LD, LS} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			db := Open(mode)
+			mustAppend(t, db, "<people></people>")
+			const open = len("<people>")
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			errs := make(chan error, 16)
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					frag := fmt.Sprintf(`<person id="p%d"><phone>1</phone></person>`, i)
+					if _, err := db.Insert(open, []byte(frag)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				close(stop)
+			}()
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := db.Query("person//phone"); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := db.Query("people/person"); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			n, err := db.Count("person//phone")
+			if err != nil || n != 200 {
+				t.Fatalf("final count = %d, %v", n, err)
+			}
+			if err := db.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentSnapshots takes snapshots while updates run.
+func TestConcurrentSnapshots(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a></a>")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if _, err := db.Insert(3, []byte("<b/>")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var sink countingWriter
+			if err := db.Snapshot(&sink); err != nil {
+				t.Error(err)
+				return
+			}
+			if sink == 0 {
+				t.Error("empty snapshot")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type countingWriter int
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,87 @@
+// DBLP-style batch updates: the paper's first motivating workload.
+// "Almost each day new articles and proceedings need to be added into the
+// DBLP database" — instead of relabeling the whole bibliography on every
+// publication, each daily batch becomes one segment insertion.
+//
+//	go run ./examples/dblp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(2005))
+	db := lazyxml.Open(lazyxml.LD)
+	if _, err := db.Append([]byte("<dblp></dblp>")); err != nil {
+		log.Fatal(err)
+	}
+	const open = len("<dblp>")
+
+	// Simulate 30 daily batches. Each batch is a handful of new records
+	// inserted as segments — no existing element label is ever touched.
+	start := time.Now()
+	batches, records := 0, 0
+	for day := 0; day < 30; day++ {
+		for _, frag := range xmlgen.DBLPBatch(r, day, r.Intn(5)+2) {
+			if _, err := db.Insert(open, []byte(frag)); err != nil {
+				log.Fatal(err)
+			}
+			records++
+		}
+		batches++
+	}
+	elapsed := time.Since(start)
+
+	st := db.Stats()
+	fmt.Printf("loaded %d batches (%d records, %d elements) in %v\n",
+		batches, records, st.Elements, elapsed.Round(time.Microsecond))
+	fmt.Printf("segments: %d; update log: %.1f KB (SB-tree %.1f + tag-list %.1f)\n",
+		st.Segments,
+		float64(st.SBTreeBytes+st.TagListBytes)/1024,
+		float64(st.SBTreeBytes)/1024, float64(st.TagListBytes)/1024)
+
+	// Bibliographic queries over the whole store.
+	for _, q := range []string{
+		"dblp//author",
+		"article/author",
+		"proceedings//inproceedings",
+		"inproceedings/author",
+		"dblp//proceedings//title",
+	} {
+		n, err := db.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s -> %d\n", q, n)
+	}
+
+	// A retraction: remove one article wholesale by offset.
+	ms, err := db.Query("article")
+	if err != nil || len(ms) == 0 {
+		log.Fatal("no articles to retract", err)
+	}
+	victim := ms[len(ms)/2]
+	if err := db.Remove(victim.DescStart, victim.DescEnd-victim.DescStart); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := db.Count("article")
+	fmt.Printf("\nretracted one article: %d -> %d articles\n", len(ms), after)
+
+	// "Maintenance hours": collapse everything into one segment.
+	if err := db.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after rebuild: %d segment(s), log %.1f KB\n",
+		db.Segments(), float64(db.Stats().SBTreeBytes+db.Stats().TagListBytes)/1024)
+	if err := db.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency check: ok")
+}

@@ -1,0 +1,69 @@
+// Quickstart: open a lazy XML database, apply a few text-edit-style
+// updates, and run structural path queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lazyxml "repro"
+)
+
+func main() {
+	db := lazyxml.Open(lazyxml.LD)
+
+	// The database models the whole XML store as one "super document".
+	// Every update is the insertion (or removal) of a well-formed
+	// fragment at a byte offset — exactly what editing the text file
+	// would do.
+	if _, err := db.Append([]byte("<library><shelf></shelf></library>")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert two books inside the shelf. Offset 16 is just after
+	// "<library><shelf>".
+	for _, book := range []string{
+		"<book><title>The Art of Laziness</title><author>C. Atania</author></book>",
+		"<book><title>Structural Joins</title><author>W. Wang</author></book>",
+	} {
+		if _, err := db.Insert(16, []byte(book)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Structural path queries: // is ancestor//descendant, / is
+	// parent/child.
+	for _, q := range []string{"shelf//title", "library//author", "book/title", "library//book//author"} {
+		n, err := db.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %d match(es)\n", q, n)
+	}
+
+	// Matches carry both reconstructed global positions and the lazy
+	// (segment, immutable local label) identity.
+	ms, err := db.Query("shelf//author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, _ := db.Text()
+	for _, m := range ms {
+		fmt.Printf("author at [%d,%d) in segment %d: %s\n",
+			m.DescStart, m.DescEnd, m.Desc.SID, text[m.DescStart:m.DescEnd])
+	}
+
+	// Updates never rewrite existing index entries; the update log stays
+	// small.
+	st := db.Stats()
+	fmt.Printf("\n%d segments, %d elements; update log: %.1f KB\n",
+		st.Segments, st.Elements, float64(st.SBTreeBytes+st.TagListBytes)/1024)
+
+	// The store can always prove itself consistent with its text.
+	if err := db.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency check: ok")
+}

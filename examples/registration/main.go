@@ -1,0 +1,97 @@
+// On-line registration system: the paper's second motivating workload.
+// Every submitted registration form becomes an automatically generated
+// XML document of 20-30 elements, inserted into the database as one
+// segment.
+//
+//	go run ./examples/registration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+	db := lazyxml.Open(lazyxml.LS) // LS: cheapest updates, sort-on-query
+
+	if _, err := db.Append([]byte("<registrations></registrations>")); err != nil {
+		log.Fatal(err)
+	}
+	const open = len("<registrations>")
+
+	// A burst of registrations arrives; each is one segment insertion at
+	// the head of the list (newest first).
+	const users = 500
+	start := time.Now()
+	for i := 0; i < users; i++ {
+		form := xmlgen.Person(r, i, xmlgen.XMarkConfig{})
+		if _, err := db.Insert(open, []byte(form)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insertTime := time.Since(start)
+
+	st := db.Stats()
+	fmt.Printf("registered %d users (%d elements) in %v — %.1f µs/registration\n",
+		users, st.Elements, insertTime.Round(time.Microsecond),
+		float64(insertTime.Microseconds())/users)
+	fmt.Printf("update log: %.1f KB for %d segments\n",
+		float64(st.SBTreeBytes+st.TagListBytes)/1024, st.Segments)
+
+	// Queries pay the deferred tag-list sort once, then run normally.
+	queries := []string{
+		"person//phone",
+		"person/profile",
+		"profile//interest",
+		"person//watch",
+		"registrations/person",
+	}
+	for _, q := range queries {
+		t0 := time.Now()
+		n, err := db.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %6d  (%v)\n", q, n, time.Since(t0).Round(time.Microsecond))
+	}
+
+	// A user deletes their account: remove their whole <person> segment.
+	ms, err := db.Query("registrations/person")
+	if err != nil || len(ms) == 0 {
+		log.Fatal("no persons", err)
+	}
+	victim := ms[0]
+	if err := db.Remove(victim.DescStart, victim.DescEnd-victim.DescStart); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := db.Count("registrations/person")
+	fmt.Printf("\naccount deletion: %d -> %d persons\n", len(ms), n)
+
+	if err := db.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency check: ok")
+
+	// Persist the whole store — update log included, no rebuild needed —
+	// and come back up from the snapshot.
+	snap := filepath.Join(os.TempDir(), "registrations.snap")
+	if err := db.SnapshotFile(snap); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := lazyxml.RestoreFile(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2, _ := restored.Count("registrations/person")
+	fmt.Printf("snapshot round-trip: %d persons, %d segments preserved\n",
+		n2, restored.Segments())
+	os.Remove(snap)
+}

@@ -1,0 +1,85 @@
+// XMark benchmark walkthrough: build an auction-site store, chop it into
+// 100 balanced segments like the paper's third query experiment, and run
+// Q1-Q5 with both Lazy-Join and the Stack-Tree-Desc baseline.
+//
+//	go run ./examples/xmark [-persons N] [-segments N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/chopper"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	persons := flag.Int("persons", 2000, "number of person records")
+	segments := flag.Int("segments", 100, "number of segments to chop into")
+	flag.Parse()
+
+	text := xmlgen.XMark(xmlgen.XMarkConfig{Seed: 2005, Persons: *persons, Items: *persons / 5})
+	fmt.Printf("XMark-like document: %.1f MB\n", float64(len(text))/(1<<20))
+
+	ops, err := chopper.Chop(text, *segments, chopper.Balanced, 2005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := lazyxml.Open(lazyxml.LD)
+	t0 := time.Now()
+	for _, op := range ops {
+		if _, err := db.Insert(op.GP, op.Fragment); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded as %d segments in %v (%d elements)\n",
+		db.Segments(), time.Since(t0).Round(time.Millisecond), db.Stats().Elements)
+
+	fmt.Printf("\n%-4s %-20s %10s %12s %12s\n", "", "query", "results", "Lazy-Join", "STD")
+	for i, q := range xmlgen.XMarkQueries() {
+		tLazy := time.Now()
+		lazyMs, err := db.QueryPair(q[0], q[1], lazyxml.Descendant, lazyxml.LazyJoin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dLazy := time.Since(tLazy)
+
+		tSTD := time.Now()
+		stdMs, err := db.QueryPair(q[0], q[1], lazyxml.Descendant, lazyxml.STD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dSTD := time.Since(tSTD)
+
+		if len(lazyMs) != len(stdMs) {
+			log.Fatalf("Q%d: Lazy-Join %d results, STD %d", i+1, len(lazyMs), len(stdMs))
+		}
+		fmt.Printf("Q%-3d %-20s %10d %12v %12v\n",
+			i+1, q[0]+"//"+q[1], len(lazyMs),
+			dLazy.Round(time.Microsecond), dSTD.Round(time.Microsecond))
+	}
+
+	// Holistic twig patterns: whole paths in one PathStack pass, with
+	// existential predicates.
+	fmt.Println("\ntwig patterns (holistic evaluation):")
+	for _, expr := range []string{
+		"person//watches/watch",
+		"person[profile//interest]//watches/watch",
+		"site//person[address]//phone",
+	} {
+		t0 := time.Now()
+		n, err := db.CountPattern(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-44s %8d  (%v)\n", expr, n, time.Since(t0).Round(time.Microsecond))
+	}
+
+	if err := db.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconsistency check: ok")
+}

@@ -1,0 +1,84 @@
+package lazyxml
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func parseProbe(s string) (*xmltree.Document, error) { return xmltree.Parse([]byte(s)) }
+
+// FuzzParsePath: arbitrary path expressions must parse or error, never
+// panic, and accepted ones must round-trip through String.
+func FuzzParsePath(f *testing.F) {
+	for _, s := range []string{"a//b", "a/b/c", "//a", "/", "", "a[b]", "a//", "x y"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := ParsePath(expr)
+		if err != nil {
+			return
+		}
+		again, err := ParsePath(p.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q -> %q failed: %v", expr, p.String(), err)
+		}
+		if again.String() != p.String() {
+			t.Fatalf("round-trip changed %q -> %q", p.String(), again.String())
+		}
+	})
+}
+
+// FuzzParsePattern: same contract for twig patterns.
+func FuzzParsePattern(f *testing.F) {
+	for _, s := range []string{"a[b]//c", "a[//b/c][d]", "a[b[c]]", "a]", "[", "a[b]c"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := ParsePattern(expr)
+		if err != nil {
+			return
+		}
+		again, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q -> %q failed: %v", expr, p.String(), err)
+		}
+		if again.String() != p.String() {
+			t.Fatalf("round-trip changed %q -> %q", p.String(), again.String())
+		}
+	})
+}
+
+// FuzzInsertSegment: arbitrary fragments either fail cleanly or leave a
+// consistent store.
+func FuzzInsertSegment(f *testing.F) {
+	for _, s := range []string{"<a/>", "<a><b>t</b></a>", "<a>", "x", "", "<a b='c'/>"} {
+		f.Add([]byte(s), uint16(0))
+	}
+	f.Fuzz(func(t *testing.T, frag []byte, posRaw uint16) {
+		db := Open(LD)
+		mustFrag := []byte("<root><x></x></root>")
+		if _, err := db.Insert(0, mustFrag); err != nil {
+			t.Fatal(err)
+		}
+		gp := int(posRaw) % (db.Len() + 1)
+		if _, err := db.Insert(gp, frag); err != nil {
+			// Rejected: the store must be untouched and consistent.
+			if cerr := db.CheckConsistency(); cerr != nil {
+				t.Fatalf("store inconsistent after rejected insert: %v", cerr)
+			}
+			return
+		}
+		// Accepted: the fragment was well-formed; the insertion point may
+		// still have produced a super document that is not well-formed
+		// (that responsibility is the caller's), so only check when the
+		// text still parses.
+		if err := db.CheckConsistency(); err != nil {
+			text, _ := db.Text()
+			wrapped := "<__dummy__>" + string(text) + "</__dummy__>"
+			if _, perr := parseProbe(wrapped); perr == nil {
+				t.Fatalf("well-formed super document but inconsistent store: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The figure runners are exercised at reduced scale: the tests assert
+// the qualitative shapes the paper reports, not absolute numbers.
+
+func cell(t *testing.T, tab Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %q has no column %q", tab.Title, col)
+	return ""
+}
+
+func cellF(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell(t, tab, row, col), err)
+	}
+	return v
+}
+
+func TestFig11Shapes(t *testing.T) {
+	tab := Fig11([]int{10, 40}, 8)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Tag-list grows faster than the SB-tree and dominates at larger N.
+	for _, row := range []int{1, 3} { // the 40-segment rows
+		sb := cellF(t, tab, row, "sbtree_kb")
+		tl := cellF(t, tab, row, "taglist_kb")
+		if tl <= sb {
+			t.Errorf("row %d: taglist %.1f KB <= sbtree %.1f KB", row, tl, sb)
+		}
+	}
+	// Nested tag-list (rows 2,3) larger than balanced (rows 0,1) at the
+	// same segment count: longer paths.
+	if cellF(t, tab, 3, "taglist_kb") <= cellF(t, tab, 1, "taglist_kb") {
+		t.Error("nested tag-list not larger than balanced")
+	}
+	// Size grows with segment count.
+	if cellF(t, tab, 1, "total_kb") <= cellF(t, tab, 0, "total_kb") {
+		t.Error("total size did not grow with segments")
+	}
+	if !strings.Contains(tab.String(), "Figure 11") {
+		t.Error("table renders without title")
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	for _, shape := range []Shape{Balanced, Nested} {
+		tab := Fig12(shape, 12, 600, []float64{0, 50, 100})
+		if len(tab.Rows) != 3 {
+			t.Fatalf("rows = %d", len(tab.Rows))
+		}
+		// All three algorithms return the same cardinality per row.
+		for i := range tab.Rows {
+			if cell(t, tab, i, "results") == "0" {
+				t.Errorf("shape %v row %d: no results", shape, i)
+			}
+			for _, col := range []string{"LS_ms", "LD_ms", "STD_ms"} {
+				if cellF(t, tab, i, col) < 0 {
+					t.Errorf("negative time in %s", col)
+				}
+			}
+		}
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	tab := Fig13(Balanced, []int{5, 15}, 300)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig14Cardinalities(t *testing.T) {
+	tab := Fig14(30, 6, 10)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		n, _ := strconv.Atoi(cell(t, tab, i, "cardinality"))
+		if n <= 0 {
+			t.Errorf("query %s has cardinality %d", cell(t, tab, i, "query"), n)
+		}
+	}
+	// Q4 (person//watch) >= Q3 (watches//watch): every watch under
+	// watches is also under a person.
+	q3, _ := strconv.Atoi(cell(t, tab, 2, "cardinality"))
+	q4, _ := strconv.Atoi(cell(t, tab, 3, "cardinality"))
+	if q4 < q3 {
+		t.Errorf("Q4 %d < Q3 %d", q4, q3)
+	}
+}
+
+func TestFig15Runs(t *testing.T) {
+	tab := Fig15(30, 6, 10)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig16TraditionalSlowerAtScale(t *testing.T) {
+	tab := Fig16([]int{50, 400})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The headline result: on the larger document the traditional
+	// relabeling insert is slower than the lazy insert.
+	ld := cellF(t, tab, 1, "LD_ms")
+	trad := cellF(t, tab, 1, "traditional_ms")
+	if trad <= ld {
+		t.Errorf("traditional %.3f ms <= LD %.3f ms on large document", trad, ld)
+	}
+}
+
+func TestFig17ElementsShape(t *testing.T) {
+	cfg := Fig17Config{BaseSegments: 20, BaseElements: 2000, PrimeKs: []int{5}}
+	tab := Fig17Elements([]int{8, 256}, cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Per-element lazy cost falls as the segment carries more elements.
+	if cellF(t, tab, 1, "LD_us") >= cellF(t, tab, 0, "LD_us") {
+		t.Error("LD per-element cost did not fall with segment size")
+	}
+	// PRIME is slower than the lazy approaches at the larger size.
+	if cellF(t, tab, 1, "PRIME_K5_us") <= cellF(t, tab, 1, "LD_us") {
+		t.Error("PRIME not slower than LD")
+	}
+}
+
+func TestFig17TagsRuns(t *testing.T) {
+	cfg := Fig17Config{BaseSegments: 20, BaseElements: 2000, PrimeKs: []int{5}}
+	tab := Fig17Tags([]int{2, 16}, cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFigAblationsShapes(t *testing.T) {
+	tab := FigAblations()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The §5.3 collapse remedy must actually help: collapsed ("on")
+	// strictly faster than 300 chopped segments ("off").
+	for _, row := range tab.Rows {
+		if row[0] == "collapse (§5.3 remedy)" {
+			on := cellF(t, tab, indexOfRow(tab, row[0]), "on_ms")
+			off := cellF(t, tab, indexOfRow(tab, row[0]), "off_ms")
+			if on >= off {
+				t.Errorf("collapse did not help: on %.3f >= off %.3f", on, off)
+			}
+		}
+	}
+}
+
+func TestFigExtrasShapes(t *testing.T) {
+	tab := FigExtras()
+	get := func(exp, metric string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == exp && row[1] == metric {
+				return cellF(t, tab, i, "value")
+			}
+		}
+		t.Fatalf("missing row %s/%s", exp, metric)
+		return 0
+	}
+	std := get("sparse join 20k elems", "STD_ms")
+	xb := get("sparse join 20k elems", "XBJoin_ms")
+	if xb >= std {
+		t.Errorf("XB join (%.3f ms) not faster than STD (%.3f ms) on sparse workload", xb, std)
+	}
+	if get("order maintenance 2k inserts", "WBOX_relabels_per_insert") <= 0 {
+		t.Error("W-BOX reported no relabeling on adversarial workload")
+	}
+}
+
+func indexOfRow(tab Table, name string) int {
+	for i, row := range tab.Rows {
+		if row[0] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFig17SegmentsRuns(t *testing.T) {
+	cfg := Fig17Config{BaseElements: 2000, PrimeKs: []int{5}}
+	tab := Fig17Segments([]int{10, 40}, cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,519 @@
+// Package btree implements an in-memory B+-tree: an ordered map with
+// efficient point lookups, ordered range scans, and predecessor queries.
+//
+// The tree is generic over key and value types; ordering is supplied by a
+// comparison function at construction time. All data lives in the leaf
+// level, and leaves are chained left-to-right, so range scans never
+// revisit interior nodes. This is the substrate beneath both the segment
+// B+-tree (SB-tree) and the element index of the lazy XML update log.
+//
+// The implementation is not safe for concurrent mutation; wrap it in a
+// sync.RWMutex (as package updatelog does) when shared across goroutines.
+package btree
+
+import "fmt"
+
+// DefaultDegree is the branching factor used by New. Each interior node
+// holds between DefaultDegree-1 and 2*DefaultDegree-1 keys (except the
+// root). 32 keeps nodes within a couple of cache lines for small keys
+// while keeping the tree shallow for the workloads in this repository.
+const DefaultDegree = 32
+
+// Compare reports the ordering of a and b: negative if a<b, zero if a==b,
+// positive if a>b.
+type Compare[K any] func(a, b K) int
+
+// Tree is a B+-tree mapping K to V.
+type Tree[K, V any] struct {
+	cmp    Compare[K]
+	degree int // minimum number of children of an interior node
+	root   node[K, V]
+	length int
+	// firstLeaf anchors ordered iteration from the smallest key.
+	firstLeaf *leaf[K, V]
+}
+
+type node[K, V any] interface {
+	// insert adds (k,v); if the node splits it returns the separator key
+	// and the new right sibling, else nil.
+	insert(t *Tree[K, V], k K, v V) (K, node[K, V], bool)
+	// remove deletes k, reporting whether it was present and whether the
+	// node is now under-full.
+	remove(t *Tree[K, V], k K) (removed, underflow bool)
+	get(t *Tree[K, V], k K) (V, bool)
+	// leafFor returns the leaf that contains k or would contain it, and
+	// the index of the first key >= k within that leaf (may equal the
+	// number of keys, meaning "next leaf").
+	leafFor(t *Tree[K, V], k K) (*leaf[K, V], int)
+	minKeys(t *Tree[K, V]) int
+	keyCount() int
+	depthCheck(t *Tree[K, V], depth int) int
+}
+
+type interior[K, V any] struct {
+	keys     []K
+	children []node[K, V]
+}
+
+type leaf[K, V any] struct {
+	keys []K
+	vals []V
+	next *leaf[K, V]
+	prev *leaf[K, V]
+}
+
+// New returns an empty tree with DefaultDegree and the given comparator.
+func New[K, V any](cmp Compare[K]) *Tree[K, V] {
+	return NewWithDegree[K, V](cmp, DefaultDegree)
+}
+
+// NewWithDegree returns an empty tree with the given minimum degree
+// (minimum number of children per interior node). Degree must be >= 2.
+func NewWithDegree[K, V any](cmp Compare[K], degree int) *Tree[K, V] {
+	if degree < 2 {
+		panic(fmt.Sprintf("btree: degree %d < 2", degree))
+	}
+	lf := &leaf[K, V]{}
+	return &Tree[K, V]{cmp: cmp, degree: degree, root: lf, firstLeaf: lf}
+}
+
+// Len returns the number of key/value pairs stored.
+func (t *Tree[K, V]) Len() int { return t.length }
+
+// Get returns the value stored under k.
+func (t *Tree[K, V]) Get(k K) (V, bool) { return t.root.get(t, k) }
+
+// Has reports whether k is present.
+func (t *Tree[K, V]) Has(k K) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Set inserts or replaces the value stored under k.
+func (t *Tree[K, V]) Set(k K, v V) {
+	sep, right, grew := t.root.insert(t, k, v)
+	if right != nil {
+		t.root = &interior[K, V]{
+			keys:     []K{sep},
+			children: []node[K, V]{t.root, right},
+		}
+	}
+	if grew {
+		t.length++
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree[K, V]) Delete(k K) bool {
+	removed, _ := t.root.remove(t, k)
+	if removed {
+		t.length--
+	}
+	// Collapse a root with a single child.
+	if in, ok := t.root.(*interior[K, V]); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return removed
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	lf := t.firstLeaf
+	for lf != nil && len(lf.keys) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *interior[K, V]:
+			n = x.children[len(x.children)-1]
+		case *leaf[K, V]:
+			if len(x.keys) == 0 {
+				var k K
+				var v V
+				return k, v, false
+			}
+			i := len(x.keys) - 1
+			return x.keys[i], x.vals[i], true
+		}
+	}
+}
+
+// Ascend calls fn for every pair in ascending key order until fn returns
+// false.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
+	for lf := t.firstLeaf; lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange calls fn for every pair with lo <= key < hi in ascending
+// order until fn returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	lf, i := t.root.leafFor(t, lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if t.cmp(lf.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// AscendFrom calls fn for every pair with key >= lo in ascending order
+// until fn returns false.
+func (t *Tree[K, V]) AscendFrom(lo K, fn func(k K, v V) bool) {
+	lf, i := t.root.leafFor(t, lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Floor returns the largest key <= k and its value.
+func (t *Tree[K, V]) Floor(k K) (K, V, bool) {
+	lf, i := t.root.leafFor(t, k)
+	if lf != nil && i < len(lf.keys) && t.cmp(lf.keys[i], k) == 0 {
+		return lf.keys[i], lf.vals[i], true
+	}
+	// Step back one position.
+	for lf != nil {
+		if i > 0 {
+			return lf.keys[i-1], lf.vals[i-1], true
+		}
+		lf = lf.prev
+		if lf != nil {
+			i = len(lf.keys)
+		}
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// Ceiling returns the smallest key >= k and its value.
+func (t *Tree[K, V]) Ceiling(k K) (K, V, bool) {
+	lf, i := t.root.leafFor(t, k)
+	for lf != nil {
+		if i < len(lf.keys) {
+			return lf.keys[i], lf.vals[i], true
+		}
+		lf = lf.next
+		i = 0
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// Clear removes all entries.
+func (t *Tree[K, V]) Clear() {
+	lf := &leaf[K, V]{}
+	t.root = lf
+	t.firstLeaf = lf
+	t.length = 0
+}
+
+// maxKeys is the largest number of keys a node may hold before splitting.
+func (t *Tree[K, V]) maxKeys() int { return 2*t.degree - 1 }
+
+// search returns the index of the first key >= k in keys.
+func (t *Tree[K, V]) search(keys []K, k K) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmp(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(keys) && t.cmp(keys[lo], k) == 0
+	return lo, found
+}
+
+// --- leaf ---
+
+func (l *leaf[K, V]) get(t *Tree[K, V], k K) (V, bool) {
+	i, found := t.search(l.keys, k)
+	if !found {
+		var z V
+		return z, false
+	}
+	return l.vals[i], true
+}
+
+func (l *leaf[K, V]) leafFor(t *Tree[K, V], k K) (*leaf[K, V], int) {
+	i, _ := t.search(l.keys, k)
+	return l, i
+}
+
+func (l *leaf[K, V]) insert(t *Tree[K, V], k K, v V) (K, node[K, V], bool) {
+	i, found := t.search(l.keys, k)
+	if found {
+		l.vals[i] = v
+		var zk K
+		return zk, nil, false
+	}
+	l.keys = append(l.keys, k)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = k
+	l.vals = append(l.vals, v)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = v
+	if len(l.keys) <= t.maxKeys() {
+		var zk K
+		return zk, nil, true
+	}
+	// Split: move the upper half to a new right sibling.
+	mid := len(l.keys) / 2
+	right := &leaf[K, V]{
+		keys: append([]K(nil), l.keys[mid:]...),
+		vals: append([]V(nil), l.vals[mid:]...),
+		next: l.next,
+		prev: l,
+	}
+	if l.next != nil {
+		l.next.prev = right
+	}
+	l.next = right
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	return right.keys[0], right, true
+}
+
+func (l *leaf[K, V]) remove(t *Tree[K, V], k K) (bool, bool) {
+	i, found := t.search(l.keys, k)
+	if !found {
+		return false, false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	return true, len(l.keys) < l.minKeys(t)
+}
+
+func (l *leaf[K, V]) minKeys(t *Tree[K, V]) int { return t.degree - 1 }
+func (l *leaf[K, V]) keyCount() int             { return len(l.keys) }
+
+func (l *leaf[K, V]) depthCheck(t *Tree[K, V], depth int) int { return depth }
+
+// --- interior ---
+
+func (in *interior[K, V]) childIndex(t *Tree[K, V], k K) int {
+	i, found := t.search(in.keys, k)
+	if found {
+		return i + 1
+	}
+	return i
+}
+
+func (in *interior[K, V]) get(t *Tree[K, V], k K) (V, bool) {
+	return in.children[in.childIndex(t, k)].get(t, k)
+}
+
+func (in *interior[K, V]) leafFor(t *Tree[K, V], k K) (*leaf[K, V], int) {
+	return in.children[in.childIndex(t, k)].leafFor(t, k)
+}
+
+func (in *interior[K, V]) insert(t *Tree[K, V], k K, v V) (K, node[K, V], bool) {
+	ci := in.childIndex(t, k)
+	sep, right, grew := in.children[ci].insert(t, k, v)
+	if right == nil {
+		var zk K
+		return zk, nil, grew
+	}
+	in.keys = append(in.keys, sep)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = right
+	if len(in.keys) <= t.maxKeys() {
+		var zk K
+		return zk, nil, grew
+	}
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	rightNode := &interior[K, V]{
+		keys:     append([]K(nil), in.keys[mid+1:]...),
+		children: append([]node[K, V](nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return upKey, rightNode, grew
+}
+
+func (in *interior[K, V]) remove(t *Tree[K, V], k K) (bool, bool) {
+	ci := in.childIndex(t, k)
+	removed, under := in.children[ci].remove(t, k)
+	if !removed {
+		return false, false
+	}
+	if under {
+		in.rebalance(t, ci)
+	}
+	return true, len(in.keys) < in.minKeys(t)
+}
+
+// rebalance restores the invariant for the under-full child at index ci by
+// borrowing from a sibling or merging with one.
+func (in *interior[K, V]) rebalance(t *Tree[K, V], ci int) {
+	child := in.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := in.children[ci-1]
+		if left.keyCount() > left.minKeys(t) {
+			in.borrowFromLeft(t, ci)
+			return
+		}
+		_ = child
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(in.children)-1 {
+		right := in.children[ci+1]
+		if right.keyCount() > right.minKeys(t) {
+			in.borrowFromRight(t, ci)
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		in.merge(t, ci-1)
+	} else {
+		in.merge(t, ci)
+	}
+}
+
+func (in *interior[K, V]) borrowFromLeft(t *Tree[K, V], ci int) {
+	switch child := in.children[ci].(type) {
+	case *leaf[K, V]:
+		left := in.children[ci-1].(*leaf[K, V])
+		n := len(left.keys)
+		child.keys = append(child.keys, left.keys[n-1])
+		copy(child.keys[1:], child.keys)
+		child.keys[0] = left.keys[n-1]
+		child.vals = append(child.vals, left.vals[n-1])
+		copy(child.vals[1:], child.vals)
+		child.vals[0] = left.vals[n-1]
+		left.keys = left.keys[:n-1]
+		left.vals = left.vals[:n-1]
+		in.keys[ci-1] = child.keys[0]
+	case *interior[K, V]:
+		left := in.children[ci-1].(*interior[K, V])
+		n := len(left.keys)
+		child.keys = append(child.keys, in.keys[ci-1])
+		copy(child.keys[1:], child.keys)
+		child.keys[0] = in.keys[ci-1]
+		in.keys[ci-1] = left.keys[n-1]
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.keys = left.keys[:n-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (in *interior[K, V]) borrowFromRight(t *Tree[K, V], ci int) {
+	switch child := in.children[ci].(type) {
+	case *leaf[K, V]:
+		right := in.children[ci+1].(*leaf[K, V])
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		right.keys = append(right.keys[:0], right.keys[1:]...)
+		right.vals = append(right.vals[:0], right.vals[1:]...)
+		in.keys[ci] = right.keys[0]
+	case *interior[K, V]:
+		right := in.children[ci+1].(*interior[K, V])
+		child.keys = append(child.keys, in.keys[ci])
+		in.keys[ci] = right.keys[0]
+		child.children = append(child.children, right.children[0])
+		right.keys = append(right.keys[:0], right.keys[1:]...)
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// merge combines children li and li+1 into children[li].
+func (in *interior[K, V]) merge(t *Tree[K, V], li int) {
+	switch left := in.children[li].(type) {
+	case *leaf[K, V]:
+		right := in.children[li+1].(*leaf[K, V])
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+		if right.next != nil {
+			right.next.prev = left
+		}
+	case *interior[K, V]:
+		right := in.children[li+1].(*interior[K, V])
+		left.keys = append(left.keys, in.keys[li])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	in.keys = append(in.keys[:li], in.keys[li+1:]...)
+	in.children = append(in.children[:li+1], in.children[li+2:]...)
+}
+
+func (in *interior[K, V]) minKeys(t *Tree[K, V]) int { return t.degree - 1 }
+func (in *interior[K, V]) keyCount() int             { return len(in.keys) }
+
+func (in *interior[K, V]) depthCheck(t *Tree[K, V], depth int) int {
+	d := -1
+	for _, c := range in.children {
+		cd := c.depthCheck(t, depth+1)
+		if d == -1 {
+			d = cd
+		} else if d != cd {
+			panic("btree: uneven leaf depth")
+		}
+	}
+	return d
+}
+
+// CheckInvariants panics if structural invariants are violated. Intended
+// for tests.
+func (t *Tree[K, V]) CheckInvariants() {
+	t.root.depthCheck(t, 0)
+	// Keys strictly ascending across the leaf chain.
+	var prev *K
+	n := 0
+	for lf := t.firstLeaf; lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if prev != nil && t.cmp(*prev, lf.keys[i]) >= 0 {
+				panic("btree: keys out of order in leaf chain")
+			}
+			k := lf.keys[i]
+			prev = &k
+			n++
+		}
+		if lf.next != nil && lf.next.prev != lf {
+			panic("btree: broken leaf back-link")
+		}
+	}
+	if n != t.length {
+		panic(fmt.Sprintf("btree: length %d but leaf chain holds %d", t.length, n))
+	}
+}

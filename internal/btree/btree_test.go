@@ -1,0 +1,431 @@
+package btree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func newInt() *Tree[int, string] { return New[int, string](intCmp) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := newInt()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	tr.CheckInvariants()
+}
+
+func TestSetGet(t *testing.T) {
+	tr := newInt()
+	tr.Set(1, "a")
+	tr.Set(2, "b")
+	tr.Set(3, "c")
+	if got, _ := tr.Get(2); got != "b" {
+		t.Fatalf("Get(2) = %q, want b", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	tr.Set(2, "B")
+	if got, _ := tr.Get(2); got != "B" {
+		t.Fatalf("after overwrite Get(2) = %q, want B", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d, want 3", tr.Len())
+	}
+}
+
+func TestSetManySequential(t *testing.T) {
+	tr := newInt()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Set(i, "v")
+	}
+	tr.CheckInvariants()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Has(i) {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	if k, _, _ := tr.Min(); k != 0 {
+		t.Fatalf("Min = %d, want 0", k)
+	}
+	if k, _, _ := tr.Max(); k != n-1 {
+		t.Fatalf("Max = %d, want %d", k, n-1)
+	}
+}
+
+func TestSetManyReverse(t *testing.T) {
+	tr := newInt()
+	const n = 5000
+	for i := n - 1; i >= 0; i-- {
+		tr.Set(i, "v")
+	}
+	tr.CheckInvariants()
+	got := 0
+	tr.Ascend(func(k int, _ string) bool {
+		if k != got {
+			t.Fatalf("Ascend saw %d, want %d", k, got)
+		}
+		got++
+		return true
+	})
+	if got != n {
+		t.Fatalf("Ascend visited %d keys, want %d", got, n)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newInt()
+	const n = 3000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Set(k, "v")
+	}
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for i, k := range perm2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("second Delete(%d) = true", k)
+		}
+		if tr.Len() != n-i-1 {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n-i-1)
+		}
+		if i%257 == 0 {
+			tr.CheckInvariants()
+		}
+	}
+	tr.CheckInvariants()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 100; i += 2 {
+		tr.Set(i, "v")
+	}
+	var got []int
+	tr.AscendRange(10, 20, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange got %v, want %v", got, want)
+		}
+	}
+	// Odd bounds (not present in tree).
+	got = nil
+	tr.AscendRange(11, 15, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != 12 || got[1] != 14 {
+		t.Fatalf("AscendRange(11,15) = %v, want [12 14]", got)
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "v")
+	}
+	count := 0
+	tr.AscendRange(0, 100, func(int, string) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 50; i += 5 {
+		tr.Set(i, "v")
+	}
+	var got []int
+	tr.AscendFrom(12, func(k int, _ string) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 15 || got[1] != 20 || got[2] != 25 {
+		t.Fatalf("AscendFrom(12) = %v, want [15 20 25]", got)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := newInt()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Set(k, "v")
+	}
+	cases := []struct {
+		q           int
+		floor, ceil int
+		fok, cok    bool
+	}{
+		{5, 0, 10, false, true},
+		{10, 10, 10, true, true},
+		{15, 10, 20, true, true},
+		{40, 40, 40, true, true},
+		{45, 40, 0, true, false},
+	}
+	for _, c := range cases {
+		fk, _, fok := tr.Floor(c.q)
+		if fok != c.fok || (fok && fk != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, fk, fok, c.floor, c.fok)
+		}
+		ck, _, cok := tr.Ceiling(c.q)
+		if cok != c.cok || (cok && ck != c.ceil) {
+			t.Errorf("Ceiling(%d) = %d,%v want %d,%v", c.q, ck, cok, c.ceil, c.cok)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "v")
+	}
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tr.Len())
+	}
+	tr.Set(5, "x")
+	if got, _ := tr.Get(5); got != "x" {
+		t.Fatal("tree unusable after Clear")
+	}
+	tr.CheckInvariants()
+}
+
+func TestSmallDegrees(t *testing.T) {
+	for _, degree := range []int{2, 3, 4, 5} {
+		tr := NewWithDegree[int, int](intCmp, degree)
+		const n = 1000
+		perm := rand.New(rand.NewSource(int64(degree))).Perm(n)
+		for _, k := range perm {
+			tr.Set(k, k*2)
+		}
+		tr.CheckInvariants()
+		for i := 0; i < n; i++ {
+			if v, ok := tr.Get(i); !ok || v != i*2 {
+				t.Fatalf("degree %d: Get(%d) = %d,%v", degree, i, v, ok)
+			}
+		}
+		for _, k := range perm[:n/2] {
+			if !tr.Delete(k) {
+				t.Fatalf("degree %d: Delete(%d) failed", degree, k)
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != n/2 {
+			t.Fatalf("degree %d: Len = %d, want %d", degree, tr.Len(), n/2)
+		}
+	}
+}
+
+func TestDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithDegree(1) did not panic")
+		}
+	}()
+	NewWithDegree[int, int](intCmp, 1)
+}
+
+// opSeq drives the model-based property test: a sequence of operations on
+// random small keys, executed against both the B+-tree and a plain map.
+type opSeq struct {
+	ops []op
+}
+
+type op struct {
+	Kind byte // 0 insert, 1 delete, 2 lookup
+	Key  uint16
+}
+
+// Generate implements quick.Generator.
+func (opSeq) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(400) + 50
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{Kind: byte(r.Intn(3)), Key: uint16(r.Intn(200))}
+	}
+	return reflect.ValueOf(opSeq{ops: ops})
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seq opSeq) bool {
+		tr := NewWithDegree[int, int](intCmp, 3)
+		model := map[int]int{}
+		for i, o := range seq.ops {
+			k := int(o.Key)
+			switch o.Kind {
+			case 0:
+				tr.Set(k, i)
+				model[k] = i
+			case 1:
+				_, inModel := model[k]
+				if tr.Delete(k) != inModel {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := tr.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		tr.CheckInvariants()
+		// Full ordered scan must equal sorted model keys.
+		keys := make([]int, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		i := 0
+		good := true
+		tr.Ascend(func(k int, v int) bool {
+			if i >= len(keys) || k != keys[i] || v != model[k] {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRangeScan(t *testing.T) {
+	f := func(keys []uint16, loRaw, hiRaw uint16) bool {
+		lo, hi := int(loRaw), int(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New[int, bool](intCmp)
+		model := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), true)
+			model[int(k)] = true
+		}
+		var want []int
+		for k := range model {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		tr.AscendRange(lo, hi, func(k int, _ bool) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloorCeiling(t *testing.T) {
+	f := func(keys []uint16, q uint16) bool {
+		tr := New[int, bool](intCmp)
+		model := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), true)
+			model[int(k)] = true
+		}
+		var wantFloor, wantCeil int
+		fok, cok := false, false
+		for k := range model {
+			if k <= int(q) && (!fok || k > wantFloor) {
+				wantFloor, fok = k, true
+			}
+			if k >= int(q) && (!cok || k < wantCeil) {
+				wantCeil, cok = k, true
+			}
+		}
+		fk, _, gfok := tr.Floor(int(q))
+		ck, _, gcok := tr.Ceiling(int(q))
+		if gfok != fok || gcok != cok {
+			return false
+		}
+		if fok && fk != wantFloor {
+			return false
+		}
+		if cok && ck != wantCeil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetSequential(b *testing.B) {
+	tr := New[int, int](intCmp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i, i)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	tr := New[int, int](intCmp)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		tr.Set(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % n)
+	}
+}

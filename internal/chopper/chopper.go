@@ -1,0 +1,276 @@
+// Package chopper splits an XML document into a sequence of segment
+// insertions that rebuild it exactly — the experimental setup of
+// Section 5.1: "we chopped the data sets into many small segments and
+// inserted these segments into an initially dummy XML document, while
+// maintaining the validity of the super document".
+//
+// A chop picks a set of elements of the document; each picked element
+// becomes one segment whose text is the element's region minus the
+// regions of picked descendants, and the base segment is the document
+// minus the top-level picks. Applying the returned operations in order
+// (which is document order) to an empty super document reproduces the
+// input text byte for byte.
+//
+// The pick strategy controls the shape of the resulting ER-tree:
+//
+//   - Balanced picks pairwise disjoint elements, giving a two-level
+//     ER-tree (the paper's "balanced" case);
+//   - Nested picks a root-to-leaf chain of nested elements, giving a
+//     linear ER-tree (the paper's worst case);
+//   - Random picks arbitrary elements, giving a mixed shape.
+package chopper
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Shape selects the ER-tree shape of the chop.
+type Shape int
+
+const (
+	// Balanced yields a two-level ER-tree (disjoint picks).
+	Balanced Shape = iota
+	// Nested yields a linear chain ER-tree (a nested pick chain).
+	Nested
+	// Random yields an arbitrary ER-tree.
+	Random
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Balanced:
+		return "balanced"
+	case Nested:
+		return "nested"
+	default:
+		return "random"
+	}
+}
+
+// Op is one segment insertion: insert Fragment at global position GP of
+// the current super document.
+type Op struct {
+	GP       int
+	Fragment []byte
+}
+
+// Chop splits text into n segments (one base plus n-1 picks) with the
+// given ER-tree shape. It fails when the document does not offer enough
+// elements (Balanced/Random) or enough nesting depth (Nested).
+func Chop(text []byte, n int, shape Shape, seed int64) ([]Op, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chopper: need at least 1 segment, got %d", n)
+	}
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: %w", err)
+	}
+	var picks []*xmltree.Element
+	switch shape {
+	case Balanced:
+		picks, err = pickDisjoint(doc, n-1, seed)
+	case Nested:
+		picks, err = pickChain(doc, n-1)
+	case Random:
+		picks, err = pickRandom(doc, n-1, seed)
+	default:
+		return nil, fmt.Errorf("chopper: unknown shape %d", shape)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildOps(text, picks), nil
+}
+
+// pickDisjoint selects k pairwise-disjoint non-root elements, spread over
+// the document: k evenly spaced leaves, each optionally promoted to an
+// enclosing subtree that still avoids its neighbours, so segments carry
+// more than single elements when the document allows it.
+func pickDisjoint(doc *xmltree.Document, k int, seed int64) ([]*xmltree.Element, error) {
+	if k == 0 {
+		return nil, nil
+	}
+	var leaves []*xmltree.Element
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e != doc.Root && len(e.Children) == 0 {
+			leaves = append(leaves, e)
+		}
+		return true
+	})
+	if len(leaves) < k {
+		return nil, fmt.Errorf("chopper: document has %d leaf elements, need %d for %d segments",
+			len(leaves), k, k+1)
+	}
+	r := rand.New(rand.NewSource(seed))
+	picks := make([]*xmltree.Element, k)
+	for i := range picks {
+		// Evenly spaced with jitter within the slot.
+		slot := len(leaves) / k
+		picks[i] = leaves[i*slot+r.Intn(max(slot, 1))]
+	}
+	// Promote picks to enclosing subtrees while they stay disjoint from
+	// their neighbours (and never reach the document root).
+	for i, p := range picks {
+		for r.Intn(2) == 0 {
+			a := p.Parent
+			if a == nil || a == doc.Root {
+				break
+			}
+			if i > 0 && a.Start < picks[i-1].End {
+				break
+			}
+			if i < len(picks)-1 && a.End > picks[i+1].Start {
+				break
+			}
+			p = a
+		}
+		picks[i] = p
+	}
+	return picks, nil
+}
+
+// pickChain selects a chain of k nested elements starting from the
+// deepest available path.
+func pickChain(doc *xmltree.Document, k int) ([]*xmltree.Element, error) {
+	if k == 0 {
+		return nil, nil
+	}
+	// Walk down choosing the child with the tallest subtree.
+	height := map[*xmltree.Element]int{}
+	var measure func(e *xmltree.Element) int
+	measure = func(e *xmltree.Element) int {
+		h := 1
+		for _, c := range e.Children {
+			if ch := measure(c) + 1; ch > h {
+				h = ch
+			}
+		}
+		height[e] = h
+		return h
+	}
+	measure(doc.Root)
+	var chain []*xmltree.Element
+	cur := doc.Root
+	for len(chain) < k {
+		var next *xmltree.Element
+		for _, c := range cur.Children {
+			if next == nil || height[c] > height[next] {
+				next = c
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("chopper: document depth supports only %d nested segments, need %d",
+				len(chain)+1, k+1)
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain, nil
+}
+
+// pickRandom selects k arbitrary non-root elements.
+func pickRandom(doc *xmltree.Document, k int, seed int64) ([]*xmltree.Element, error) {
+	if k == 0 {
+		return nil, nil
+	}
+	var all []*xmltree.Element
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e != doc.Root {
+			all = append(all, e)
+		}
+		return true
+	})
+	if len(all) < k {
+		return nil, fmt.Errorf("chopper: document has %d elements, need %d picks", len(all), k)
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(all))[:k]
+	sort.Ints(idx)
+	picks := make([]*xmltree.Element, k)
+	for i, j := range idx {
+		picks[i] = all[j]
+	}
+	return picks, nil
+}
+
+// buildOps converts the pick set into the insertion sequence: the base
+// document first, then every pick in document order at its original
+// start offset, each fragment excised of its direct sub-picks.
+func buildOps(text []byte, picks []*xmltree.Element) []Op {
+	sort.Slice(picks, func(i, j int) bool { return picks[i].Start < picks[j].Start })
+	// directSubpicks[i] lists picks whose nearest picked ancestor is i.
+	parentPick := make([]int, len(picks))
+	for i := range parentPick {
+		parentPick[i] = -1
+	}
+	for i := range picks {
+		for j := i - 1; j >= 0; j-- {
+			if picks[j].Start < picks[i].Start && picks[i].End <= picks[j].End {
+				parentPick[i] = j
+				break
+			}
+		}
+	}
+	excise := func(start, end int, holes []*xmltree.Element) []byte {
+		out := make([]byte, 0, end-start)
+		pos := start
+		for _, h := range holes {
+			out = append(out, text[pos:h.Start]...)
+			pos = h.End
+		}
+		return append(out, text[pos:end]...)
+	}
+	var ops []Op
+	// Base: whole text minus top-level picks.
+	var topHoles []*xmltree.Element
+	for i, p := range picks {
+		if parentPick[i] == -1 {
+			topHoles = append(topHoles, p)
+		}
+	}
+	ops = append(ops, Op{GP: 0, Fragment: excise(0, len(text), topHoles)})
+	for i, p := range picks {
+		var holes []*xmltree.Element
+		for j := i + 1; j < len(picks) && picks[j].Start < p.End; j++ {
+			if parentPick[j] == i {
+				holes = append(holes, picks[j])
+			}
+		}
+		ops = append(ops, Op{GP: p.Start, Fragment: excise(p.Start, p.End, holes)})
+	}
+	return ops
+}
+
+// Apply replays ops against a plain byte buffer — the reference
+// implementation used to verify a chop reproduces its input.
+func Apply(ops []Op) ([]byte, error) {
+	var text []byte
+	for i, op := range ops {
+		if op.GP < 0 || op.GP > len(text) {
+			return nil, fmt.Errorf("chopper: op %d inserts at %d in document of length %d", i, op.GP, len(text))
+		}
+		next := make([]byte, 0, len(text)+len(op.Fragment))
+		next = append(next, text[:op.GP]...)
+		next = append(next, op.Fragment...)
+		next = append(next, text[op.GP:]...)
+		text = next
+	}
+	return text, nil
+}
+
+// Verify checks that replaying ops reproduces text exactly.
+func Verify(text []byte, ops []Op) error {
+	got, err := Apply(ops)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, text) {
+		return fmt.Errorf("chopper: replay diverges from the original document")
+	}
+	return nil
+}

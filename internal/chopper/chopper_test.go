@@ -1,0 +1,221 @@
+package chopper
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
+)
+
+func deepDoc(depth int) []byte {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<a><d/>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</a>")
+	}
+	sb.WriteString("</root>")
+	return []byte(sb.String())
+}
+
+func TestChopSingleSegment(t *testing.T) {
+	text := []byte("<a><b/></a>")
+	ops, err := Chop(text, 1, Balanced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].GP != 0 || string(ops[0].Fragment) != string(text) {
+		t.Fatalf("ops = %v", ops)
+	}
+	if err := Verify(text, ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChopBalancedReproduces(t *testing.T) {
+	text := xmlgen.Synthetic(xmlgen.SyntheticConfig{Seed: 11, Elements: 400})
+	for _, n := range []int{2, 5, 20, 50} {
+		ops, err := Chop(text, n, Balanced, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(ops) != n {
+			t.Fatalf("n=%d: got %d ops", n, len(ops))
+		}
+		if err := Verify(text, ops); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestChopBalancedShapeIsTwoLevels(t *testing.T) {
+	text := xmlgen.Synthetic(xmlgen.SyntheticConfig{Seed: 11, Elements: 400})
+	ops, err := Chop(text, 20, Balanced, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewStore(core.LD)
+	for _, op := range ops {
+		if _, err := s.InsertSegment(op.GP, op.Fragment); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ER-tree: dummy root -> base segment -> 19 children, none deeper.
+	root := s.SegmentTree().Root()
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1 (the base segment)", len(root.Children))
+	}
+	base := root.Children[0]
+	if len(base.Children) != 19 {
+		t.Fatalf("base has %d children, want 19", len(base.Children))
+	}
+	for _, c := range base.Children {
+		if len(c.Children) != 0 {
+			t.Fatalf("balanced chop produced depth-3 segment %d", c.SID)
+		}
+	}
+}
+
+func TestChopNestedReproducesAndChains(t *testing.T) {
+	text := deepDoc(30)
+	for _, n := range []int{2, 10, 25} {
+		ops, err := Chop(text, n, Nested, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Verify(text, ops); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Replay into a store and confirm the ER-tree is a chain.
+		s := core.NewStore(core.LD)
+		for _, op := range ops {
+			if _, err := s.InsertSegment(op.GP, op.Fragment); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		if err := s.CheckAgainstText(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tree := s.SegmentTree()
+		depth := 0
+		cur := tree.Root()
+		for len(cur.Children) > 0 {
+			if len(cur.Children) != 1 {
+				t.Fatalf("n=%d: nested chop produced fan-out %d", n, len(cur.Children))
+			}
+			cur = cur.Children[0]
+			depth++
+		}
+		if depth != n {
+			t.Fatalf("n=%d: chain depth = %d", n, depth)
+		}
+	}
+}
+
+func TestChopNestedTooShallow(t *testing.T) {
+	if _, err := Chop([]byte("<a><b/></a>"), 10, Nested, 0); err == nil {
+		t.Fatal("shallow document accepted for deep nested chop")
+	}
+}
+
+func TestChopRandomReproduces(t *testing.T) {
+	text := xmlgen.XMark(xmlgen.XMarkConfig{Seed: 5, Persons: 15, Items: 5})
+	for _, n := range []int{2, 10, 40} {
+		ops, err := Chop(text, n, Random, int64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Verify(text, ops); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestChopErrors(t *testing.T) {
+	if _, err := Chop([]byte("<a/>"), 0, Balanced, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Chop([]byte("not xml"), 2, Balanced, 0); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	if _, err := Chop([]byte("<a/>"), 5, Random, 0); err == nil {
+		t.Fatal("too many picks accepted")
+	}
+}
+
+// TestQuickChopQueryEquivalence chops a document several ways, replays
+// each into a store, and confirms queries agree with the unchopped
+// single-segment store.
+func TestQuickChopQueryEquivalence(t *testing.T) {
+	text := xmlgen.XMark(xmlgen.XMarkConfig{Seed: 21, Persons: 12, Items: 4})
+	ref := core.NewStore(core.LD)
+	if _, err := ref.InsertSegment(0, text); err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, nRaw uint8, shapeRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		shape := Shape(int(shapeRaw) % 3)
+		ops, err := Chop(text, n, shape, seed)
+		if err != nil {
+			// Nested chops can legitimately exceed the document depth.
+			return shape == Nested
+		}
+		s := core.NewStore(core.LD)
+		for _, op := range ops {
+			if _, err := s.InsertSegment(op.GP, op.Fragment); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if err := s.CheckAgainstText(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, q := range xmlgen.XMarkQueries() {
+			want, err1 := ref.Query(q[0], q[1], join.Descendant, core.LazyJoin)
+			got, err2 := s.Query(q[0], q[1], join.Descendant, core.LazyJoin)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !sameStarts(want, got) {
+				t.Logf("seed %d n %d shape %v: %s//%s diverged", seed, n, shape, q[0], q[1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameStarts(a, b []core.Match) bool {
+	am := map[[2]int]bool{}
+	for _, m := range a {
+		am[[2]int{m.AncStart, m.DescStart}] = true
+	}
+	if len(a) != len(b) {
+		// Duplicate pairs should not exist; compare as sets with count.
+	}
+	bm := map[[2]int]bool{}
+	for _, m := range b {
+		bm[[2]int{m.AncStart, m.DescStart}] = true
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ = xmltree.Parse // keep import for potential debugging helpers

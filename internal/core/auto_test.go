@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/join"
+)
+
+// buildManyTinySegments makes a store where almost every segment holds a
+// single element — the degenerate case of Section 5.3 where "one segment
+// coincides with one element".
+func buildManyTinySegments(t *testing.T, n int) *Store {
+	t.Helper()
+	s := NewStore(LD)
+	if _, err := s.InsertSegment(0, []byte("<A></A>")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.InsertSegment(3, []byte("<D/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// buildFewFatSegments makes a store with a handful of segments holding
+// many elements each.
+func buildFewFatSegments(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(LD)
+	var sb strings.Builder
+	sb.WriteString("<A>")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<D/>")
+	}
+	sb.WriteString("</A>")
+	if _, err := s.InsertSegment(0, []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertSegment(3, []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAutoChoosesSTDForTinySegments(t *testing.T) {
+	s := buildManyTinySegments(t, 50)
+	if alg := s.ChooseAlgorithm("A", "D"); alg != STD {
+		t.Fatalf("ChooseAlgorithm = %v, want STD (one element per segment)", alg)
+	}
+}
+
+func TestAutoChoosesLazyForFatSegments(t *testing.T) {
+	s := buildFewFatSegments(t)
+	if alg := s.ChooseAlgorithm("A", "D"); alg != LazyJoin {
+		t.Fatalf("ChooseAlgorithm = %v, want LazyJoin", alg)
+	}
+}
+
+func TestAutoUnknownTagsDefaultLazy(t *testing.T) {
+	s := NewStore(LD)
+	if alg := s.ChooseAlgorithm("nope", "nada"); alg != LazyJoin {
+		t.Fatalf("ChooseAlgorithm = %v", alg)
+	}
+}
+
+func TestAutoResultsMatchBothAlgorithms(t *testing.T) {
+	for name, s := range map[string]*Store{
+		"tiny": buildManyTinySegments(t, 30),
+		"fat":  buildFewFatSegments(t),
+	} {
+		for _, axis := range []join.Axis{join.Descendant, join.Child} {
+			auto, err := s.Query("A", "D", axis, Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := s.Query("A", "D", axis, LazyJoin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := s.Query("A", "D", axis, STD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			skip, err := s.Query("A", "D", axis, SkipSTD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(auto) != len(lazy) || len(auto) != len(std) || len(auto) != len(skip) {
+				t.Fatalf("%s axis %v: auto %d, lazy %d, std %d, skip %d",
+					name, axis, len(auto), len(lazy), len(std), len(skip))
+			}
+			for i := range std {
+				if std[i] != skip[i] {
+					t.Fatalf("%s axis %v: SkipSTD diverges from STD at %d", name, axis, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentDistribution(t *testing.T) {
+	s := buildManyTinySegments(t, 10)
+	dist := s.SegmentDistribution()
+	if len(dist) != 11 { // the <A> segment + 10 <D/> segments
+		t.Fatalf("segments in distribution = %d", len(dist))
+	}
+	ones := 0
+	for _, n := range dist {
+		if n == 1 {
+			ones++
+		}
+	}
+	if ones != 11 {
+		t.Fatalf("one-element segments = %d, want 11", ones)
+	}
+}
+
+func TestAutoString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		LazyJoin: "Lazy-Join", STD: "STD", SkipSTD: "Skip-STD", Auto: "Auto",
+	} {
+		if got := fmt.Sprint(alg); got != want {
+			t.Errorf("String(%d) = %q, want %q", alg, got, want)
+		}
+	}
+}

@@ -1,0 +1,836 @@
+// Package core implements the lazy XML update engine of Catania et al.,
+// SIGMOD 2005: a Store that models the whole XML database as one super
+// document, applies updates as segment insertions/removals recorded in an
+// in-memory update log (SB-tree + tag-list), indexes elements by
+// immutable local labels, and answers structural joins either with the
+// segment-aware Lazy-Join algorithm or with the traditional
+// Stack-Tree-Desc baseline over reconstructed global positions.
+//
+// The exported façade for applications is the root package lazyxml; core
+// is the engine it drives.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/elemindex"
+	"repro/internal/join"
+	"repro/internal/segment"
+	"repro/internal/taglist"
+	"repro/internal/xmltree"
+)
+
+// Mode selects the update-log maintenance strategy (Section 5.1).
+type Mode = taglist.Mode
+
+// Maintenance modes re-exported for callers.
+const (
+	LD = taglist.LD // lazy dynamic: log always query-ready
+	LS = taglist.LS // lazy static: tag-list sorted just before querying
+)
+
+// Algorithm selects the structural-join implementation used by Query.
+type Algorithm int
+
+const (
+	// LazyJoin is the segment-aware algorithm of Figure 9.
+	LazyJoin Algorithm = iota
+	// STD reconstructs global element positions through the SB-tree and
+	// runs the classic Stack-Tree-Desc merge on them.
+	STD
+	// SkipSTD is STD with galloping skips over non-joining runs (the
+	// skipping idea of Chien et al. [3] and the XR-tree [5], applied to
+	// the reconstructed global lists).
+	SkipSTD
+	// Auto picks between LazyJoin and STD per query from tag-list
+	// statistics. Section 5.3 of the paper observes that when the number
+	// of segments is very high relative to the elements they hold, the
+	// segment-processing overhead outweighs Lazy-Join's skipping and
+	// "traditional structural join algorithms can still be used"; Auto
+	// encodes that decision.
+	Auto
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case STD:
+		return "STD"
+	case SkipSTD:
+		return "Skip-STD"
+	case Auto:
+		return "Auto"
+	default:
+		return "Lazy-Join"
+	}
+}
+
+// autoMinElemsPerSegment is the Auto decision threshold: when the two
+// candidate lists average fewer elements per touched segment, Lazy-Join's
+// per-segment overhead (SB-tree and element-index probes) is no longer
+// amortized and STD wins. The value was calibrated with the Figure 13
+// benchmark, whose crossover this rule reproduces.
+const autoMinElemsPerSegment = 8.0
+
+// Match is one structural-join result with both the lazy identity of the
+// elements (segment + immutable local label) and their reconstructed
+// global positions in the current super document.
+type Match struct {
+	Anc, Desc          join.ElemRef
+	AncStart, AncEnd   int // global
+	DescStart, DescEnd int // global
+}
+
+// Store is the lazy XML database.
+type Store struct {
+	mu         sync.RWMutex
+	mode       Mode
+	keepText   bool
+	indexAttrs bool
+	vix        *valueIndex // non-nil iff WithValues
+
+	sb    *segment.Tree
+	dict  *taglist.Dict
+	tags  *taglist.List
+	ix    *elemindex.Index
+	spans map[segment.SID]*spanIndex
+
+	text []byte // the super document, maintained iff keepText
+
+	inserts, removes int
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithoutText disables super-document text retention. The engine itself
+// only ever needs (position, length) pairs — exactly the paper's model of
+// updates as plain text edits — so large benchmarks can skip the copy.
+// Text-dependent helpers (Text, CheckAgainstText, Rebuild) then return
+// an error.
+func WithoutText() Option { return func(s *Store) { s.keepText = false } }
+
+// WithAttributes indexes attributes as pseudo-elements under the tag
+// "@name", one level below their owner, spanning the attribute's text in
+// the start tag (Section 1 of the paper: "attributes can be considered
+// as subelements of an element and treated accordingly"). Structural
+// joins and path steps can then use "@id" like any tag.
+func WithAttributes() Option { return func(s *Store) { s.indexAttrs = true } }
+
+// WithValues maintains a secondary index from (tag, direct text value)
+// to elements — and from (@attr, attribute value) to attributes — for
+// equality predicates. Values are whitespace-trimmed; values longer than
+// MaxValueLen bytes are not indexed. Like element labels, value records
+// are immutable under updates.
+func WithValues() Option { return func(s *Store) { s.vix = newValueIndex() } }
+
+// NewStore returns an empty super document (just the dummy root).
+func NewStore(mode Mode, opts ...Option) *Store {
+	s := &Store{mode: mode, keepText: true}
+	s.sb = segment.NewTree()
+	s.dict = taglist.NewDict()
+	s.tags = taglist.New(s.sb, mode)
+	s.ix = elemindex.New()
+	s.spans = map[segment.SID]*spanIndex{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Mode returns the maintenance mode of the store.
+func (s *Store) Mode() Mode { return s.mode }
+
+// Errors returned by Store operations.
+var (
+	ErrNoText   = errors.New("core: store was built with WithoutText")
+	ErrNoValues = errors.New("core: store was built without WithValues")
+)
+
+// InsertSegment inserts fragment (a well-formed XML segment: one root
+// element) at global position gp of the super document. It updates the
+// SB-tree, the element index and the tag-list, and returns the new
+// segment's id.
+func (s *Store) InsertSegment(gp int, fragment []byte) (segment.SID, error) {
+	doc, err := xmltree.ParseFragment(fragment)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(gp, fragment, doc)
+}
+
+func (s *Store) insertLocked(gp int, fragment []byte, doc *xmltree.Document) (segment.SID, error) {
+	seg, err := s.sb.Insert(gp, len(fragment))
+	if err != nil {
+		return 0, err
+	}
+	// LevelNum base: one past the number of elements enclosing the
+	// insertion point — the enclosing chain has consecutive levels, so
+	// its depth is the sum of per-ancestor-segment open-element counts,
+	// each answered in O(log n) by the span indexes.
+	base := s.depthAtLocked(seg) + 1
+
+	keys := make([]elemindex.Key, 0, doc.Len())
+	starts := make([]int, 0, doc.Len())
+	ends := make([]int, 0, doc.Len())
+	doc.Walk(func(e *xmltree.Element) bool {
+		keys = append(keys, elemindex.Key{
+			TID:   s.dict.Intern(e.Tag),
+			SID:   seg.SID,
+			Start: e.Start,
+			End:   e.End,
+			Level: base + e.Level,
+		})
+		starts = append(starts, e.Start)
+		ends = append(ends, e.End)
+		if s.vix != nil {
+			s.vix.add(s.dict.Intern(e.Tag), e.DirectText(doc.Text),
+				seg.SID, e.Start, e.End, base+e.Level)
+		}
+		if s.indexAttrs || s.vix != nil {
+			for _, a := range e.Attrs {
+				tid := s.dict.Intern("@" + a.Name)
+				if s.indexAttrs {
+					keys = append(keys, elemindex.Key{
+						TID:   tid,
+						SID:   seg.SID,
+						Start: a.Start,
+						End:   a.End,
+						Level: base + e.Level + 1,
+					})
+					// Attribute spans live inside start tags, where
+					// nothing can ever be inserted, so they stay out of
+					// the span index used for insertion depths.
+				}
+				if s.vix != nil {
+					s.vix.add(tid, a.Value, seg.SID, a.Start, a.End, base+e.Level+1)
+				}
+			}
+		}
+		return true
+	})
+	counts := s.ix.AddSegment(keys)
+	s.tags.AddSegment(seg, counts)
+	si := &spanIndex{}
+	si.add(starts, ends)
+	s.spans[seg.SID] = si
+
+	if s.keepText {
+		// Splice the fragment into the super document text.
+		next := make([]byte, 0, len(s.text)+len(fragment))
+		next = append(next, s.text[:gp]...)
+		next = append(next, fragment...)
+		next = append(next, s.text[gp:]...)
+		s.text = next
+	}
+	s.inserts++
+	return seg.SID, nil
+}
+
+// RemoveSegment removes the text range [gp, gp+l) from the super
+// document. The range must correspond to a removal that keeps the super
+// document well-formed (whole elements only); the engine itself only
+// sees positions, exactly as in the paper.
+func (s *Store) RemoveSegment(gp, l int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(gp, l)
+}
+
+func (s *Store) removeLocked(gp, l int) error {
+	rep, err := s.sb.Remove(gp, l)
+	if err != nil {
+		return err
+	}
+	tids := s.allTIDsLocked()
+	// Fully deleted segments: purge their element records and tag-list
+	// paths wholesale.
+	if len(rep.Deleted) > 0 {
+		s.ix.RemoveSegments(rep.Deleted, tids)
+		s.tags.RemoveSegments(rep.Deleted)
+		for _, sid := range rep.Deleted {
+			delete(s.spans, sid)
+			if s.vix != nil {
+				s.vix.removeSegment(sid)
+			}
+		}
+	}
+	// Surviving segments that lost part of their own text: delete exactly
+	// the element records inside the removed original-coordinate range
+	// and feed the per-tag removal counts back into the tag-list
+	// (Section 3.3).
+	for _, part := range rep.Affected {
+		counts := s.ix.RemovePart(part, tids)
+		if len(counts) > 0 {
+			s.tags.RemoveCounts(part.SID, counts)
+		}
+		if si := s.spans[part.SID]; si != nil {
+			si.removeRange(part.Start, part.End)
+		}
+		if s.vix != nil {
+			s.vix.removeSpanRange(part.SID, part.Start, part.End)
+		}
+	}
+	if s.keepText {
+		s.text = append(s.text[:gp], s.text[gp+l:]...)
+	}
+	s.removes++
+	return nil
+}
+
+func (s *Store) allTIDsLocked() []taglist.TID {
+	tids := make([]taglist.TID, s.dict.Len())
+	for i := range tids {
+		tids[i] = taglist.TID(i)
+	}
+	return tids
+}
+
+// Query computes the structural join aTag(axis)dTag — e.g. Query("A",
+// "D", join.Descendant, LazyJoin) answers A//D — returning matches with
+// reconstructed global positions, ordered by the algorithm's natural
+// output order (descendant-major).
+func (s *Store) Query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match, error) {
+	if s.mode == LS {
+		// Lazy static: the tag-list is only sorted now, "just before
+		// querying the XML database" (Section 5.1). Sorting mutates the
+		// log, so LS queries take the write lock.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tags.SortAll()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+
+	atid, aok := s.dict.Lookup(aTag)
+	dtid, dok := s.dict.Lookup(dTag)
+	if !aok || !dok {
+		return nil, nil // a tag that never occurred joins with nothing
+	}
+	if alg == Auto {
+		alg = s.chooseAlgorithmLocked(atid, dtid)
+	}
+	var pairs []join.Pair
+	switch alg {
+	case LazyJoin:
+		pairs = join.Lazy(s.sb, s.ix, atid, dtid,
+			s.tags.Segments(atid), s.tags.Segments(dtid), axis, join.DefaultOptions())
+	case STD:
+		pairs = join.StackTreeDesc(
+			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+	case SkipSTD:
+		pairs = join.SkipJoin(
+			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
+	}
+	out := make([]Match, len(pairs))
+	for i, p := range pairs {
+		out[i] = s.toMatchLocked(p)
+	}
+	return out, nil
+}
+
+// QueryParallel runs Lazy-Join with the descendant segment list
+// partitioned across the given number of workers (the parallelization
+// opportunity the paper's introduction attributes to segments). Results
+// match Query(..., LazyJoin) exactly, including order.
+func (s *Store) QueryParallel(aTag, dTag string, axis join.Axis, workers int) ([]Match, error) {
+	if s.mode == LS {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tags.SortAll()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	atid, aok := s.dict.Lookup(aTag)
+	dtid, dok := s.dict.Lookup(dTag)
+	if !aok || !dok {
+		return nil, nil
+	}
+	pairs := join.LazyParallel(s.sb, s.ix, atid, dtid,
+		s.tags.Segments(atid), s.tags.Segments(dtid), axis, join.DefaultOptions(), workers)
+	out := make([]Match, len(pairs))
+	for i, p := range pairs {
+		out[i] = s.toMatchLocked(p)
+	}
+	return out, nil
+}
+
+// chooseAlgorithmLocked implements the Auto decision: compare the total
+// elements the query touches against the number of segment-list entries
+// to merge; fall back to STD below the amortization threshold. The
+// statistics are already in the tag-list (entry counts), so the decision
+// is O(|SL_A| + |SL_D|).
+func (s *Store) chooseAlgorithmLocked(atid, dtid taglist.TID) Algorithm {
+	segs, elems := 0, 0
+	for _, e := range s.tags.Segments(atid) {
+		segs++
+		elems += e.Count
+	}
+	for _, e := range s.tags.Segments(dtid) {
+		segs++
+		elems += e.Count
+	}
+	if segs == 0 {
+		return LazyJoin
+	}
+	if float64(elems)/float64(segs) < autoMinElemsPerSegment {
+		return STD
+	}
+	return LazyJoin
+}
+
+// ChooseAlgorithm exposes the Auto decision for a tag pair (for tests and
+// monitoring).
+func (s *Store) ChooseAlgorithm(aTag, dTag string) Algorithm {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	atid, aok := s.dict.Lookup(aTag)
+	dtid, dok := s.dict.Lookup(dTag)
+	if !aok || !dok {
+		return LazyJoin
+	}
+	return s.chooseAlgorithmLocked(atid, dtid)
+}
+
+// QueryLazyOpts runs Lazy-Join with explicit optimization options (used
+// by the ablation benchmarks; Query uses join.DefaultOptions).
+func (s *Store) QueryLazyOpts(aTag, dTag string, axis join.Axis, opt join.Options) ([]Match, error) {
+	if s.mode == LS {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tags.SortAll()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	atid, aok := s.dict.Lookup(aTag)
+	dtid, dok := s.dict.Lookup(dTag)
+	if !aok || !dok {
+		return nil, nil
+	}
+	pairs := join.Lazy(s.sb, s.ix, atid, dtid,
+		s.tags.Segments(atid), s.tags.Segments(dtid), axis, opt)
+	out := make([]Match, len(pairs))
+	for i, p := range pairs {
+		out[i] = s.toMatchLocked(p)
+	}
+	return out, nil
+}
+
+// GlobalElements returns the global-position element list for a tag,
+// sorted by start — the input the traditional STD algorithm consumes.
+func (s *Store) GlobalElements(tag string) []join.Node {
+	if s.mode == LS {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tags.SortAll()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	tid, ok := s.dict.Lookup(tag)
+	if !ok {
+		return nil
+	}
+	return s.globalListLocked(tid)
+}
+
+// globalListLocked reconstructs global (start, end) positions for every
+// element with the given tag by mapping each element's immutable local
+// label through its segment (Section 4, first paragraph).
+func (s *Store) globalListLocked(tid taglist.TID) []join.Node {
+	entries := s.tags.Segments(tid)
+	var nodes []join.Node
+	for _, e := range entries {
+		seg, ok := s.sb.Lookup(e.SID)
+		if !ok {
+			continue
+		}
+		for _, el := range s.ix.ElementsOf(tid, e.SID) {
+			nodes = append(nodes, join.Node{
+				Start: seg.GlobalOf(el.Start),
+				End:   seg.GlobalOfEnd(el.End),
+				Level: el.Level,
+				Ref:   join.ElemRef{SID: e.SID, Start: el.Start, End: el.End, Level: el.Level},
+			})
+		}
+	}
+	sortNodes(nodes)
+	return nodes
+}
+
+func sortNodes(nodes []join.Node) {
+	// Sorted by global start ascending; ties (impossible for distinct
+	// elements of a well-formed document) break by wider-first.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Start != nodes[j].Start {
+			return nodes[i].Start < nodes[j].Start
+		}
+		return nodes[i].End > nodes[j].End
+	})
+}
+
+// toMatchLocked resolves a pair's global positions.
+func (s *Store) toMatchLocked(p join.Pair) Match {
+	m := Match{Anc: p.Anc, Desc: p.Desc}
+	if seg, ok := s.sb.Lookup(p.Anc.SID); ok {
+		m.AncStart = seg.GlobalOf(p.Anc.Start)
+		m.AncEnd = seg.GlobalOfEnd(p.Anc.End)
+	}
+	if seg, ok := s.sb.Lookup(p.Desc.SID); ok {
+		m.DescStart = seg.GlobalOf(p.Desc.Start)
+		m.DescEnd = seg.GlobalOfEnd(p.Desc.End)
+	}
+	return m
+}
+
+// Stats summarizes the store for monitoring and the Figure 11 space
+// accounting.
+type Stats struct {
+	Mode         Mode
+	TextLen      int
+	Segments     int // excluding the dummy root
+	Elements     int
+	Tags         int
+	SBTreeBytes  int
+	TagListBytes int
+	ElemIdxBytes int
+	Inserts      int
+	Removes      int
+}
+
+// Stats returns a snapshot of the store's sizes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Mode:         s.mode,
+		TextLen:      s.sb.TotalLen(),
+		Segments:     s.sb.NumSegments() - 1,
+		Elements:     s.ix.Len(),
+		Tags:         s.dict.Len(),
+		SBTreeBytes:  s.sb.SizeBytes(),
+		TagListBytes: s.tags.SizeBytes(),
+		ElemIdxBytes: s.ix.SizeBytes(),
+		Inserts:      s.inserts,
+		Removes:      s.removes,
+	}
+}
+
+// SegmentDistribution returns the number of element records per segment,
+// keyed by segment id — the statistic behind the Auto decision and the
+// §5.3 "too many tiny segments" diagnosis.
+func (s *Store) SegmentDistribution() map[segment.SID]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[segment.SID]int{}
+	s.ix.WalkAll(func(k elemindex.Key) bool {
+		out[k.SID]++
+		return true
+	})
+	return out
+}
+
+// UpdateLogBytes returns SB-tree + tag-list footprint (the update log of
+// Figure 11; the element index exists in every approach and is excluded).
+func (s *Store) UpdateLogBytes() (sbtree, taglistBytes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sb.SizeBytes(), s.tags.SizeBytes()
+}
+
+// Text returns a copy of the current super document.
+func (s *Store) Text() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.keepText {
+		return nil, ErrNoText
+	}
+	return append([]byte(nil), s.text...), nil
+}
+
+// Len returns the current length of the super document in bytes.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sb.TotalLen()
+}
+
+// Segments returns the number of segments excluding the dummy root.
+func (s *Store) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sb.NumSegments() - 1
+}
+
+// SegmentTree exposes the SB-tree for read-only inspection (examples and
+// benchmarks).
+func (s *Store) SegmentTree() *segment.Tree { return s.sb }
+
+// Rebuild is the paper's "maintenance hours" operation: it re-parses the
+// current super document, clearing the update log. Afterwards the store
+// has one segment per top-level element (usually one), plus the dummy
+// root.
+func (s *Store) Rebuild() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.keepText {
+		return ErrNoText
+	}
+	text := s.text
+	fresh := NewStore(s.mode)
+	fresh.indexAttrs = s.indexAttrs
+	if s.vix != nil {
+		fresh.vix = newValueIndex()
+	}
+	if len(text) > 0 {
+		// The super document may hold several top-level segments
+		// (documents); re-insert each top-level element separately.
+		wrapped := make([]byte, 0, len(text)+23)
+		wrapped = append(wrapped, "<__dummy__>"...)
+		wrapped = append(wrapped, text...)
+		wrapped = append(wrapped, "</__dummy__>"...)
+		doc, err := xmltree.Parse(wrapped)
+		if err != nil {
+			return fmt.Errorf("core: rebuild: %w", err)
+		}
+		const off = len("<__dummy__>")
+		for _, top := range doc.Root.Children {
+			frag := text[top.Start-off : top.End-off]
+			if _, err := fresh.InsertSegment(fresh.sb.TotalLen(), frag); err != nil {
+				return fmt.Errorf("core: rebuild: %w", err)
+			}
+		}
+	}
+	s.sb = fresh.sb
+	s.dict = fresh.dict
+	s.tags = fresh.tags
+	s.ix = fresh.ix
+	s.spans = fresh.spans
+	s.vix = fresh.vix
+	s.text = text
+	return nil
+}
+
+// ValueElements returns the global-position nodes of elements (or
+// attributes, for "@name" tags) with the given tag whose direct text
+// value equals value (whitespace-trimmed). Requires WithValues.
+func (s *Store) ValueElements(tag, value string) ([]join.Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.vix == nil {
+		return nil, ErrNoValues
+	}
+	tid, ok := s.dict.Lookup(tag)
+	if !ok {
+		return nil, nil
+	}
+	var out []join.Node
+	for _, k := range s.vix.refs(tid, value) {
+		info, ok := s.vix.info(k)
+		if !ok {
+			continue
+		}
+		seg, ok := s.sb.Lookup(k.SID)
+		if !ok {
+			continue
+		}
+		out = append(out, join.Node{
+			Start: seg.GlobalOf(k.Start),
+			End:   seg.GlobalOfEnd(info.End),
+			Level: info.Level,
+			Ref:   join.ElemRef{SID: k.SID, Start: k.Start, End: info.End, Level: info.Level},
+		})
+	}
+	sortNodes(out)
+	return out, nil
+}
+
+// HasValues reports whether the store maintains a value index.
+func (s *Store) HasValues() bool { return s.vix != nil }
+
+// CollapseSegment merges the segment sid and all its descendant segments
+// into one fresh segment with the same text — the paper's Section 5.3
+// remedy ("nested segments can be collapsed together in order to reduce
+// the overall number of segments ... and improve query performance") and
+// the "packing" direction of its future work. The operation is a local
+// rebuild: the subtree's current text is removed and re-inserted as one
+// segment, so the collapsed elements get fresh labels while the rest of
+// the store is untouched. Requires retained text.
+func (s *Store) CollapseSegment(sid segment.SID) (segment.SID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.keepText {
+		return 0, ErrNoText
+	}
+	if sid == segment.RootSID {
+		return 0, fmt.Errorf("core: cannot collapse the dummy root; use Rebuild")
+	}
+	seg, ok := s.sb.Lookup(sid)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown segment %d", sid)
+	}
+	gp, l := seg.GP, seg.L
+	region := append([]byte(nil), s.text[gp:gp+l]...)
+	doc, err := xmltree.ParseFragment(region)
+	if err != nil {
+		return 0, fmt.Errorf("core: segment %d text is not one well-formed fragment (%w); collapse its parent instead", sid, err)
+	}
+	if err := s.removeLocked(gp, l); err != nil {
+		return 0, err
+	}
+	return s.insertLocked(gp, region, doc)
+}
+
+// CheckAgainstText is the store's strongest self-check: it re-parses the
+// current super document text and verifies that the element index maps
+// (through the SB-tree) to exactly the elements of the text, with exact
+// global start/end offsets. It returns the first discrepancy.
+func (s *Store) CheckAgainstText() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.keepText {
+		return ErrNoText
+	}
+	if err := s.sb.Validate(); err != nil {
+		return err
+	}
+	if err := s.tags.Validate(); err != nil {
+		return err
+	}
+	if err := s.ix.Validate(); err != nil {
+		return err
+	}
+	if len(s.text) != s.sb.TotalLen() {
+		return fmt.Errorf("core: text length %d != SB-tree total %d", len(s.text), s.sb.TotalLen())
+	}
+	type span struct{ start, end int }
+	want := map[span]string{} // global span -> tag
+	if len(s.text) > 0 {
+		// The super document may hold several top-level segments; wrap
+		// in a synthetic root for parsing.
+		wrapped := make([]byte, 0, len(s.text)+13)
+		wrapped = append(wrapped, "<__dummy__>"...)
+		wrapped = append(wrapped, s.text...)
+		wrapped = append(wrapped, "</__dummy__>"...)
+		doc, err := xmltree.Parse(wrapped)
+		if err != nil {
+			return fmt.Errorf("core: super document is not well-formed: %w", err)
+		}
+		const off = len("<__dummy__>")
+		doc.Walk(func(e *xmltree.Element) bool {
+			if e == doc.Root {
+				return true
+			}
+			want[span{e.Start - off, e.End - off}] = e.Tag
+			if s.indexAttrs {
+				for _, a := range e.Attrs {
+					want[span{a.Start - off, a.End - off}] = "@" + a.Name
+				}
+			}
+			return true
+		})
+	}
+	got := 0
+	for tid := 0; tid < s.dict.Len(); tid++ {
+		name := s.dict.Name(taglist.TID(tid))
+		for _, entry := range s.tags.Segments(taglist.TID(tid)) {
+			seg, ok := s.sb.Lookup(entry.SID)
+			if !ok {
+				return fmt.Errorf("core: tag-list references dead segment %d", entry.SID)
+			}
+			for _, el := range s.ix.ElementsOf(taglist.TID(tid), entry.SID) {
+				g := span{seg.GlobalOf(el.Start), seg.GlobalOfEnd(el.End)}
+				tag, okSpan := want[g]
+				if !okSpan {
+					return fmt.Errorf("core: indexed element %s seg %d local [%d,%d) maps to global [%d,%d) which is not an element of the text",
+						name, entry.SID, el.Start, el.End, g.start, g.end)
+				}
+				if tag != name {
+					return fmt.Errorf("core: element at global [%d,%d) is <%s> in text but indexed as <%s>",
+						g.start, g.end, tag, name)
+				}
+				got++
+			}
+		}
+	}
+	if got != len(want) {
+		return fmt.Errorf("core: index holds %d elements, text holds %d", got, len(want))
+	}
+	if got != s.ix.Len() {
+		return fmt.Errorf("core: tag-list reaches %d elements, index holds %d", got, s.ix.Len())
+	}
+	return s.checkValuesLocked()
+}
+
+// checkValuesLocked verifies the value index against the text: every
+// record maps to an element (or attribute) whose trimmed direct value is
+// exactly the interned string, and every indexable value in the text has
+// a record.
+func (s *Store) checkValuesLocked() error {
+	if s.vix == nil {
+		return nil
+	}
+	wrapped := make([]byte, 0, len(s.text)+23)
+	wrapped = append(wrapped, "<__dummy__>"...)
+	wrapped = append(wrapped, s.text...)
+	wrapped = append(wrapped, "</__dummy__>"...)
+	doc, err := xmltree.Parse(wrapped)
+	if err != nil {
+		return err
+	}
+	const off = len("<__dummy__>")
+	type gspan struct{ start, end int }
+	want := map[gspan]string{} // global span -> trimmed value
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e == doc.Root {
+			return true
+		}
+		if v, ok := normalizeValue(e.DirectText(doc.Text)); ok {
+			want[gspan{e.Start - off, e.End - off}] = v
+		}
+		for _, a := range e.Attrs {
+			if v, ok := normalizeValue(a.Value); ok {
+				want[gspan{a.Start - off, a.End - off}] = v
+			}
+		}
+		return true
+	})
+	count := 0
+	var verr error
+	s.vix.byKey.Ascend(func(k valKey, info valInfo) bool {
+		seg, ok := s.sb.Lookup(k.SID)
+		if !ok {
+			verr = fmt.Errorf("core: value record references dead segment %d", k.SID)
+			return false
+		}
+		g := gspan{seg.GlobalOf(k.Start), seg.GlobalOfEnd(info.End)}
+		val, ok := want[g]
+		if !ok {
+			verr = fmt.Errorf("core: value record at global [%d,%d) has no valued element in the text", g.start, g.end)
+			return false
+		}
+		if val != s.vix.dict.Name(info.VID) {
+			verr = fmt.Errorf("core: value record at global [%d,%d) holds %q, text says %q",
+				g.start, g.end, s.vix.dict.Name(info.VID), val)
+			return false
+		}
+		count++
+		return true
+	})
+	if verr != nil {
+		return verr
+	}
+	if count != len(want) {
+		return fmt.Errorf("core: value index holds %d records, text has %d indexable values", count, len(want))
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/join"
+)
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	s := NewStore(LD, WithAttributes())
+	mustInsert(t, s, 0, `<a id="1"><x></x></a>`)
+	mustInsert(t, s, 13, "<d><d/></d>")
+	if err := s.RemoveSegment(16, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode() != LD {
+		t.Fatalf("mode = %v", got.Mode())
+	}
+	if err := got.CheckAgainstText(); err != nil {
+		t.Fatal(err)
+	}
+	if ws, gs := s.Stats(), got.Stats(); ws != gs {
+		t.Fatalf("stats diverged: %+v vs %+v", ws, gs)
+	}
+	for _, q := range [][2]string{{"a", "d"}, {"x", "d"}, {"a", "@id"}} {
+		w, err1 := s.Query(q[0], q[1], join.Descendant, LazyJoin)
+		g, err2 := got.Query(q[0], q[1], join.Descendant, LazyJoin)
+		if err1 != nil || err2 != nil || len(w) != len(g) {
+			t.Fatalf("%s//%s: %d/%v vs %d/%v", q[0], q[1], len(w), err1, len(g), err2)
+		}
+	}
+	// Spans were rebuilt: a nested insert must get the right level.
+	text, _ := got.Text()
+	_ = text
+	if _, err := got.InsertSegment(13, []byte("<m/>")); err != nil {
+		t.Fatal(err)
+	}
+	// Offset 13 is inside <x>, so m's level must come out as x's child —
+	// only possible if the span indexes were rebuilt from the snapshot.
+	ms, err := got.Query("x", "m", join.Child, LazyJoin)
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("x/m after restore = %v, %v (span indexes not rebuilt?)", ms, err)
+	}
+	if err := got.CheckAgainstText(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSnapshotHelpers(t *testing.T) {
+	s := NewStore(LS, WithoutText())
+	mustInsert(t, s, 0, "<a><b/></a>")
+	if s.Mode() != LS {
+		t.Fatal("Mode wrong")
+	}
+	if s.Len() != 11 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	sb, tl := s.UpdateLogBytes()
+	if sb <= 0 || tl <= 0 {
+		t.Fatalf("UpdateLogBytes = %d, %d", sb, tl)
+	}
+	if s.SegmentTree() == nil || s.SegmentTree().NumSegments() != 2 {
+		t.Fatal("SegmentTree wrong")
+	}
+	nodes := s.GlobalElements("b")
+	if len(nodes) != 1 || nodes[0].Start != 3 {
+		t.Fatalf("GlobalElements = %v", nodes)
+	}
+	if got := s.GlobalElements("zzz"); got != nil {
+		t.Fatalf("GlobalElements(zzz) = %v", got)
+	}
+}
+
+func TestCollapseSegmentInPackage(t *testing.T) {
+	s := NewStore(LD)
+	mustInsert(t, s, 0, "<a><x></x></a>")
+	mustInsert(t, s, 6, "<b><c></c></b>")
+	mustInsert(t, s, 12, "<d/>")
+	if s.sb.NumSegments() != 4 {
+		t.Fatalf("segments = %d", s.sb.NumSegments())
+	}
+	newSID, err := s.CollapseSegment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSID == 2 {
+		t.Fatal("sid not fresh")
+	}
+	if s.sb.NumSegments() != 3 {
+		t.Fatalf("segments after collapse = %d", s.sb.NumSegments())
+	}
+	if err := s.CheckAgainstText(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CollapseSegment(0); err == nil {
+		t.Fatal("collapsing root succeeded")
+	}
+	if _, err := s.CollapseSegment(999); err == nil {
+		t.Fatal("collapsing unknown sid succeeded")
+	}
+	noText := NewStore(LD, WithoutText())
+	mustInsert(t, noText, 0, "<a/>")
+	if _, err := noText.CollapseSegment(1); err == nil {
+		t.Fatal("collapse without text succeeded")
+	}
+}
+
+func TestRestoreStoreRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("NOPE!"), []byte("LXML1")} {
+		if _, err := RestoreStore(bytes.NewReader(data)); err == nil {
+			t.Errorf("RestoreStore(%q) succeeded", data)
+		}
+	}
+	// Wrong version.
+	s := NewStore(LD)
+	mustInsert(t, s, 0, "<a/>")
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len("LXML1")] = 99 // corrupt the version varint
+	if _, err := RestoreStore(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestMergeSortedBothSides(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{nil, nil, nil},
+		{[]int{1, 3}, nil, []int{1, 3}},
+		{nil, []int{2}, []int{2}},
+		{[]int{1, 5, 9}, []int{2, 5, 10}, []int{1, 2, 5, 5, 9, 10}},
+		{[]int{4}, []int{1, 2, 3}, []int{1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := mergeSorted(append([]int(nil), c.a...), c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("mergeSorted(%v,%v) = %v", c.a, c.b, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("mergeSorted(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}

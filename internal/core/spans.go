@@ -1,0 +1,99 @@
+// Per-segment span indexes: for every segment, the sorted element starts
+// and ends (in original coordinates). They answer "how many elements of
+// this segment are open at local position p" in O(log n), which is how
+// InsertSegment finds the depth of an insertion point without scanning
+// the element index — the LevelNum assignment stays O(path · log n)
+// regardless of document size.
+
+package core
+
+import (
+	"sort"
+
+	"repro/internal/segment"
+)
+
+type spanIndex struct {
+	starts []int // sorted element start offsets
+	ends   []int // sorted element end offsets
+}
+
+// openAt returns the number of elements strictly containing p: elements
+// opened before p minus elements closed at or before p. (An element with
+// start < p and end <= p has fully closed; one with start >= p has not
+// opened. Elements never share boundaries in well-formed XML.)
+func (si *spanIndex) openAt(p int) int {
+	if si == nil {
+		return 0
+	}
+	opened := sort.SearchInts(si.starts, p) // starts < p
+	closed := sort.SearchInts(si.ends, p+1) // ends <= p
+	return opened - closed
+}
+
+// add registers element spans (starts must already be sorted — preorder
+// emission guarantees it; ends are sorted here).
+func (si *spanIndex) add(starts, ends []int) {
+	si.starts = mergeSorted(si.starts, starts)
+	sort.Ints(ends)
+	si.ends = mergeSorted(si.ends, ends)
+}
+
+// removeRange drops the spans of elements removed by a partial deletion:
+// those with la <= start and end <= lb.
+func (si *spanIndex) removeRange(la, lb int) {
+	keepS := si.starts[:0]
+	// Element pairing is not stored, but the removed set is exactly the
+	// elements fully inside [la, lb): their starts lie in [la, lb) and
+	// their ends lie in (la, lb]. Surviving elements cannot have a start
+	// in [la, lb) (they would straddle lb, which a well-formed removal
+	// forbids), nor an end in (la, lb].
+	for _, s := range si.starts {
+		if s < la || s >= lb {
+			keepS = append(keepS, s)
+		}
+	}
+	si.starts = keepS
+	keepE := si.ends[:0]
+	for _, e := range si.ends {
+		if e <= la || e > lb {
+			keepE = append(keepE, e)
+		}
+	}
+	si.ends = keepE
+}
+
+func mergeSorted(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// depthAtLocked returns the number of elements of the super document
+// strictly containing the insertion point of the freshly inserted
+// segment seg: the sum, over seg's ancestor segments, of the elements
+// open at the local position leading toward seg.
+func (s *Store) depthAtLocked(seg *segment.Segment) int {
+	depth := 0
+	for anc := seg.Parent; anc != nil && anc.SID != segment.RootSID; anc = anc.Parent {
+		p, err := segment.ChildLPToward(anc, seg)
+		if err != nil {
+			continue
+		}
+		depth += s.spans[anc.SID].openAt(p)
+	}
+	return depth
+}

@@ -1,0 +1,245 @@
+// Value index: an optional secondary index from (tag, direct text value)
+// to elements, enabling equality predicates like person[name='Ann'] and
+// person[@id='p1']. Values follow the same lazy discipline as element
+// labels: records are keyed by (segment, immutable local start) and are
+// never rewritten by updates; whole segments or removed ranges drop their
+// records wholesale.
+//
+// Two synchronized B+-trees: byKey, ordered (tid, vid, sid, start), is
+// the query path; bySpan, ordered (sid, start), is the maintenance path
+// (range deletions after removals).
+
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/segment"
+	"repro/internal/taglist"
+)
+
+// MaxValueLen is the longest direct-text value indexed by WithValues;
+// longer values simply stay unindexed (equality predicates on them match
+// nothing, which CheckAgainstText accounts for).
+const MaxValueLen = 64
+
+// VID identifies an interned value string.
+type VID = taglist.TID // same dense-int interning as tags
+
+type valKey struct {
+	TID   taglist.TID
+	VID   VID
+	SID   segment.SID
+	Start int
+}
+
+type spanKey struct {
+	SID   segment.SID
+	Start int
+}
+
+type valInfo struct {
+	TID   taglist.TID
+	VID   VID
+	End   int
+	Level int
+}
+
+func cmpValKey(a, b valKey) int {
+	if c := cmpOrd(int64(a.TID), int64(b.TID)); c != 0 {
+		return c
+	}
+	if c := cmpOrd(int64(a.VID), int64(b.VID)); c != 0 {
+		return c
+	}
+	if c := cmpOrd(int64(a.SID), int64(b.SID)); c != 0 {
+		return c
+	}
+	return cmpOrd(int64(a.Start), int64(b.Start))
+}
+
+func cmpSpanKey(a, b spanKey) int {
+	if c := cmpOrd(int64(a.SID), int64(b.SID)); c != 0 {
+		return c
+	}
+	return cmpOrd(int64(a.Start), int64(b.Start))
+}
+
+func cmpOrd(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type valueIndex struct {
+	dict   *taglist.Dict // value interning
+	byKey  *btree.Tree[valKey, valInfo]
+	bySpan *btree.Tree[spanKey, valInfo]
+}
+
+func newValueIndex() *valueIndex {
+	return &valueIndex{
+		dict:   taglist.NewDict(),
+		byKey:  btree.New[valKey, valInfo](cmpValKey),
+		bySpan: btree.New[spanKey, valInfo](cmpSpanKey),
+	}
+}
+
+// normalizeValue trims surrounding whitespace; equality predicates use
+// the trimmed form (documented in the public API).
+func normalizeValue(s string) (string, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || len(s) > MaxValueLen {
+		return "", false
+	}
+	return s, true
+}
+
+func (v *valueIndex) add(tid taglist.TID, raw string, sid segment.SID, start, end, level int) {
+	val, ok := normalizeValue(raw)
+	if !ok {
+		return
+	}
+	vid := v.dict.Intern(val)
+	// (sid, start) is the record identity; a re-add there (which the
+	// store never does, but the API allows) must not leave a stale
+	// (tid, vid) entry behind.
+	if old, ok := v.bySpan.Get(spanKey{SID: sid, Start: start}); ok {
+		v.byKey.Delete(valKey{TID: old.TID, VID: old.VID, SID: sid, Start: start})
+	}
+	info := valInfo{TID: tid, VID: vid, End: end, Level: level}
+	v.byKey.Set(valKey{TID: tid, VID: vid, SID: sid, Start: start}, info)
+	v.bySpan.Set(spanKey{SID: sid, Start: start}, info)
+}
+
+// removeSpanRange drops the records of segment sid whose [start,end) is
+// fully inside [la, lb) (mirrors elemindex.RemovePart); lb == maxInt
+// drops everything of the segment.
+func (v *valueIndex) removeSpanRange(sid segment.SID, la, lb int) {
+	type victim struct {
+		k    spanKey
+		info valInfo
+	}
+	var victims []victim
+	v.bySpan.AscendRange(spanKey{SID: sid, Start: la}, spanKey{SID: sid, Start: lb},
+		func(k spanKey, info valInfo) bool {
+			if info.End <= lb {
+				victims = append(victims, victim{k, info})
+			}
+			return true
+		})
+	for _, vi := range victims {
+		v.bySpan.Delete(vi.k)
+		v.byKey.Delete(valKey{TID: vi.info.TID, VID: vi.info.VID, SID: sid, Start: vi.k.Start})
+	}
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+func (v *valueIndex) removeSegment(sid segment.SID) {
+	v.removeSpanRange(sid, -1, maxInt)
+}
+
+// refs returns the (sid, start, end, level) records for a (tag, value)
+// pair, in key order.
+func (v *valueIndex) refs(tid taglist.TID, value string) []valKey {
+	val, ok := normalizeValue(value)
+	if !ok {
+		return nil
+	}
+	vid, ok := v.dict.Lookup(val)
+	if !ok {
+		return nil
+	}
+	var out []valKey
+	lo := valKey{TID: tid, VID: vid, SID: -1 << 62, Start: -1 << 62}
+	hi := valKey{TID: tid, VID: vid + 1, SID: -1 << 62, Start: -1 << 62}
+	v.byKey.AscendRange(lo, hi, func(k valKey, _ valInfo) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func (v *valueIndex) info(k valKey) (valInfo, bool) { return v.byKey.Get(k) }
+
+func (v *valueIndex) len() int { return v.byKey.Len() }
+
+// --- codec (snapshot block) ---
+
+const valCodecMagic = "VIX1"
+
+func (v *valueIndex) encode(w *bufio.Writer) error {
+	if _, err := w.WriteString(valCodecMagic); err != nil {
+		return err
+	}
+	if err := v.dict.EncodeDict(w); err != nil {
+		return err
+	}
+	buf := binary.AppendVarint(nil, int64(v.byKey.Len()))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	var err error
+	v.byKey.Ascend(func(k valKey, info valInfo) bool {
+		buf = buf[:0]
+		buf = binary.AppendVarint(buf, int64(k.TID))
+		buf = binary.AppendVarint(buf, int64(k.VID))
+		buf = binary.AppendVarint(buf, int64(k.SID))
+		buf = binary.AppendVarint(buf, int64(k.Start))
+		buf = binary.AppendVarint(buf, int64(info.End))
+		buf = binary.AppendVarint(buf, int64(info.Level))
+		if _, werr := w.Write(buf); werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+func decodeValueIndex(br *bufio.Reader) (*valueIndex, error) {
+	magic := make([]byte, len(valCodecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading value-index header: %w", err)
+	}
+	if string(magic) != valCodecMagic {
+		return nil, fmt.Errorf("core: bad value-index magic %q", magic)
+	}
+	dict, err := taglist.DecodeDict(br)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	v := newValueIndex()
+	v.dict = dict
+	for i := int64(0); i < count; i++ {
+		var vals [6]int64
+		for j := range vals {
+			x, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("core: value record %d: %w", i, err)
+			}
+			vals[j] = x
+		}
+		k := valKey{TID: taglist.TID(vals[0]), VID: VID(vals[1]),
+			SID: segment.SID(vals[2]), Start: int(vals[3])}
+		info := valInfo{TID: k.TID, VID: k.VID, End: int(vals[4]), Level: int(vals[5])}
+		v.byKey.Set(k, info)
+		v.bySpan.Set(spanKey{SID: k.SID, Start: k.Start}, info)
+	}
+	return v, nil
+}

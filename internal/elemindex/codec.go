@@ -1,0 +1,91 @@
+// Binary encoding of the element index for update-log persistence:
+// a varint stream of records with per-field delta encoding (records are
+// dumped in key order, so tid/sid repeat and starts ascend).
+
+package elemindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/segment"
+	"repro/internal/taglist"
+)
+
+const codecMagic = "EIX1"
+
+// Encode writes the index to w.
+func (ix *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	buf := binary.AppendVarint(nil, int64(ix.t.Len()))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	var err error
+	prev := Key{}
+	ix.t.Ascend(func(k Key, _ struct{}) bool {
+		buf = buf[:0]
+		buf = binary.AppendVarint(buf, int64(k.TID-prev.TID))
+		buf = binary.AppendVarint(buf, int64(k.SID-prev.SID))
+		buf = binary.AppendVarint(buf, int64(k.Start-prev.Start))
+		buf = binary.AppendVarint(buf, int64(k.End))
+		buf = binary.AppendVarint(buf, int64(k.Level))
+		prev = k
+		if _, werr := bw.Write(buf); werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads an index previously written by Encode. br must be the
+// snapshot stream's shared buffered reader.
+func Decode(br *bufio.Reader) (*Index, error) {
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("elemindex: reading snapshot header: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("elemindex: bad snapshot magic %q", magic)
+	}
+	count, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ix := New()
+	prev := Key{}
+	for i := int64(0); i < count; i++ {
+		var vals [5]int64
+		for j := range vals {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("elemindex: record %d: %w", i, err)
+			}
+			vals[j] = v
+		}
+		k := Key{
+			TID:   prev.TID + taglist.TID(vals[0]),
+			SID:   prev.SID + segment.SID(vals[1]),
+			Start: prev.Start + int(vals[2]),
+			End:   int(vals[3]),
+			Level: int(vals[4]),
+		}
+		ix.Add(k)
+		prev = k
+	}
+	if ix.Len() != int(count) {
+		return nil, fmt.Errorf("elemindex: snapshot holds %d records, expected %d (duplicates?)",
+			ix.Len(), count)
+	}
+	return ix, nil
+}

@@ -1,0 +1,99 @@
+package elemindex
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/segment"
+	"repro/internal/taglist"
+)
+
+func TestCodecRoundTripSmall(t *testing.T) {
+	ix := New()
+	ix.Add(key(1, 5, 0, 100, 1))
+	ix.Add(key(1, 5, 10, 20, 2))
+	ix.Add(key(2, 7, 3, 9, 4))
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for _, k := range []Key{key(1, 5, 0, 100, 1), key(1, 5, 10, 20, 2), key(2, 7, 3, 9, 4)} {
+		if !got.Has(k) {
+			t.Fatalf("missing %+v", k)
+		}
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("XOXO"), []byte("EIX1")} {
+		if _, err := Decode(bufio.NewReader(bytes.NewReader(data))); err == nil {
+			t.Errorf("Decode(%q) succeeded", data)
+		}
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := New()
+		model := map[Key]bool{}
+		for i := 0; i < 150; i++ {
+			k := Key{
+				TID:   taglist.TID(r.Intn(6)),
+				SID:   segment.SID(r.Intn(8) + 1),
+				Start: r.Intn(500),
+				End:   r.Intn(500) + 501,
+				Level: r.Intn(9),
+			}
+			ix.Add(k)
+			model[k] = true
+		}
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		if got.Len() != len(model) {
+			return false
+		}
+		ok := true
+		got.WalkAll(func(k Key) bool {
+			if !model[k] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

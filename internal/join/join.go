@@ -1,0 +1,97 @@
+// Package join implements the structural join algorithms of the paper:
+// Stack-Tree-Desc (Al-Khalifa et al., ICDE 2002), the baseline the paper
+// calls STD, and Lazy-Join (Figure 9), the segment-aware variant that is
+// the paper's query-side contribution.
+package join
+
+import (
+	"repro/internal/segment"
+)
+
+// Axis selects the structural relationship being joined.
+type Axis int
+
+const (
+	// Descendant computes ancestor//descendant pairs.
+	Descendant Axis = iota
+	// Child computes parent/child pairs (LevelNum difference of one).
+	Child
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "child"
+	}
+	return "descendant"
+}
+
+// ElemRef identifies an element of the super document: the segment it
+// belongs to and its immutable local (start, end, level) label.
+type ElemRef struct {
+	SID        segment.SID
+	Start, End int
+	Level      int
+}
+
+// Pair is one structural-join result.
+type Pair struct {
+	Anc, Desc ElemRef
+}
+
+// Node is an input element for StackTreeDesc: an interval plus the
+// element's identity. For the traditional (non-lazy) use of the
+// algorithm, Start/End are global positions; for in-segment joins inside
+// Lazy-Join they are local positions within one segment.
+type Node struct {
+	Start, End int
+	Level      int
+	Ref        ElemRef
+}
+
+// StackTreeDesc is the stack-based structural join of [1]: it merges an
+// ancestor candidate list and a descendant candidate list, both sorted by
+// start position, and returns all pairs related by the requested axis,
+// sorted by descendant position.
+//
+// Intervals are half-open [Start, End) with strict containment semantics:
+// a contains d iff a.Start < d.Start && d.End <= a.End — in XML terms the
+// descendant's tags lie strictly inside the ancestor's tags, so for
+// offset-accurate labels d.End < a.End always holds too; <= keeps the
+// predicate correct for degenerate equal boundaries.
+func StackTreeDesc(alist, dlist []Node, axis Axis) []Pair {
+	var out []Pair
+	var stack []Node
+	ai, di := 0, 0
+	for di < len(dlist) {
+		d := dlist[di]
+		// Pop stack entries that end before d starts: they cannot
+		// contain d or any later descendant.
+		for len(stack) > 0 && stack[len(stack)-1].End <= d.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if ai < len(alist) && alist[ai].Start < d.Start {
+			a := alist[ai]
+			// a could contain d or a later d: push it if it is nested in
+			// the current stack chain (it always is after the pop above,
+			// because candidate lists come from one properly nested
+			// document), else the pop above already discarded dead tops.
+			for len(stack) > 0 && stack[len(stack)-1].End <= a.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, a)
+			ai++
+			continue
+		}
+		// Emit all stack entries that contain d.
+		for _, a := range stack {
+			if a.Start < d.Start && d.End <= a.End {
+				if axis == Child && a.Level+1 != d.Level {
+					continue
+				}
+				out = append(out, Pair{Anc: a.Ref, Desc: d.Ref})
+			}
+		}
+		di++
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkipJoinSimple(t *testing.T) {
+	alist := []Node{n(0, 100, 1), n(50, 60, 2)}
+	dlist := []Node{n(10, 20, 2), n(30, 40, 2), n(70, 80, 2)}
+	got := pairSet(SkipJoin(alist, dlist, Descendant))
+	want := pairSet(StackTreeDesc(alist, dlist, Descendant))
+	if !eq(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSkipJoinDeadRuns(t *testing.T) {
+	// Many a-subtrees with no d inside, many d-runs with no a above:
+	// the skipping paths must still produce exactly the STD result.
+	var alist, dlist []Node
+	pos := 0
+	for i := 0; i < 50; i++ {
+		// Dead a-subtree: a containing only more a's.
+		root := pos
+		alist = append(alist, n(root, root+10, 1))
+		alist = append(alist, n(root+2, root+8, 2))
+		alist = append(alist, n(root+4, root+6, 3))
+		pos += 12
+		// Dead d-run: d's with no enclosing a.
+		dlist = append(dlist, n(pos, pos+2, 1), n(pos+3, pos+5, 1))
+		pos += 8
+	}
+	// One live region.
+	alist = append(alist, n(pos, pos+20, 1))
+	dlist = append(dlist, n(pos+5, pos+8, 2))
+	got := SkipJoin(alist, dlist, Descendant)
+	want := StackTreeDesc(alist, dlist, Descendant)
+	if len(got) != len(want) || len(got) != 1 {
+		t.Fatalf("got %d pairs, want %d (=1)", len(got), len(want))
+	}
+	if got[0] != want[0] {
+		t.Fatalf("pair mismatch: %+v vs %+v", got[0], want[0])
+	}
+}
+
+func TestSkipJoinEmpty(t *testing.T) {
+	if got := SkipJoin(nil, []Node{n(0, 2, 1)}, Descendant); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := SkipJoin([]Node{n(0, 2, 1)}, nil, Descendant); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestQuickSkipJoinEqualsSTD: on random properly nested forests with
+// random A/D assignment, SkipJoin must produce exactly StackTreeDesc's
+// output (same pairs, same order), on both axes.
+func TestQuickSkipJoinEqualsSTD(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nodes, _ := genIntervals(r)
+		var alist, dlist []Node
+		for _, nd := range nodes {
+			if r.Intn(2) == 0 {
+				alist = append(alist, nd)
+			}
+			if r.Intn(2) == 0 {
+				dlist = append(dlist, nd)
+			}
+		}
+		for _, axis := range []Axis{Descendant, Child} {
+			want := StackTreeDesc(alist, dlist, axis)
+			got := SkipJoin(alist, dlist, axis)
+			if len(want) != len(got) {
+				t.Logf("seed %d axis %v: %d vs %d pairs", seed, axis, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Logf("seed %d axis %v: pair %d differs", seed, axis, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSkipVsSTDSparse(b *testing.B) {
+	// Long dead runs on both sides: skip-join's target workload.
+	var alist, dlist []Node
+	pos := 0
+	for i := 0; i < 50; i++ {
+		// A dead a-subtree of 200 nested elements (no d inside).
+		root := pos
+		for j := 0; j < 200; j++ {
+			alist = append(alist, n(root+j, root+400-j, j+1))
+		}
+		pos = root + 401
+		// A dead run of 200 consecutive d's (no a above).
+		for j := 0; j < 200; j++ {
+			dlist = append(dlist, n(pos, pos+2, 1))
+			pos += 3
+		}
+	}
+	alist = append(alist, n(pos, pos+10, 1))
+	dlist = append(dlist, n(pos+2, pos+4, 2))
+	b.Run("STD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			StackTreeDesc(alist, dlist, Descendant)
+		}
+	})
+	b.Run("Skip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SkipJoin(alist, dlist, Descendant)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+// Stack-Tree-Anc (Al-Khalifa et al., ICDE 2002): the sibling of
+// Stack-Tree-Desc that emits results sorted by ancestor instead of
+// descendant. Pairs for an ancestor cannot be emitted while it is still
+// on the stack (more of its descendants may come), so each stack entry
+// buffers a self-list (its own pairs) and an inherit-list (pairs of
+// already-popped descendants, which must follow its own in the output).
+
+package join
+
+// ancFrame is one stack entry of Stack-Tree-Anc.
+type ancFrame struct {
+	node    Node
+	self    []Pair
+	inherit []Pair
+}
+
+// StackTreeAnc computes the same pair set as StackTreeDesc but ordered
+// by ancestor start position (pairs of one ancestor grouped together, in
+// descendant order).
+func StackTreeAnc(alist, dlist []Node, axis Axis) []Pair {
+	var out []Pair
+	var stack []ancFrame
+
+	pop := func() {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		combined := append(e.self, e.inherit...)
+		if len(stack) == 0 {
+			out = append(out, combined...)
+		} else {
+			p := &stack[len(stack)-1]
+			p.inherit = append(p.inherit, combined...)
+		}
+	}
+
+	ai, di := 0, 0
+	for di < len(dlist) {
+		d := dlist[di]
+		for len(stack) > 0 && stack[len(stack)-1].node.End <= d.Start {
+			pop()
+		}
+		if ai < len(alist) && alist[ai].Start < d.Start {
+			a := alist[ai]
+			for len(stack) > 0 && stack[len(stack)-1].node.End <= a.Start {
+				pop()
+			}
+			stack = append(stack, ancFrame{node: a})
+			ai++
+			continue
+		}
+		for i := range stack {
+			a := stack[i].node
+			if a.Start < d.Start && d.End <= a.End {
+				if axis == Child && a.Level+1 != d.Level {
+					continue
+				}
+				stack[i].self = append(stack[i].self, Pair{Anc: a.Ref, Desc: d.Ref})
+			}
+		}
+		di++
+	}
+	for len(stack) > 0 {
+		pop()
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAncSimple(t *testing.T) {
+	alist := []Node{n(0, 100, 1), n(10, 50, 2)}
+	dlist := []Node{n(20, 30, 3), n(60, 70, 2)}
+	got := StackTreeAnc(alist, dlist, Descendant)
+	// Ancestor order: the a at 0 first (both its pairs), then the a at 10.
+	if len(got) != 3 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	if got[0].Anc.Start != 0 || got[1].Anc.Start != 0 || got[2].Anc.Start != 10 {
+		t.Fatalf("ancestor order wrong: %v", got)
+	}
+}
+
+func TestAncGroupsAncestors(t *testing.T) {
+	// Nested ancestors with interleaved descendants: each ancestor's
+	// pairs must appear as one contiguous group, groups ordered by start.
+	alist := []Node{n(0, 100, 1), n(10, 90, 2), n(20, 80, 3)}
+	dlist := []Node{n(30, 35, 4), n(40, 45, 4), n(85, 88, 2)}
+	got := StackTreeAnc(alist, dlist, Descendant)
+	want := StackTreeDesc(alist, dlist, Descendant)
+	if len(got) != len(want) {
+		t.Fatalf("cardinality %d vs %d", len(got), len(want))
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, p := range got {
+		if p.Anc.Start != last {
+			if seen[p.Anc.Start] {
+				t.Fatalf("ancestor %d appears in two groups", p.Anc.Start)
+			}
+			seen[p.Anc.Start] = true
+			if p.Anc.Start < last {
+				t.Fatalf("ancestor order regressed: %v", got)
+			}
+			last = p.Anc.Start
+		}
+	}
+}
+
+func TestQuickAncEqualsDescSet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nodes, _ := genIntervals(r)
+		var alist, dlist []Node
+		for _, nd := range nodes {
+			if r.Intn(2) == 0 {
+				alist = append(alist, nd)
+			}
+			if r.Intn(2) == 0 {
+				dlist = append(dlist, nd)
+			}
+		}
+		for _, axis := range []Axis{Descendant, Child} {
+			want := pairSet(StackTreeDesc(alist, dlist, axis))
+			got := StackTreeAnc(alist, dlist, axis)
+			if !eq(pairSet(got), want) {
+				t.Logf("seed %d axis %v: set mismatch", seed, axis)
+				return false
+			}
+			// Ancestor-major grouping: starts non-decreasing per group,
+			// each ancestor in exactly one group.
+			groupSeen := map[int]bool{}
+			last := -1 << 60
+			for _, p := range got {
+				if p.Anc.Start != last {
+					if groupSeen[p.Anc.Start] {
+						return false
+					}
+					groupSeen[p.Anc.Start] = true
+					if p.Anc.Start < last {
+						return false
+					}
+					last = p.Anc.Start
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// B-BOX-style order maintenance (the second structure of Silberstein et
+// al. [9]): labels are not stored at all — an element's order is
+// reconstructed on demand from its position in a balanced tree, giving
+// constant amortized update cost (no relabeling ever) at the price of a
+// logarithmic lookup. This implementation uses a size-augmented treap
+// with parent pointers: InsertAfter is O(log n) expected with zero label
+// writes, Rank is O(log n) expected, and Compare two items in O(log n).
+package labeling
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BBox maintains a dynamic ordered list whose items' order numbers are
+// computed, not stored.
+type BBox struct {
+	root *bnode
+	rng  *rand.Rand
+	n    int
+}
+
+// BItem is a handle to one list element.
+type BItem struct {
+	node *bnode
+}
+
+type bnode struct {
+	prio                uint64
+	size                int
+	left, right, parent *bnode
+	item                *BItem
+}
+
+// NewBBox returns an empty B-BOX. The seed feeds the treap priorities.
+func NewBBox(seed int64) *BBox {
+	return &BBox{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of items.
+func (b *BBox) Len() int { return b.n }
+
+func size(n *bnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *bnode) update() {
+	n.size = size(n.left) + size(n.right) + 1
+}
+
+// InsertAfter inserts a new item immediately after `after` (nil inserts
+// at the front). No existing state is rewritten beyond O(log n) rotation
+// bookkeeping — the B-BOX trade-off.
+func (b *BBox) InsertAfter(after *BItem) *BItem {
+	pos := 0
+	if after != nil {
+		pos = b.Rank(after) // insert at index pos (0-based) + 1 - 1
+	}
+	it := &BItem{}
+	nn := &bnode{prio: b.rng.Uint64(), size: 1, item: it}
+	it.node = nn
+	b.root = b.insertAt(b.root, pos, nn)
+	b.root.parent = nil
+	b.n++
+	return it
+}
+
+// insertAt places nn so that it becomes the element at 0-based index pos
+// within the subtree t (pos == rank of `after`, making nn its successor).
+func (b *BBox) insertAt(t *bnode, pos int, nn *bnode) *bnode {
+	if t == nil {
+		return nn
+	}
+	if nn.prio > t.prio {
+		l, r := b.split(t, pos)
+		nn.left, nn.right = l, r
+		if l != nil {
+			l.parent = nn
+		}
+		if r != nil {
+			r.parent = nn
+		}
+		nn.update()
+		return nn
+	}
+	if pos <= size(t.left) {
+		t.left = b.insertAt(t.left, pos, nn)
+		t.left.parent = t
+	} else {
+		t.right = b.insertAt(t.right, pos-size(t.left)-1, nn)
+		t.right.parent = t
+	}
+	t.update()
+	return t
+}
+
+// split divides t into subtrees holding the first pos items and the rest.
+func (b *BBox) split(t *bnode, pos int) (*bnode, *bnode) {
+	if t == nil {
+		return nil, nil
+	}
+	if pos <= size(t.left) {
+		l, r := b.split(t.left, pos)
+		t.left = r
+		if r != nil {
+			r.parent = t
+		}
+		if l != nil {
+			l.parent = nil
+		}
+		t.update()
+		return l, t
+	}
+	l, r := b.split(t.right, pos-size(t.left)-1)
+	t.right = l
+	if l != nil {
+		l.parent = t
+	}
+	if r != nil {
+		r.parent = nil
+	}
+	t.update()
+	return t, r
+}
+
+// Rank returns the item's 1-based order number, reconstructed from the
+// tree in O(log n) — B-BOX's "labels are not stored" lookup.
+func (b *BBox) Rank(it *BItem) int {
+	n := it.node
+	rank := size(n.left) + 1
+	for n.parent != nil {
+		if n.parent.right == n {
+			rank += size(n.parent.left) + 1
+		}
+		n = n.parent
+	}
+	return rank
+}
+
+// Before reports whether x precedes y in list order, without any stored
+// labels: it climbs to the common ancestor.
+func (b *BBox) Before(x, y *BItem) bool {
+	return b.Rank(x) < b.Rank(y) // O(log n); fine for a comparator
+}
+
+// Validate checks size augmentation, parent pointers and the heap
+// property.
+func (b *BBox) Validate() error {
+	var walk func(n, parent *bnode) (int, error)
+	walk = func(n, parent *bnode) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.parent != parent {
+			return 0, fmt.Errorf("labeling: bbox parent pointer broken")
+		}
+		if parent != nil && n.prio > parent.prio {
+			return 0, fmt.Errorf("labeling: bbox heap property broken")
+		}
+		ls, err := walk(n.left, n)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := walk(n.right, n)
+		if err != nil {
+			return 0, err
+		}
+		if n.size != ls+rs+1 {
+			return 0, fmt.Errorf("labeling: bbox size %d != %d", n.size, ls+rs+1)
+		}
+		return n.size, nil
+	}
+	total, err := walk(b.root, nil)
+	if err != nil {
+		return err
+	}
+	if total != b.n {
+		return fmt.Errorf("labeling: bbox holds %d items, counted %d", b.n, total)
+	}
+	return nil
+}

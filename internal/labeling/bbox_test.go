@@ -1,0 +1,133 @@
+package labeling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBBoxSequential(t *testing.T) {
+	b := NewBBox(1)
+	var last *BItem
+	items := make([]*BItem, 0, 500)
+	for i := 0; i < 500; i++ {
+		last = b.InsertAfter(last)
+		items = append(items, last)
+	}
+	if b.Len() != 500 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if got := b.Rank(it); got != i+1 {
+			t.Fatalf("Rank(item %d) = %d", i, got)
+		}
+	}
+}
+
+func TestBBoxFrontInsert(t *testing.T) {
+	b := NewBBox(2)
+	items := make([]*BItem, 0, 300)
+	for i := 0; i < 300; i++ {
+		it := b.InsertAfter(nil)
+		items = append([]*BItem{it}, items...)
+	}
+	for i, it := range items {
+		if got := b.Rank(it); got != i+1 {
+			t.Fatalf("Rank = %d, want %d", got, i+1)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBoxBefore(t *testing.T) {
+	b := NewBBox(3)
+	x := b.InsertAfter(nil)
+	z := b.InsertAfter(x)
+	y := b.InsertAfter(x) // between x and z
+	if !b.Before(x, y) || !b.Before(y, z) || !b.Before(x, z) {
+		t.Fatal("ordering wrong")
+	}
+	if b.Before(z, x) || b.Before(y, x) {
+		t.Fatal("reverse ordering reported")
+	}
+}
+
+// TestQuickBBoxAgainstSlice: random insertion positions — ranks always
+// match a plain slice model.
+func TestQuickBBoxAgainstSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBBox(seed)
+		var model []*BItem
+		for i := 0; i < 400; i++ {
+			var after *BItem
+			pos := 0
+			if len(model) > 0 && r.Intn(6) != 0 {
+				pos = r.Intn(len(model)) + 1
+				after = model[pos-1]
+			}
+			it := b.InsertAfter(after)
+			model = append(model[:pos], append([]*BItem{it}, model[pos:]...)...)
+		}
+		if err := b.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i, it := range model {
+			if b.Rank(it) != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkOrderMaintenance compares the three order-maintenance designs
+// of the paper's landscape on the same adversarial workload (repeated
+// insertion at one point): W-BOX (mutable labels, amortized relabeling,
+// O(1) lookup), B-BOX (no labels, O(log n) lookup, O(log n) insert) and
+// PRIME (immutable labels, CRT recomputation).
+func BenchmarkOrderMaintenance(b *testing.B) {
+	// Both boxes are reset every 50k items so b.N ramping measures the
+	// structure at a fixed scale instead of degenerating into ever-larger
+	// stores (the WBox slice memmove is O(n) per insert).
+	const resetAt = 50_000
+	b.Run("WBOX-insert", func(b *testing.B) {
+		box := NewWBox(48)
+		anchor, _ := box.InsertAfter(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if box.Len() >= resetAt {
+				b.StopTimer()
+				box = NewWBox(48)
+				anchor, _ = box.InsertAfter(nil)
+				b.StartTimer()
+			}
+			if _, err := box.InsertAfter(anchor); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BBOX-insert", func(b *testing.B) {
+		box := NewBBox(1)
+		anchor := box.InsertAfter(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if box.Len() >= resetAt {
+				b.StopTimer()
+				box = NewBBox(1)
+				anchor = box.InsertAfter(nil)
+				b.StartTimer()
+			}
+			box.InsertAfter(anchor)
+		}
+	})
+}

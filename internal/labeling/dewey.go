@@ -1,0 +1,345 @@
+// Dewey/ORDPATH-style prefix labeling (Tatarinov et al., SIGMOD 2002;
+// O'Neil et al., SIGMOD 2004): each node's label extends its parent's
+// label with a sibling ordinal. Labels are immutable — insertions
+// between siblings use ORDPATH-style "caret" components (even ordinals)
+// so no existing label ever changes — at the price of ever-growing label
+// length, the storage overhead the paper's introduction cites (Cohen et
+// al.'s Ω(N) lower bound).
+
+package labeling
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// DeweyLabel is a sequence of components; odd components are ordinary
+// sibling ordinals, even components are ORDPATH carets that open room
+// between siblings without relabeling.
+type DeweyLabel []int64
+
+// String renders the label in dotted form.
+func (l DeweyLabel) String() string {
+	parts := make([]string, len(l))
+	for i, c := range l {
+		parts[i] = strconv.FormatInt(c, 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Clone returns a copy of the label.
+func (l DeweyLabel) Clone() DeweyLabel { return append(DeweyLabel(nil), l...) }
+
+// Compare orders labels in document order (component-wise, shorter
+// prefix first).
+func (l DeweyLabel) Compare(o DeweyLabel) int {
+	for i := 0; i < len(l) && i < len(o); i++ {
+		switch {
+		case l[i] < o[i]:
+			return -1
+		case l[i] > o[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(l) < len(o):
+		return -1
+	case len(l) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// logicalParts splits a label into its logical components: a maximal run
+// of even (caret) components plus the following odd component counts as
+// ONE logical component, as in ORDPATH.
+func (l DeweyLabel) logicalParts() [][]int64 {
+	var out [][]int64
+	i := 0
+	for i < len(l) {
+		j := i
+		for j < len(l) && l[j]%2 == 0 {
+			j++
+		}
+		if j < len(l) {
+			j++
+		}
+		out = append(out, []int64(l[i:j]))
+		i = j
+	}
+	return out
+}
+
+// IsAncestorOf reports whether l is a proper ancestor of o: l's logical
+// components are a proper prefix of o's.
+func (l DeweyLabel) IsAncestorOf(o DeweyLabel) bool {
+	lp, op := l.logicalParts(), o.logicalParts()
+	if len(lp) >= len(op) {
+		return false
+	}
+	for i := range lp {
+		if len(lp[i]) != len(op[i]) {
+			return false
+		}
+		for j := range lp[i] {
+			if lp[i][j] != op[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Level returns the depth encoded by the label (number of logical
+// components).
+func (l DeweyLabel) Level() int { return len(l.logicalParts()) }
+
+// Bits returns an estimate of the label's encoded size in bits (each
+// component with a UB32-style variable-length prefix code approximated as
+// bit length + 6 flag bits).
+func (l DeweyLabel) Bits() int {
+	bits := 0
+	for _, c := range l {
+		n := c
+		if n < 0 {
+			n = -n
+		}
+		b := 1
+		for n > 1 {
+			n >>= 1
+			b++
+		}
+		bits += b + 6
+	}
+	return bits
+}
+
+// DeweyStore labels a document with Dewey/ORDPATH labels.
+type DeweyStore struct {
+	byTag  map[string][]DeweyLabel
+	labels []DeweyLabel // document order
+}
+
+// NewDeweyStore labels every element of doc: the i-th child of a node
+// receives ordinal 2i+1 (odd ordinals leave caret room).
+func NewDeweyStore(doc *xmltree.Document) *DeweyStore {
+	st := &DeweyStore{byTag: map[string][]DeweyLabel{}}
+	var walk func(e *xmltree.Element, prefix DeweyLabel)
+	walk = func(e *xmltree.Element, prefix DeweyLabel) {
+		st.add(e.Tag, prefix)
+		for i, c := range e.Children {
+			child := append(prefix.Clone(), int64(2*i+1))
+			walk(c, child)
+		}
+	}
+	if doc != nil && doc.Root != nil {
+		walk(doc.Root, DeweyLabel{1})
+	}
+	return st
+}
+
+func (st *DeweyStore) add(tag string, l DeweyLabel) {
+	st.byTag[tag] = append(st.byTag[tag], l)
+	st.labels = append(st.labels, l)
+}
+
+// Len returns the number of labeled elements.
+func (st *DeweyStore) Len() int { return len(st.labels) }
+
+// Labels returns all labels in insertion order.
+func (st *DeweyStore) Labels() []DeweyLabel { return st.labels }
+
+// LabelsOf returns the labels of elements with the given tag.
+func (st *DeweyStore) LabelsOf(tag string) []DeweyLabel { return st.byTag[tag] }
+
+// InsertBetween computes a fresh label strictly between the left and
+// right sibling labels under the same parent, without touching either:
+// the ORDPATH caret trick. Either bound may be nil (insert first/last).
+// parent must be the common parent label; the result is always a single
+// logical component deeper than parent (a run of even carets closed by
+// one odd ordinal).
+func InsertBetween(parent, left, right DeweyLabel) (DeweyLabel, error) {
+	var lsuf, rsuf []int64
+	if left != nil {
+		if len(left) <= len(parent) {
+			return nil, fmt.Errorf("labeling: left %v not a child of parent %v", left, parent)
+		}
+		lsuf = left[len(parent):]
+	}
+	if right != nil {
+		if len(right) <= len(parent) {
+			return nil, fmt.Errorf("labeling: right %v not a child of parent %v", right, parent)
+		}
+		rsuf = right[len(parent):]
+	}
+	if lsuf != nil && rsuf != nil && cmpSeq(lsuf, rsuf) >= 0 {
+		return nil, fmt.Errorf("labeling: left %v not before right %v", left, right)
+	}
+	return append(parent.Clone(), betweenSeq(lsuf, rsuf)...), nil
+}
+
+func cmpSeq(a, b []int64) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// betweenSeq returns a sibling-ordinal sequence strictly between l and r
+// (nil bounds are open), ending in an odd component so that it forms
+// exactly one logical component.
+func betweenSeq(l, r []int64) []int64 {
+	switch {
+	case l == nil && r == nil:
+		return []int64{1}
+	case l == nil:
+		return beforeSeq(r)
+	case r == nil:
+		return afterSeq(l)
+	}
+	i := 0
+	for i < len(l) && i < len(r) && l[i] == r[i] {
+		i++
+	}
+	common := append([]int64(nil), l[:i]...)
+	if i == len(l) {
+		// l is a prefix of r (cannot happen for well-formed sibling
+		// labels, handled for robustness): any extension of l precedes r.
+		return append(common, beforeSeq(r[i:])...)
+	}
+	li, ri := l[i], r[i]
+	if m, ok := oddBetween(li, ri); ok {
+		return append(common, m)
+	}
+	if ri-li >= 2 {
+		// The only integers between are even: caret then 1.
+		return append(common, li+1, 1)
+	}
+	// ri == li+1: one of the two is even and that sequence continues.
+	if li%2 == 0 {
+		return append(append(common, li), afterSeq(l[i+1:])...)
+	}
+	return append(append(common, ri), beforeSeq(r[i+1:])...)
+}
+
+// beforeSeq returns a sequence strictly less than seq (which is non-empty).
+func beforeSeq(seq []int64) []int64 {
+	s0 := seq[0]
+	switch {
+	case s0%2 == 0:
+		// Even: s0-1 is odd and strictly smaller.
+		return []int64{s0 - 1}
+	case s0 >= 3 || s0 <= -1:
+		return []int64{s0 - 2}
+	default: // s0 == 1: open a caret below it.
+		return []int64{s0 - 1, 1}
+	}
+}
+
+// afterSeq returns a sequence strictly greater than seq.
+func afterSeq(seq []int64) []int64 {
+	s0 := seq[0]
+	if s0%2 == 0 {
+		return []int64{s0 + 1}
+	}
+	return []int64{s0 + 2}
+}
+
+// oddBetween returns an odd integer strictly between a and b if one
+// exists.
+func oddBetween(a, b int64) (int64, bool) {
+	m := a + 1
+	if m%2 == 0 {
+		m++
+	}
+	if m > a && m < b {
+		return m, true
+	}
+	return 0, false
+}
+
+// InsertChildAfter appends the new label to the store (the caller
+// computed it with InsertBetween) and records it under tag.
+func (st *DeweyStore) InsertChildAfter(tag string, label DeweyLabel) error {
+	if len(label) == 0 {
+		return fmt.Errorf("labeling: empty dewey label")
+	}
+	st.add(tag, label)
+	return nil
+}
+
+// TotalBits returns the total label storage in bits — compare with
+// interval labels at 2 fixed-size integers per element.
+func (st *DeweyStore) TotalBits() int {
+	bits := 0
+	for _, l := range st.labels {
+		bits += l.Bits()
+	}
+	return bits
+}
+
+// Query answers tag-pair structural joins by prefix containment over the
+// Dewey labels — the join style the paper's related work attributes to
+// prefix schemes, and the reason it calls them slower: "determining the
+// containment relationship between two elements using prefix comparison
+// is slower than using simple integer comparison". The per-tag lists are
+// merged in label order with a stack, mirroring Stack-Tree-Desc, but
+// every containment test walks label components instead of comparing two
+// integers.
+func (st *DeweyStore) Query(aTag, dTag string, child bool) [][2]DeweyLabel {
+	alist := append([]DeweyLabel(nil), st.byTag[aTag]...)
+	dlist := append([]DeweyLabel(nil), st.byTag[dTag]...)
+	sortLabels(alist)
+	sortLabels(dlist)
+	var out [][2]DeweyLabel
+	var stack []DeweyLabel
+	ai, di := 0, 0
+	for di < len(dlist) {
+		d := dlist[di]
+		for len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(d) {
+			stack = stack[:len(stack)-1]
+		}
+		if ai < len(alist) && alist[ai].Compare(d) < 0 {
+			a := alist[ai]
+			for len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(a) &&
+				stack[len(stack)-1].Compare(a) != 0 {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, a)
+			ai++
+			continue
+		}
+		for _, a := range stack {
+			if !a.IsAncestorOf(d) {
+				continue
+			}
+			if child && a.Level()+1 != d.Level() {
+				continue
+			}
+			out = append(out, [2]DeweyLabel{a, d})
+		}
+		di++
+	}
+	return out
+}
+
+func sortLabels(ls []DeweyLabel) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Compare(ls[j]) < 0 })
+}

@@ -1,0 +1,274 @@
+// PRIME: the prime number labeling scheme of Wu, Lee and Hsu (ICDE
+// 2004), the immutable-labeling baseline of Figure 17.
+//
+// Every node receives a distinct prime as its self-label; its full label
+// is the product of its self-label and its parent's label, so node X is
+// an ancestor of node Y iff label(Y) mod label(X) == 0. Because labels
+// encode no order, document order is maintained separately with a table
+// of simultaneous congruences (SC): consecutive nodes are grouped K at a
+// time, and each group stores one integer with
+//
+//	SC ≡ localOrder(node) (mod selfLabel(node))
+//
+// for every member (Chinese Remainder Theorem), where localOrder is the
+// node's 1-based position inside its group. A node's document order is
+// its group's offset plus the recovered local order. Reading an order
+// costs one modulo; *inserting* a node changes local orders in its group,
+// so at least one SC must be recomputed with big-integer CRT arithmetic —
+// the cost Figure 17 measures, which grows with K (more terms per CRT)
+// and with document size (larger primes).
+//
+// Self labels are drawn from primes strictly greater than K so that every
+// local order in 1..K is recoverable as a residue.
+package labeling
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/xmltree"
+)
+
+// PrimeStore labels a document with the PRIME scheme.
+type PrimeStore struct {
+	k int // max nodes per simultaneous-congruence group
+
+	nodes  []*PrimeNode // document order
+	groups []*scGroup   // document order, each covering consecutive nodes
+	primes primeSource
+
+	// Recomputed counts simultaneous-congruence recomputations, the
+	// dominant insertion cost of the scheme.
+	Recomputed int
+}
+
+// PrimeNode is one labeled element.
+type PrimeNode struct {
+	Tag   string
+	Self  *big.Int // self label (a prime)
+	Label *big.Int // product of self labels along the root path
+	group *scGroup
+}
+
+type scGroup struct {
+	members []*PrimeNode
+	sc      *big.Int // simultaneous congruence value
+}
+
+// primeSource hands out successive primes greater than its floor.
+type primeSource struct{ last int64 }
+
+func (p *primeSource) next() *big.Int {
+	for {
+		p.last++
+		if p.last < 2 {
+			p.last = 2
+		}
+		n := big.NewInt(p.last)
+		if n.ProbablyPrime(20) {
+			return n
+		}
+	}
+}
+
+// NewPrimeStore labels doc with the PRIME scheme using up to k primes per
+// simultaneous-congruence group.
+func NewPrimeStore(doc *xmltree.Document, k int) *PrimeStore {
+	if k < 1 {
+		k = 1
+	}
+	st := &PrimeStore{k: k}
+	st.primes.last = int64(k) // self labels must exceed every local order
+	one := big.NewInt(1)
+	var walk func(e *xmltree.Element, parentLabel *big.Int)
+	walk = func(e *xmltree.Element, parentLabel *big.Int) {
+		self := st.primes.next()
+		label := new(big.Int).Mul(parentLabel, self)
+		st.nodes = append(st.nodes, &PrimeNode{Tag: e.Tag, Self: self, Label: label})
+		for _, c := range e.Children {
+			walk(c, label)
+		}
+	}
+	if doc != nil && doc.Root != nil {
+		walk(doc.Root, one)
+	}
+	// Group consecutive nodes K at a time and compute every SC.
+	for i := 0; i < len(st.nodes); i += st.k {
+		j := min(i+st.k, len(st.nodes))
+		g := &scGroup{members: append([]*PrimeNode(nil), st.nodes[i:j]...)}
+		for _, n := range g.members {
+			n.group = g
+		}
+		st.groups = append(st.groups, g)
+		st.recomputeSC(g)
+	}
+	return st
+}
+
+// Len returns the number of labeled nodes.
+func (st *PrimeStore) Len() int { return len(st.nodes) }
+
+// K returns the group size.
+func (st *PrimeStore) K() int { return st.k }
+
+// Node returns the i-th node in document order.
+func (st *PrimeStore) Node(i int) *PrimeNode { return st.nodes[i] }
+
+// recomputeSC recomputes the simultaneous congruence of g with the
+// Chinese Remainder Theorem: sc ≡ i+1 (mod members[i].Self).
+func (st *PrimeStore) recomputeSC(g *scGroup) {
+	m := big.NewInt(1)
+	for _, n := range g.members {
+		m.Mul(m, n.Self)
+	}
+	sc := new(big.Int)
+	for i, n := range g.members {
+		mi := new(big.Int).Div(m, n.Self)
+		inv := new(big.Int).ModInverse(mi, n.Self)
+		if inv == nil {
+			panic("labeling: self labels not coprime")
+		}
+		term := new(big.Int).Mul(big.NewInt(int64(i+1)), mi)
+		term.Mul(term, inv)
+		sc.Add(sc, term)
+	}
+	sc.Mod(sc, m)
+	g.sc = sc
+	st.Recomputed++
+}
+
+// localOrder recovers a node's 1-based position in its group from the SC.
+func localOrder(n *PrimeNode) int64 {
+	return new(big.Int).Mod(n.group.sc, n.Self).Int64()
+}
+
+// OrderOf returns the document order (1-based) of node n, combining the
+// group offset with the SC-recovered local order.
+func (st *PrimeStore) OrderOf(n *PrimeNode) int64 {
+	off := int64(0)
+	for _, g := range st.groups {
+		if g == n.group {
+			return off + localOrder(n)
+		}
+		off += int64(len(g.members))
+	}
+	return -1
+}
+
+// IsAncestor reports whether a is a proper ancestor of d, using the
+// divisibility property of PRIME labels.
+func IsAncestor(a, d *PrimeNode) bool {
+	if a == d || a.Label.Cmp(d.Label) == 0 {
+		return false
+	}
+	return new(big.Int).Mod(d.Label, a.Label).Sign() == 0
+}
+
+// InsertAfter inserts a new element with the given tag immediately after
+// node index pos (pos == -1 inserts at the front) and below parent (nil
+// for a root-level node). Labels of existing nodes do not change — the
+// scheme is immutable — but the new node changes local orders inside its
+// group, so the group's simultaneous congruence is recomputed (two when
+// the group splits). Returns how many SC values were recomputed.
+func (st *PrimeStore) InsertAfter(pos int, tag string, parent *PrimeNode) (int, error) {
+	if pos < -1 || pos >= len(st.nodes) {
+		return 0, fmt.Errorf("labeling: insert position %d out of range", pos)
+	}
+	self := st.primes.next()
+	parentLabel := big.NewInt(1)
+	if parent != nil {
+		parentLabel = parent.Label
+	}
+	n := &PrimeNode{Tag: tag, Self: self, Label: new(big.Int).Mul(parentLabel, self)}
+	st.nodes = append(st.nodes, nil)
+	copy(st.nodes[pos+2:], st.nodes[pos+1:])
+	st.nodes[pos+1] = n
+
+	before := st.Recomputed
+	if len(st.groups) == 0 {
+		g := &scGroup{members: []*PrimeNode{n}}
+		n.group = g
+		st.groups = append(st.groups, g)
+		st.recomputeSC(g)
+		return st.Recomputed - before, nil
+	}
+	// Join the group of the predecessor (or the first group), inserting
+	// right after it.
+	var g *scGroup
+	local := 0
+	if pos >= 0 {
+		prev := st.nodes[pos]
+		g = prev.group
+		local = int(localOrder(prev)) // insert after this local slot
+	} else {
+		g = st.groups[0]
+	}
+	g.members = append(g.members, nil)
+	copy(g.members[local+1:], g.members[local:])
+	g.members[local] = n
+	n.group = g
+
+	if len(g.members) > st.k {
+		// Split the overflowing group in two; both halves recompute.
+		mid := len(g.members) / 2
+		right := &scGroup{members: append([]*PrimeNode(nil), g.members[mid:]...)}
+		g.members = g.members[:mid]
+		for _, m := range right.members {
+			m.group = right
+		}
+		gi := st.groupIndex(g)
+		st.groups = append(st.groups, nil)
+		copy(st.groups[gi+2:], st.groups[gi+1:])
+		st.groups[gi+1] = right
+		st.recomputeSC(g)
+		st.recomputeSC(right)
+	} else {
+		st.recomputeSC(g)
+	}
+	return st.Recomputed - before, nil
+}
+
+func (st *PrimeStore) groupIndex(g *scGroup) int {
+	for i, x := range st.groups {
+		if x == g {
+			return i
+		}
+	}
+	panic("labeling: group not found")
+}
+
+// LabelBits returns the total number of bits used by all labels — the
+// storage overhead the paper attributes to immutable schemes.
+func (st *PrimeStore) LabelBits() int {
+	bits := 0
+	for _, n := range st.nodes {
+		bits += n.Label.BitLen() + n.Self.BitLen()
+	}
+	return bits
+}
+
+// Validate checks that SC-recovered orders match document order.
+func (st *PrimeStore) Validate() error {
+	i := 0
+	for _, g := range st.groups {
+		if len(g.members) == 0 {
+			return fmt.Errorf("labeling: empty SC group")
+		}
+		if len(g.members) > st.k {
+			return fmt.Errorf("labeling: SC group has %d members, max %d", len(g.members), st.k)
+		}
+		for _, n := range g.members {
+			if st.nodes[i] != n {
+				return fmt.Errorf("labeling: group order diverges from document order at %d", i)
+			}
+			if got := st.OrderOf(n); got != int64(i+1) {
+				return fmt.Errorf("labeling: node %d order recovered as %d", i, got)
+			}
+			i++
+		}
+	}
+	if i != len(st.nodes) {
+		return fmt.Errorf("labeling: groups cover %d of %d nodes", i, len(st.nodes))
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package twig implements PathStack (Bruno, Koudas, Srivastava — SIGMOD
+// 2002), the holistic path-pattern join the paper's related work cites as
+// the successor optimization to binary structural joins: a whole linear
+// path expression p1//p2//.../pn is evaluated in one synchronized pass
+// over the n element streams, producing complete root-to-leaf tuples
+// without materializing intermediate binary join results.
+//
+// On the lazy store the streams are the per-tag global element lists
+// reconstructed through the SB-tree, so PathStack composes with the lazy
+// update approach exactly like Stack-Tree-Desc does.
+package twig
+
+import (
+	"fmt"
+
+	"repro/internal/join"
+)
+
+// Step is one step of a linear path pattern.
+type Step struct {
+	Axis join.Axis // relationship to the previous step
+	// Nodes is the element stream for this step: sorted by Start.
+	Nodes []join.Node
+}
+
+// Tuple is one complete match of the path: one element per step, each
+// containing the next.
+type Tuple []join.Node
+
+// frame is a stack entry: the element plus the index of the top of the
+// previous step's stack at push time (every entry at or below that index
+// is a valid ancestor).
+type frame struct {
+	node join.Node
+	ptr  int // len(prev stack) - 1 at push time; -1 for the first step
+}
+
+// PathStack evaluates the linear path whose element streams are given in
+// steps (steps[0].Axis is ignored — the first step has no predecessor).
+// It returns all match tuples, leaf-ordered. The streams must come from
+// one properly nested document and be sorted by start position.
+func PathStack(steps []Step) ([]Tuple, error) {
+	n := len(steps)
+	if n == 0 {
+		return nil, fmt.Errorf("twig: empty path")
+	}
+	if n == 1 {
+		out := make([]Tuple, 0, len(steps[0].Nodes))
+		for _, nd := range steps[0].Nodes {
+			out = append(out, Tuple{nd})
+		}
+		return out, nil
+	}
+	stacks := make([][]frame, n)
+	heads := make([]int, n)
+	var out []Tuple
+
+	endOfAll := func() bool {
+		// PathStack can stop once the leaf stream is exhausted only if no
+		// pending pushes could still enable leaf matches; simplest sound
+		// criterion: stop when every stream is exhausted or the leaf
+		// stream is exhausted (no further output possible).
+		return heads[n-1] >= len(steps[n-1].Nodes)
+	}
+
+	for !endOfAll() {
+		// qmin: the stream whose next element has the smallest start.
+		q := -1
+		for i := 0; i < n; i++ {
+			if heads[i] >= len(steps[i].Nodes) {
+				continue
+			}
+			if q == -1 || steps[i].Nodes[heads[i]].Start < steps[q].Nodes[heads[q]].Start {
+				q = i
+			}
+		}
+		if q == -1 {
+			break
+		}
+		e := steps[q].Nodes[heads[q]]
+		heads[q]++
+		// Clean every stack: entries that end at or before e.Start cannot
+		// be ancestors of e or of anything later.
+		for i := range stacks {
+			for len(stacks[i]) > 0 && stacks[i][len(stacks[i])-1].node.End <= e.Start {
+				stacks[i] = stacks[i][:len(stacks[i])-1]
+			}
+		}
+		if q == 0 {
+			stacks[0] = append(stacks[0], frame{node: e, ptr: -1})
+			continue
+		}
+		// e can extend a partial match only if the previous stack has an
+		// entry strictly containing it. After cleaning that is usually
+		// the top, but when the path repeats a tag (a//a) the top can be
+		// e itself, consumed from the earlier stream at the same start —
+		// step down to the deepest strict container.
+		prev := stacks[q-1]
+		ptr := len(prev) - 1
+		for ptr >= 0 && !(prev[ptr].node.Start < e.Start && e.End <= prev[ptr].node.End) {
+			ptr--
+		}
+		if ptr < 0 {
+			continue
+		}
+		stacks[q] = append(stacks[q], frame{node: e, ptr: ptr})
+		if q == n-1 {
+			out = append(out, expand(stacks, steps, e, ptr)...)
+			// Leaf elements never contain other stream elements' matches
+			// through themselves... they can: another leaf nested inside
+			// this one is possible, so the frame stays until cleaned.
+		}
+	}
+	return out, nil
+}
+
+// expand enumerates every tuple ending at leaf element e, whose ancestor
+// set in step n-2 is stacks[n-2][0..ptr].
+func expand(stacks [][]frame, steps []Step, e join.Node, ptr int) []Tuple {
+	n := len(stacks)
+	var out []Tuple
+	// Recursively choose one frame per step from the allowed prefix.
+	var rec func(step, maxIdx int, suffix Tuple)
+	rec = func(step, maxIdx int, suffix Tuple) {
+		if step < 0 {
+			t := make(Tuple, 0, n)
+			t = append(t, suffix...)
+			out = append(out, t)
+			return
+		}
+		for i := 0; i <= maxIdx && i < len(stacks[step]); i++ {
+			f := stacks[step][i]
+			// The chosen ancestor must contain the previously chosen
+			// element (suffix[0]); frames above the pointer chain are
+			// excluded by maxIdx, frames below always contain it.
+			child := suffix[0]
+			if !(f.node.Start < child.Start && child.End <= f.node.End) {
+				continue
+			}
+			// Axis check between step and step+1.
+			if steps[step+1].Axis == join.Child && f.node.Level+1 != child.Level {
+				continue
+			}
+			rec(step-1, f.ptr, append(Tuple{f.node}, suffix...))
+		}
+	}
+	rec(n-2, ptr, Tuple{e})
+	return out
+}

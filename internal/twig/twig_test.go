@@ -1,0 +1,222 @@
+package twig
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/join"
+	"repro/internal/xmltree"
+)
+
+// nodesOf builds a sorted global stream for a tag from a parsed document.
+func nodesOf(doc *xmltree.Document, tag string) []join.Node {
+	var out []join.Node
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e.Tag == tag {
+			out = append(out, join.Node{Start: e.Start, End: e.End, Level: e.Level,
+				Ref: join.ElemRef{Start: e.Start, End: e.End, Level: e.Level}})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func mustParse(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// key flattens a tuple into a comparable signature of start offsets.
+func key(t Tuple) string {
+	var sb strings.Builder
+	for _, n := range t {
+		sb.WriteString(",")
+		sb.WriteString(itoa(n.Start))
+	}
+	return sb.String()
+}
+
+func itoa(v int) string {
+	return string(rune('0'+v/100%10)) + string(rune('0'+v/10%10)) + string(rune('0'+v%10))
+}
+
+// bruteTuples enumerates all path tuples by exhaustive recursion.
+func bruteTuples(doc *xmltree.Document, tags []string, axes []join.Axis) map[string]bool {
+	streams := make([][]join.Node, len(tags))
+	for i, tag := range tags {
+		streams[i] = nodesOf(doc, tag)
+	}
+	out := map[string]bool{}
+	var rec func(step int, acc Tuple)
+	rec = func(step int, acc Tuple) {
+		if step == len(tags) {
+			out[key(acc)] = true
+			return
+		}
+		for _, nd := range streams[step] {
+			if step > 0 {
+				prev := acc[step-1]
+				if !(prev.Start < nd.Start && nd.End <= prev.End) {
+					continue
+				}
+				if axes[step] == join.Child && prev.Level+1 != nd.Level {
+					continue
+				}
+			}
+			rec(step+1, append(acc, nd))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func runPathStack(t *testing.T, doc *xmltree.Document, tags []string, axes []join.Axis) map[string]bool {
+	t.Helper()
+	steps := make([]Step, len(tags))
+	for i, tag := range tags {
+		steps[i] = Step{Axis: axes[i], Nodes: nodesOf(doc, tag)}
+	}
+	tuples, err := PathStack(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, tu := range tuples {
+		if len(tu) != len(tags) {
+			t.Fatalf("tuple length %d, want %d", len(tu), len(tags))
+		}
+		out[key(tu)] = true
+	}
+	if len(out) != len(tuples) {
+		t.Fatalf("duplicate tuples: %d tuples, %d distinct", len(tuples), len(out))
+	}
+	return out
+}
+
+func descAxes(n int) []join.Axis { return make([]join.Axis, n) }
+
+func TestEmptyPath(t *testing.T) {
+	if _, err := PathStack(nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestSingleStep(t *testing.T) {
+	doc := mustParse(t, "<a><b/><b/></a>")
+	got := runPathStack(t, doc, []string{"b"}, descAxes(1))
+	if len(got) != 2 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+}
+
+func TestLinearPathSimple(t *testing.T) {
+	doc := mustParse(t, "<a><b><c/></b><b/><c/></a>")
+	got := runPathStack(t, doc, []string{"a", "b", "c"}, descAxes(3))
+	want := bruteTuples(doc, []string{"a", "b", "c"}, descAxes(3))
+	if len(got) != 1 || len(want) != 1 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestNestedRepetition(t *testing.T) {
+	// a//a//b over nested a's: multiple combinations.
+	doc := mustParse(t, "<a><a><a><b/></a></a></a>")
+	got := runPathStack(t, doc, []string{"a", "a", "b"}, descAxes(3))
+	want := bruteTuples(doc, []string{"a", "a", "b"}, descAxes(3))
+	if len(want) != 3 {
+		t.Fatalf("brute force found %d, expected 3", len(want))
+	}
+	if !same(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestChildAxis(t *testing.T) {
+	doc := mustParse(t, "<a><b><c/></b><c/></a>")
+	axes := []join.Axis{join.Descendant, join.Child, join.Child}
+	got := runPathStack(t, doc, []string{"a", "b", "c"}, axes)
+	want := bruteTuples(doc, []string{"a", "b", "c"}, axes)
+	if len(want) != 1 || !same(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	doc := mustParse(t, "<a><b/></a>")
+	got := runPathStack(t, doc, []string{"b", "a"}, descAxes(2))
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func same(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickPathStackAgainstBruteForce(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	genDoc := func(r *rand.Rand) string {
+		var sb strings.Builder
+		var emit func(depth int)
+		emit = func(depth int) {
+			tag := tags[r.Intn(len(tags))]
+			if depth > 4 || r.Intn(3) == 0 {
+				sb.WriteString("<" + tag + "/>")
+				return
+			}
+			sb.WriteString("<" + tag + ">")
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				emit(depth + 1)
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		sb.WriteString("<r>")
+		for i := 0; i < 3; i++ {
+			emit(1)
+		}
+		sb.WriteString("</r>")
+		return sb.String()
+	}
+	f := func(seed int64, pathRaw [3]uint8, axesRaw [3]uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc, err := xmltree.Parse([]byte(genDoc(r)))
+		if err != nil {
+			return false
+		}
+		n := 2 + int(pathRaw[0])%2 // path length 2 or 3
+		pathTags := make([]string, n)
+		axes := make([]join.Axis, n)
+		for i := 0; i < n; i++ {
+			pathTags[i] = tags[int(pathRaw[i%3])%len(tags)]
+			if axesRaw[i%3]%2 == 1 && i > 0 {
+				axes[i] = join.Child
+			}
+		}
+		got := runPathStack(t, doc, pathTags, axes)
+		want := bruteTuples(doc, pathTags, axes)
+		if !same(got, want) {
+			t.Logf("seed %d path %v axes %v: got %v want %v", seed, pathTags, axes, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package xbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/join"
+)
+
+func n(start, end, level int) join.Node {
+	return join.Node{Start: start, End: end, Level: level,
+		Ref: join.ElemRef{SID: 1, Start: start, End: end, Level: level}}
+}
+
+func TestBuildSummaries(t *testing.T) {
+	var nodes []join.Node
+	for i := 0; i < 40; i++ {
+		nodes = append(nodes, n(i*10, i*10+5, 1))
+	}
+	tr := Build(nodes, 4)
+	if tr.Len() != 40 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("Depth = %d, want >= 2", tr.Depth())
+	}
+	minS, lastS, maxE, err := tr.Region(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minS != 0 || lastS != 30 || maxE != 35 {
+		t.Fatalf("region(0,0) = %d,%d,%d", minS, lastS, maxE)
+	}
+	if _, _, _, err := tr.Region(9, 0); err == nil {
+		t.Fatal("bad region lookup succeeded")
+	}
+}
+
+func TestBuildUnsortedInput(t *testing.T) {
+	nodes := []join.Node{n(30, 35, 1), n(0, 100, 1), n(10, 20, 2)}
+	tr := Build(nodes, 0) // default fanout
+	if tr.Leaf(0).Start != 0 || tr.Leaf(2).Start != 30 {
+		t.Fatal("leaves not sorted")
+	}
+}
+
+func TestJoinDescSimple(t *testing.T) {
+	alist := []join.Node{n(0, 100, 1), n(50, 60, 2)}
+	dlist := []join.Node{n(10, 20, 2), n(52, 55, 3), n(70, 80, 2)}
+	got := JoinDesc(Build(alist, 4), Build(dlist, 4), join.Descendant)
+	want := join.StackTreeDesc(alist, dlist, join.Descendant)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestJoinDescDeadRegions(t *testing.T) {
+	// Long dead runs exercise the multi-level skips.
+	var alist, dlist []join.Node
+	pos := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 100; j++ { // dead a-run
+			alist = append(alist, n(pos, pos+1, 1))
+			pos += 2
+		}
+		for j := 0; j < 100; j++ { // dead d-run
+			dlist = append(dlist, n(pos, pos+1, 1))
+			pos += 2
+		}
+	}
+	alist = append(alist, n(pos, pos+10, 1))
+	dlist = append(dlist, n(pos+2, pos+4, 2))
+	got := JoinDesc(Build(alist, 8), Build(dlist, 8), join.Descendant)
+	if len(got) != 1 {
+		t.Fatalf("got %d pairs, want 1", len(got))
+	}
+}
+
+func TestJoinDescEmpty(t *testing.T) {
+	empty := Build(nil, 4)
+	one := Build([]join.Node{n(0, 5, 1)}, 4)
+	if got := JoinDesc(empty, one, join.Descendant); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := JoinDesc(one, empty, join.Descendant); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// genForest builds a random properly nested forest (same generator shape
+// as the join package tests).
+func genForest(r *rand.Rand) []join.Node {
+	var nodes []join.Node
+	pos := 0
+	var build func(level, budget int)
+	build = func(level, budget int) {
+		for budget > 0 {
+			start := pos
+			pos += 1 + r.Intn(2)
+			inner := r.Intn(budget)
+			budget -= inner + 1
+			build(level+1, inner)
+			pos++
+			nodes = append(nodes, join.Node{Start: start, End: pos, Level: level,
+				Ref: join.ElemRef{SID: 1, Start: start, End: pos, Level: level}})
+			pos += r.Intn(2)
+		}
+	}
+	build(1, 10+r.Intn(30))
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Start < nodes[j].Start })
+	return nodes
+}
+
+func TestQuickJoinDescEqualsSTD(t *testing.T) {
+	f := func(seed int64, fanoutRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nodes := genForest(r)
+		var alist, dlist []join.Node
+		for _, nd := range nodes {
+			if r.Intn(2) == 0 {
+				alist = append(alist, nd)
+			}
+			if r.Intn(2) == 0 {
+				dlist = append(dlist, nd)
+			}
+		}
+		fanout := int(fanoutRaw)%7 + 2
+		for _, axis := range []join.Axis{join.Descendant, join.Child} {
+			want := join.StackTreeDesc(alist, dlist, axis)
+			got := JoinDesc(Build(alist, fanout), Build(dlist, fanout), axis)
+			if len(want) != len(got) {
+				t.Logf("seed %d fanout %d axis %v: %d vs %d", seed, fanout, axis, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJoinDescVsSTDSparse(b *testing.B) {
+	var alist, dlist []join.Node
+	pos := 0
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 200; j++ {
+			alist = append(alist, n(pos, pos+1, 1))
+			pos += 2
+		}
+		for j := 0; j < 200; j++ {
+			dlist = append(dlist, n(pos, pos+1, 1))
+			pos += 2
+		}
+	}
+	alist = append(alist, n(pos, pos+10, 1))
+	dlist = append(dlist, n(pos+2, pos+4, 2))
+	aT, dT := Build(alist, DefaultFanout), Build(dlist, DefaultFanout)
+	b.Run("STD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			join.StackTreeDesc(alist, dlist, join.Descendant)
+		}
+	})
+	b.Run("XB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			JoinDesc(aT, dT, join.Descendant)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+// DBLP-style bibliographic records: the paper's first motivating
+// workload ("almost each day new articles and proceedings need to be
+// added into the DBLP database").
+
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DBLPArticle renders one journal article record.
+func DBLPArticle(r *rand.Rand, key string, year int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<article key="%s">`, key)
+	for i, n := 0, r.Intn(3)+1; i < n; i++ {
+		fmt.Fprintf(&sb, "<author>author-%d</author>", r.Intn(500))
+	}
+	fmt.Fprintf(&sb, "<title>title-%s</title><year>%d</year>", key, year)
+	fmt.Fprintf(&sb, "<journal>j-%d</journal></article>", r.Intn(40))
+	return sb.String()
+}
+
+// DBLPProceedings renders a proceedings volume containing the given
+// number of inproceedings entries.
+func DBLPProceedings(r *rand.Rand, key string, papers int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<proceedings key="%s"><title>proc-%s</title>`, key, key)
+	for i := 0; i < papers; i++ {
+		fmt.Fprintf(&sb, `<inproceedings key="%s/%d">`, key, i)
+		fmt.Fprintf(&sb, "<author>author-%d</author><title>p-%d</title></inproceedings>", r.Intn(500), i)
+	}
+	sb.WriteString("</proceedings>")
+	return sb.String()
+}
+
+// DBLPBatch renders one "daily batch" of records: a mix of articles and
+// proceedings, each a valid standalone segment. It returns the fragments
+// in insertion order.
+func DBLPBatch(r *rand.Rand, day, size int) []string {
+	out := make([]string, 0, size)
+	for i := 0; i < size; i++ {
+		if r.Intn(4) == 0 {
+			out = append(out, DBLPProceedings(r, fmt.Sprintf("conf/%d/%d", day, i), r.Intn(8)+3))
+		} else {
+			out = append(out, DBLPArticle(r, fmt.Sprintf("journals/x/%d-%d", day, i), 2005))
+		}
+	}
+	return out
+}

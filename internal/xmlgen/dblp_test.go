@@ -1,0 +1,55 @@
+package xmlgen
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestDBLPArticleIsValidFragment(t *testing.T) {
+	r := newRand(1)
+	doc, err := xmltree.Parse([]byte(DBLPArticle(r, "journals/x/1", 2005)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "article" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+	if len(doc.ElementsByTag("author")) == 0 {
+		t.Fatal("article without authors")
+	}
+	if key, ok := doc.Root.Attr("key"); !ok || key != "journals/x/1" {
+		t.Fatalf("key = %q, %v", key, ok)
+	}
+}
+
+func TestDBLPProceedingsIsValidFragment(t *testing.T) {
+	r := newRand(2)
+	doc, err := xmltree.Parse([]byte(DBLPProceedings(r, "conf/sigmod/2005", 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "proceedings" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+	if got := len(doc.ElementsByTag("inproceedings")); got != 7 {
+		t.Fatalf("inproceedings = %d, want 7", got)
+	}
+}
+
+func TestDBLPBatch(t *testing.T) {
+	r := newRand(3)
+	batch := DBLPBatch(r, 4, 10)
+	if len(batch) != 10 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	for i, frag := range batch {
+		doc, err := xmltree.Parse([]byte(frag))
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if doc.Root.Tag != "article" && doc.Root.Tag != "proceedings" {
+			t.Fatalf("fragment %d has root %q", i, doc.Root.Tag)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package xmlgen generates deterministic XML documents for tests,
+// examples and benchmarks. It substitutes the two data sources of the
+// paper's evaluation:
+//
+//   - Synthetic stands in for the IBM XML Generator [15]: random trees
+//     with controllable depth, fan-out and tag alphabet;
+//   - XMark stands in for the XMark benchmark data [16]: an auction-site
+//     document with the person/phone, profile/interest and watches/watch
+//     vocabulary exercised by the paper's queries Q1–Q5.
+//
+// All generators are deterministic given a seed.
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SyntheticConfig controls the generic generator.
+type SyntheticConfig struct {
+	Seed     int64
+	Tags     []string // tag alphabet; defaults to a..f
+	MaxDepth int      // maximum element nesting depth (default 6)
+	MaxFan   int      // maximum children per element (default 4)
+	Elements int      // approximate number of elements to emit (default 100)
+	TextProb float64  // probability of a short text node between children
+}
+
+func (c *SyntheticConfig) defaults() {
+	if len(c.Tags) == 0 {
+		c.Tags = []string{"a", "b", "c", "d", "e", "f"}
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.MaxFan <= 0 {
+		c.MaxFan = 4
+	}
+	if c.Elements <= 0 {
+		c.Elements = 100
+	}
+}
+
+// Synthetic produces one well-formed document with approximately
+// cfg.Elements elements under a single root.
+func Synthetic(cfg SyntheticConfig) []byte {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var sb strings.Builder
+	budget := cfg.Elements - 1
+	sb.WriteString("<root>")
+	for budget > 0 {
+		budget = emitSynthetic(&sb, r, &cfg, 1, budget)
+	}
+	sb.WriteString("</root>")
+	return []byte(sb.String())
+}
+
+// emitSynthetic writes one element (and possibly a subtree) consuming at
+// most budget elements; it returns the remaining budget.
+func emitSynthetic(sb *strings.Builder, r *rand.Rand, cfg *SyntheticConfig, depth, budget int) int {
+	if budget <= 0 {
+		return budget
+	}
+	tag := cfg.Tags[r.Intn(len(cfg.Tags))]
+	budget--
+	if depth >= cfg.MaxDepth || budget == 0 || r.Intn(4) == 0 {
+		fmt.Fprintf(sb, "<%s/>", tag)
+		return budget
+	}
+	fmt.Fprintf(sb, "<%s>", tag)
+	fan := r.Intn(cfg.MaxFan) + 1
+	for i := 0; i < fan && budget > 0; i++ {
+		if cfg.TextProb > 0 && r.Float64() < cfg.TextProb {
+			sb.WriteString("t")
+		}
+		budget = emitSynthetic(sb, r, cfg, depth+1, budget)
+	}
+	fmt.Fprintf(sb, "</%s>", tag)
+	return budget
+}
+
+// DeepChain produces a document that is one chain of nested elements
+// (plus a leaf payload at each level) — the shape the paper's "most
+// highly nested" worst cases need, with enough depth for nested chops of
+// any size up to depth.
+func DeepChain(depth int, tags []string) []byte {
+	if len(tags) == 0 {
+		tags = []string{"a", "d"}
+	}
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		tag := tags[i%len(tags)]
+		fmt.Fprintf(&sb, "<%s><%s_leaf/>", tag, tag)
+	}
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "</%s>", tags[i%len(tags)])
+	}
+	return []byte(sb.String())
+}
+
+// XMarkConfig scales the auction-site document.
+type XMarkConfig struct {
+	Seed    int64
+	Persons int // number of <person> records (default 50)
+	Items   int // number of <item> records (default 20)
+	// PhonesPerPerson etc. default to small random counts when zero.
+	MaxPhones    int
+	MaxInterests int
+	MaxWatches   int
+}
+
+func (c *XMarkConfig) defaults() {
+	if c.Persons <= 0 {
+		c.Persons = 50
+	}
+	if c.Items <= 0 {
+		c.Items = 20
+	}
+	if c.MaxPhones <= 0 {
+		c.MaxPhones = 3
+	}
+	if c.MaxInterests <= 0 {
+		c.MaxInterests = 4
+	}
+	if c.MaxWatches <= 0 {
+		c.MaxWatches = 5
+	}
+}
+
+// XMark produces an auction-site document in the XMark vocabulary that
+// the paper's queries Q1–Q5 run against:
+//
+//	Q1 person//phone   Q2 profile//interest   Q3 watches//watch
+//	Q4 person//watch   Q5 person//interest
+func XMark(cfg XMarkConfig) []byte {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var sb strings.Builder
+	sb.WriteString("<site><regions><namerica>")
+	for i := 0; i < cfg.Items; i++ {
+		sb.WriteString(Item(r, i))
+	}
+	sb.WriteString("</namerica></regions><people>")
+	for i := 0; i < cfg.Persons; i++ {
+		sb.WriteString(Person(r, i, cfg))
+	}
+	sb.WriteString("</people></site>")
+	return []byte(sb.String())
+}
+
+// Person emits one <person> record — the shape of the paper's "on-line
+// registration system" segments.
+func Person(r *rand.Rand, id int, cfg XMarkConfig) string {
+	cfg.defaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<person id="p%d">`, id)
+	fmt.Fprintf(&sb, "<name>u%d</name><emailaddress>u%d@x</emailaddress>", id, id)
+	for i, n := 0, r.Intn(cfg.MaxPhones)+1; i < n; i++ {
+		fmt.Fprintf(&sb, "<phone>+%d</phone>", r.Intn(1_000_000))
+	}
+	sb.WriteString("<address><street>s</street><city>c</city><country>x</country></address>")
+	sb.WriteString("<profile>")
+	for i, n := 0, r.Intn(cfg.MaxInterests)+1; i < n; i++ {
+		fmt.Fprintf(&sb, `<interest category="c%d"/>`, r.Intn(40))
+	}
+	sb.WriteString("<education>e</education><gender>g</gender></profile>")
+	sb.WriteString("<watches>")
+	for i, n := 0, r.Intn(cfg.MaxWatches)+1; i < n; i++ {
+		fmt.Fprintf(&sb, `<watch open_auction="a%d"/>`, r.Intn(1000))
+	}
+	sb.WriteString("</watches></person>")
+	return sb.String()
+}
+
+// Item emits one <item> record — the shape of a DBLP-style publication
+// insertion.
+func Item(r *rand.Rand, id int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<item id="i%d">`, id)
+	fmt.Fprintf(&sb, "<name>item%d</name><payment>cash</payment>", id)
+	sb.WriteString("<description><text>d</text></description>")
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		fmt.Fprintf(&sb, "<incategory>c%d</incategory>", r.Intn(10))
+	}
+	sb.WriteString("</item>")
+	return sb.String()
+}
+
+// XMarkQueries lists the five XMark path expressions of Figure 14 as
+// (ancestor tag, descendant tag) pairs.
+func XMarkQueries() [][2]string {
+	return [][2]string{
+		{"person", "phone"},     // Q1
+		{"profile", "interest"}, // Q2
+		{"watches", "watch"},    // Q3
+		{"person", "watch"},     // Q4
+		{"person", "interest"},  // Q5
+	}
+}

@@ -1,0 +1,166 @@
+package xmlgen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSyntheticParsesAndScales(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 5000} {
+		text := Synthetic(SyntheticConfig{Seed: 7, Elements: n})
+		doc, err := xmltree.Parse(text)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Root plus approximately n elements.
+		if doc.Len() < n/2 || doc.Len() > n+2 {
+			t.Fatalf("n=%d: got %d elements", n, doc.Len())
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticConfig{Seed: 42, Elements: 500})
+	b := Synthetic(SyntheticConfig{Seed: 42, Elements: 500})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different documents")
+	}
+	c := Synthetic(SyntheticConfig{Seed: 43, Elements: 500})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestSyntheticRespectsDepth(t *testing.T) {
+	text := Synthetic(SyntheticConfig{Seed: 1, Elements: 2000, MaxDepth: 3})
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := 0
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
+		return true
+	})
+	if maxLevel > 3 {
+		t.Fatalf("max level = %d, configured 3", maxLevel)
+	}
+}
+
+func TestSyntheticCustomTags(t *testing.T) {
+	text := Synthetic(SyntheticConfig{Seed: 1, Elements: 200, Tags: []string{"x", "y"}})
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range doc.Tags() {
+		if tag != "root" && tag != "x" && tag != "y" {
+			t.Fatalf("unexpected tag %q", tag)
+		}
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	text := DeepChain(40, nil)
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := 0
+	doc.Walk(func(e *xmltree.Element) bool {
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
+		return true
+	})
+	if maxLevel != 40 { // chain depth 40 => leaves at level 40 (root at 0)
+		t.Fatalf("max level = %d", maxLevel)
+	}
+	if doc.Len() != 80 { // one chain element + one leaf per level
+		t.Fatalf("elements = %d", doc.Len())
+	}
+	// Custom tags.
+	text = DeepChain(3, []string{"x"})
+	if _, err := xmltree.Parse(text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	text := XMark(XMarkConfig{Seed: 3, Persons: 20, Items: 5})
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "site" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+	persons := doc.ElementsByTag("person")
+	if len(persons) != 20 {
+		t.Fatalf("persons = %d", len(persons))
+	}
+	if got := len(doc.ElementsByTag("item")); got != 5 {
+		t.Fatalf("items = %d", got)
+	}
+	// Every person must contain at least one phone, interest and watch so
+	// Q1-Q5 have non-empty results.
+	for _, tag := range []string{"phone", "interest", "watch", "profile", "watches"} {
+		if len(doc.ElementsByTag(tag)) < 20 {
+			t.Fatalf("tag %s occurs %d times, want >= one per person", tag, len(doc.ElementsByTag(tag)))
+		}
+	}
+}
+
+func TestXMarkQueriesNonEmptyGroundTruth(t *testing.T) {
+	text := XMark(XMarkConfig{Seed: 3, Persons: 10, Items: 2})
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range XMarkQueries() {
+		as := doc.ElementsByTag(q[0])
+		ds := doc.ElementsByTag(q[1])
+		count := 0
+		for _, a := range as {
+			for _, d := range ds {
+				if a.Contains(d) {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			t.Errorf("query %s//%s has empty ground truth", q[0], q[1])
+		}
+	}
+}
+
+func TestPersonFragmentIsValid(t *testing.T) {
+	r := newRand(9)
+	frag := Person(r, 1, XMarkConfig{})
+	doc, err := xmltree.Parse([]byte(frag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "person" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+}
+
+func TestItemFragmentIsValid(t *testing.T) {
+	r := newRand(9)
+	frag := Item(r, 1)
+	doc, err := xmltree.Parse([]byte(frag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "item" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+}

@@ -1,0 +1,121 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestContentOffsets(t *testing.T) {
+	d := mustParse(t, "<a>hello<b/>world</a>")
+	a := d.Root
+	if a.ContentStart != 3 || a.ContentEnd != 17 {
+		t.Fatalf("content span = [%d,%d), want [3,17)", a.ContentStart, a.ContentEnd)
+	}
+	b := a.Children[0]
+	if b.ContentStart != b.End || b.ContentEnd != b.End {
+		t.Fatalf("self-closing content span = [%d,%d), want empty at %d",
+			b.ContentStart, b.ContentEnd, b.End)
+	}
+}
+
+func TestDirectText(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string // direct text of the root
+	}{
+		{"<a></a>", ""},
+		{"<a/>", ""},
+		{"<a>hello</a>", "hello"},
+		{"<a>he<b>skip</b>llo</a>", "hello"},
+		{"<a><b>skip</b><c>this</c>!</a>", "!"},
+		{"<a> spaced </a>", " spaced "},
+		{"<a>x<b/><c/>y</a>", "xy"},
+	}
+	for _, c := range cases {
+		d := mustParse(t, c.doc)
+		if got := d.Root.DirectText(d.Text); got != c.want {
+			t.Errorf("DirectText(%s) = %q, want %q", c.doc, got, c.want)
+		}
+	}
+}
+
+func TestDirectTextNested(t *testing.T) {
+	d := mustParse(t, "<a><b>inner</b></a>")
+	b := d.Root.Children[0]
+	if got := b.DirectText(d.Text); got != "inner" {
+		t.Fatalf("b text = %q", got)
+	}
+	if got := d.Root.DirectText(d.Text); got != "" {
+		t.Fatalf("a text = %q", got)
+	}
+}
+
+// TestQuickDirectTextMatchesNaive: direct text equals region with child
+// regions and tags stripped, on random documents with text runs.
+func TestQuickDirectTextMatchesNaive(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	words := []string{"x", "yy", "zzz", " "}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		var emit func(depth int)
+		emit = func(depth int) {
+			tag := tags[r.Intn(len(tags))]
+			if depth > 3 || r.Intn(4) == 0 {
+				sb.WriteString("<" + tag + "/>")
+				return
+			}
+			sb.WriteString("<" + tag + ">")
+			for i, n := 0, r.Intn(4); i < n; i++ {
+				if r.Intn(2) == 0 {
+					sb.WriteString(words[r.Intn(len(words))])
+				}
+				if r.Intn(2) == 0 {
+					emit(depth + 1)
+				}
+			}
+			if r.Intn(2) == 0 {
+				sb.WriteString(words[r.Intn(len(words))])
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		emit(0)
+		d, err := Parse([]byte(sb.String()))
+		if err != nil {
+			return false
+		}
+		ok := true
+		d.Walk(func(e *Element) bool {
+			// Naive: take the content span, cut child spans.
+			if e.ContentStart > e.ContentEnd {
+				ok = false
+				return false
+			}
+			var naive []byte
+			pos := e.ContentStart
+			for _, c := range e.Children {
+				naive = append(naive, d.Text[pos:c.Start]...)
+				pos = c.End
+			}
+			if e.ContentStart < e.ContentEnd {
+				naive = append(naive, d.Text[pos:e.ContentEnd]...)
+			}
+			if e.DirectText(d.Text) != string(naive) {
+				ok = false
+				return false
+			}
+			// Content span sits inside the element span and outside tags.
+			if e.ContentStart < e.Start || e.ContentEnd > e.End {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

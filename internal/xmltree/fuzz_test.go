@@ -1,0 +1,60 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the parser: it must never panic,
+// and on success the offset invariants must hold.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a></a>",
+		"<a><b/><c x='1'>t</c></a>",
+		`<?xml version="1.0"?><!DOCTYPE d [<!ELEMENT d ANY>]><d><!-- c --><![CDATA[<x>]]></d>`,
+		"<a>\n <b>text</b> \t</a>",
+		"<a", "</a>", "<a x=>", "<<>>", "", "plain text",
+		"<a><a><a></a></a></a>",
+		"<\xff\xfe>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		doc.Walk(func(e *Element) bool {
+			if e.Start < 0 || e.End > len(data) || e.Start >= e.End {
+				t.Fatalf("element %s span [%d,%d) outside document of %d bytes",
+					e.Tag, e.Start, e.End, len(data))
+			}
+			region := string(e.Region(doc.Text))
+			if !strings.HasPrefix(region, "<"+e.Tag) {
+				t.Fatalf("element %s region %q does not start with its tag", e.Tag, region)
+			}
+			for _, c := range e.Children {
+				if !(e.Start < c.Start && c.End < e.End) {
+					t.Fatalf("child %s [%d,%d) escapes parent %s [%d,%d)",
+						c.Tag, c.Start, c.End, e.Tag, e.Start, e.End)
+				}
+			}
+			for _, a := range e.Attrs {
+				if !(e.Start < a.Start && a.End < e.End) {
+					t.Fatalf("attr %s [%d,%d) outside element %s [%d,%d)",
+						a.Name, a.Start, a.End, e.Tag, e.Start, e.End)
+				}
+			}
+			return true
+		})
+		// A parsed document re-parses identically from its own bytes.
+		again, err := Parse(doc.Text)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Len() != doc.Len() {
+			t.Fatalf("re-parse found %d elements, first parse %d", again.Len(), doc.Len())
+		}
+	})
+}

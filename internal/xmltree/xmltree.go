@@ -1,0 +1,458 @@
+// Package xmltree provides a character-offset-accurate XML document
+// model for the lazy XML update engine.
+//
+// The lazy update approach (Catania et al., SIGMOD 2005) identifies every
+// element by its starting and ending character positions inside the text
+// of the document, so the parser here is a hand-written tokenizer that
+// records, for every element, the byte offset of the '<' opening its
+// start tag and the byte offset one past the '>' closing its end tag.
+// encoding/xml cannot be used for this: it normalizes entities and does
+// not expose the end-tag extent of an element.
+//
+// The model deliberately tracks only elements (plus their attributes);
+// text, comments, CDATA and processing instructions contribute to offsets
+// but are not materialized as tree nodes, matching the element-only view
+// the paper's element index takes.
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Element is a node of the parsed element tree.
+//
+// Start is the byte offset of the '<' of the start tag, End is the byte
+// offset one past the '>' of the end tag (or of the '/>' for an empty
+// element), both relative to the start of the parsed text. With this
+// convention, strict interval containment (a.Start < b.Start && a.End >
+// b.End) holds exactly for ancestor/descendant pairs.
+type Element struct {
+	Tag   string
+	Start int
+	End   int
+	// ContentStart/ContentEnd bracket the element's content: one past
+	// the '>' of the start tag and the '<' of the end tag. For an
+	// empty-element tag both equal End.
+	ContentStart int
+	ContentEnd   int
+	Level        int // depth; the root of the parsed text has level 0
+	Parent       *Element
+	Children     []*Element
+	Attrs        []Attr
+}
+
+// Attr is a single attribute of an element. Start is the byte offset of
+// the first character of the attribute name, End the offset one past the
+// closing quote of the value — so an attribute occupies a sub-interval of
+// its element's start tag and can be treated as a nested pseudo-element
+// (the paper's "attributes can be considered as subelements").
+type Attr struct {
+	Name  string
+	Value string
+	Start int
+	End   int
+}
+
+// Document is a parsed XML text: the raw bytes plus the element tree.
+type Document struct {
+	Text []byte
+	Root *Element
+	// count of elements, cached by Parse.
+	n int
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Region returns the raw text of the element, including its tags.
+func (e *Element) Region(text []byte) []byte { return text[e.Start:e.End] }
+
+// Contains reports whether e strictly contains d (ancestor/descendant).
+func (e *Element) Contains(d *Element) bool {
+	return e.Start < d.Start && e.End > d.End
+}
+
+// DirectText returns the concatenation of e's direct character data (the
+// content with child-element regions removed), given the parsed text.
+// CDATA sections, comments and processing instructions inside the
+// content are returned verbatim (the engine treats values as raw bytes).
+func (e *Element) DirectText(text []byte) string {
+	if e.ContentStart >= e.ContentEnd {
+		return ""
+	}
+	out := make([]byte, 0, e.ContentEnd-e.ContentStart)
+	pos := e.ContentStart
+	for _, c := range e.Children {
+		out = append(out, text[pos:c.Start]...)
+		pos = c.End
+	}
+	return string(append(out, text[pos:e.ContentEnd]...))
+}
+
+// Len returns the number of elements in the document.
+func (d *Document) Len() int { return d.n }
+
+// Walk visits every element in document (preorder) order until fn returns
+// false.
+func (d *Document) Walk(fn func(*Element) bool) {
+	if d.Root == nil {
+		return
+	}
+	walk(d.Root, fn)
+}
+
+func walk(e *Element, fn func(*Element) bool) bool {
+	if !fn(e) {
+		return false
+	}
+	for _, c := range e.Children {
+		if !walk(c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns all elements in document order.
+func (d *Document) Elements() []*Element {
+	out := make([]*Element, 0, d.n)
+	d.Walk(func(e *Element) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// ElementsByTag returns all elements with the given tag, in document order.
+func (d *Document) ElementsByTag(tag string) []*Element {
+	var out []*Element
+	d.Walk(func(e *Element) bool {
+		if e.Tag == tag {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// Tags returns the set of distinct tag names in document order of first
+// appearance.
+func (d *Document) Tags() []string {
+	seen := map[string]bool{}
+	var out []string
+	d.Walk(func(e *Element) bool {
+		if !seen[e.Tag] {
+			seen[e.Tag] = true
+			out = append(out, e.Tag)
+		}
+		return true
+	})
+	return out
+}
+
+// SyntaxError describes a malformed XML input.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmltree: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// ErrNoRoot is returned when the input contains no element at all.
+var ErrNoRoot = errors.New("xmltree: document has no root element")
+
+// Parse parses text as a complete XML document (one root element,
+// optionally surrounded by whitespace, comments and processing
+// instructions) and returns the offset-annotated element tree.
+func Parse(text []byte) (*Document, error) {
+	p := parser{text: text}
+	root, err := p.parseDocument()
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{Text: text, Root: root}
+	d.Walk(func(*Element) bool { d.n++; return true })
+	return d, nil
+}
+
+// ParseFragment parses text as an XML fragment that must consist of
+// exactly one element (a "segment" in the paper's terminology: a valid
+// XML document by itself). It is Parse with a stricter error message for
+// the update path.
+func ParseFragment(text []byte) (*Document, error) {
+	d, err := Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("invalid segment: %w", err)
+	}
+	return d, nil
+}
+
+type parser struct {
+	text []byte
+	pos  int
+}
+
+func (p *parser) errorf(off int, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseDocument() (*Element, error) {
+	var root *Element
+	for p.pos < len(p.text) {
+		p.skipMisc()
+		if p.pos >= len(p.text) {
+			break
+		}
+		if p.text[p.pos] != '<' {
+			return nil, p.errorf(p.pos, "unexpected character %q outside root element", p.text[p.pos])
+		}
+		if root != nil {
+			return nil, p.errorf(p.pos, "multiple root elements")
+		}
+		el, err := p.parseElement(0)
+		if err != nil {
+			return nil, err
+		}
+		root = el
+	}
+	if root == nil {
+		return nil, ErrNoRoot
+	}
+	return root, nil
+}
+
+// skipMisc advances past whitespace, comments, PIs and doctype
+// declarations that may appear outside elements.
+func (p *parser) skipMisc() {
+	for p.pos < len(p.text) {
+		c := p.text[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '<' && p.pos+1 < len(p.text) {
+			switch p.text[p.pos+1] {
+			case '?':
+				p.skipUntil("?>")
+				continue
+			case '!':
+				if p.hasPrefix("<!--") {
+					p.skipUntil("-->")
+					continue
+				}
+				if p.hasPrefix("<!DOCTYPE") || p.hasPrefix("<!doctype") {
+					p.skipDoctype()
+					continue
+				}
+			}
+		}
+		return
+	}
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.text) && string(p.text[p.pos:p.pos+len(s)]) == s
+}
+
+func (p *parser) skipUntil(end string) {
+	i := strings.Index(string(p.text[p.pos:]), end)
+	if i < 0 {
+		p.pos = len(p.text)
+		return
+	}
+	p.pos += i + len(end)
+}
+
+// skipDoctype skips a doctype declaration, honoring an optional internal
+// subset in brackets.
+func (p *parser) skipDoctype() {
+	depth := 0
+	for p.pos < len(p.text) {
+		switch p.text[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				p.pos++
+				return
+			}
+		}
+		p.pos++
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.pos >= len(p.text) || !isNameStart(p.text[p.pos]) {
+		return "", p.errorf(p.pos, "expected name")
+	}
+	p.pos++
+	for p.pos < len(p.text) && isNameChar(p.text[p.pos]) {
+		p.pos++
+	}
+	return string(p.text[start:p.pos]), nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.text) {
+		switch p.text[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// parseElement parses an element whose '<' is at p.pos.
+func (p *parser) parseElement(level int) (*Element, error) {
+	start := p.pos
+	if p.text[p.pos] != '<' {
+		return nil, p.errorf(p.pos, "expected '<'")
+	}
+	p.pos++
+	tag, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	el := &Element{Tag: tag, Start: start, Level: level}
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.text) {
+			return nil, p.errorf(p.pos, "unterminated start tag <%s", tag)
+		}
+		switch p.text[p.pos] {
+		case '>':
+			p.pos++
+			el.ContentStart = p.pos
+			if err := p.parseContent(el); err != nil {
+				return nil, err
+			}
+			return el, nil
+		case '/':
+			if p.pos+1 >= len(p.text) || p.text[p.pos+1] != '>' {
+				return nil, p.errorf(p.pos, "malformed empty-element tag <%s", tag)
+			}
+			p.pos += 2
+			el.End = p.pos
+			el.ContentStart = p.pos
+			el.ContentEnd = p.pos
+			return el, nil
+		default:
+			attrStart := p.pos
+			name, err := p.parseName()
+			if err != nil {
+				return nil, p.errorf(p.pos, "malformed attribute in <%s>", tag)
+			}
+			p.skipSpace()
+			if p.pos >= len(p.text) || p.text[p.pos] != '=' {
+				return nil, p.errorf(p.pos, "attribute %s in <%s> missing '='", name, tag)
+			}
+			p.pos++
+			p.skipSpace()
+			val, err := p.parseAttrValue()
+			if err != nil {
+				return nil, err
+			}
+			el.Attrs = append(el.Attrs, Attr{Name: name, Value: val, Start: attrStart, End: p.pos})
+		}
+	}
+}
+
+func (p *parser) parseAttrValue() (string, error) {
+	if p.pos >= len(p.text) || (p.text[p.pos] != '"' && p.text[p.pos] != '\'') {
+		return "", p.errorf(p.pos, "attribute value must be quoted")
+	}
+	quote := p.text[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.text) && p.text[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.text) {
+		return "", p.errorf(start, "unterminated attribute value")
+	}
+	val := string(p.text[start:p.pos])
+	p.pos++
+	return val, nil
+}
+
+// parseContent parses children and character data until the matching end
+// tag of el, setting el.End.
+func (p *parser) parseContent(el *Element) error {
+	for {
+		if p.pos >= len(p.text) {
+			return p.errorf(p.pos, "missing end tag </%s>", el.Tag)
+		}
+		if p.text[p.pos] != '<' {
+			p.pos++ // character data
+			continue
+		}
+		if p.pos+1 >= len(p.text) {
+			return p.errorf(p.pos, "truncated markup inside <%s>", el.Tag)
+		}
+		switch p.text[p.pos+1] {
+		case '/':
+			closeStart := p.pos
+			el.ContentEnd = closeStart
+			p.pos += 2
+			name, err := p.parseName()
+			if err != nil {
+				return err
+			}
+			if name != el.Tag {
+				return p.errorf(closeStart, "end tag </%s> does not match <%s>", name, el.Tag)
+			}
+			p.skipSpace()
+			if p.pos >= len(p.text) || p.text[p.pos] != '>' {
+				return p.errorf(p.pos, "malformed end tag </%s", name)
+			}
+			p.pos++
+			el.End = p.pos
+			return nil
+		case '!':
+			if p.hasPrefix("<!--") {
+				p.skipUntil("-->")
+				continue
+			}
+			if p.hasPrefix("<![CDATA[") {
+				p.skipUntil("]]>")
+				continue
+			}
+			return p.errorf(p.pos, "unexpected markup declaration inside <%s>", el.Tag)
+		case '?':
+			p.skipUntil("?>")
+			continue
+		default:
+			child, err := p.parseElement(el.Level + 1)
+			if err != nil {
+				return err
+			}
+			child.Parent = el
+			el.Children = append(el.Children, child)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return d
+}
+
+func TestParseMinimal(t *testing.T) {
+	d := mustParse(t, "<a></a>")
+	if d.Root.Tag != "a" {
+		t.Fatalf("root tag = %q", d.Root.Tag)
+	}
+	if d.Root.Start != 0 || d.Root.End != 7 {
+		t.Fatalf("root span = [%d,%d), want [0,7)", d.Root.Start, d.Root.End)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestParseSelfClosing(t *testing.T) {
+	d := mustParse(t, "<a><b/><c/></a>")
+	if len(d.Root.Children) != 2 {
+		t.Fatalf("children = %d", len(d.Root.Children))
+	}
+	b, c := d.Root.Children[0], d.Root.Children[1]
+	if b.Start != 3 || b.End != 7 {
+		t.Fatalf("b span [%d,%d), want [3,7)", b.Start, b.End)
+	}
+	if c.Start != 7 || c.End != 11 {
+		t.Fatalf("c span [%d,%d), want [7,11)", c.Start, c.End)
+	}
+	if b.Level != 1 || c.Level != 1 || d.Root.Level != 0 {
+		t.Fatal("levels wrong")
+	}
+}
+
+func TestParseNestedOffsets(t *testing.T) {
+	s := "<a><b><c></c></b></a>"
+	d := mustParse(t, s)
+	var spans []string
+	d.Walk(func(e *Element) bool {
+		spans = append(spans, fmt.Sprintf("%s[%d,%d)@%d", e.Tag, e.Start, e.End, e.Level))
+		return true
+	})
+	want := []string{"a[0,21)@0", "b[3,17)@1", "c[6,13)@2"}
+	if strings.Join(spans, " ") != strings.Join(want, " ") {
+		t.Fatalf("spans = %v, want %v", spans, want)
+	}
+}
+
+func TestRegionRoundTrip(t *testing.T) {
+	s := `<root attr="x"><child>text</child><other><inner/></other></root>`
+	d := mustParse(t, s)
+	d.Walk(func(e *Element) bool {
+		region := string(e.Region(d.Text))
+		if !strings.HasPrefix(region, "<"+e.Tag) {
+			t.Errorf("region of %s does not start with its tag: %q", e.Tag, region)
+		}
+		if !strings.HasSuffix(region, ">") {
+			t.Errorf("region of %s does not end with '>': %q", e.Tag, region)
+		}
+		// The region must itself re-parse to an identical single-rooted tree.
+		sub, err := Parse([]byte(region))
+		if err != nil {
+			t.Errorf("region of %s does not re-parse: %v", e.Tag, err)
+			return true
+		}
+		if sub.Root.Tag != e.Tag || sub.Root.End-sub.Root.Start != e.End-e.Start {
+			t.Errorf("region of %s re-parses to different extent", e.Tag)
+		}
+		return true
+	})
+}
+
+func TestAttributes(t *testing.T) {
+	d := mustParse(t, `<a x="1" y='two' z=""><b k="v"/></a>`)
+	if v, ok := d.Root.Attr("x"); !ok || v != "1" {
+		t.Fatalf("x = %q,%v", v, ok)
+	}
+	if v, ok := d.Root.Attr("y"); !ok || v != "two" {
+		t.Fatalf("y = %q,%v", v, ok)
+	}
+	if v, ok := d.Root.Attr("z"); !ok || v != "" {
+		t.Fatalf("z = %q,%v", v, ok)
+	}
+	if _, ok := d.Root.Attr("missing"); ok {
+		t.Fatal("found missing attr")
+	}
+	if v, ok := d.Root.Children[0].Attr("k"); !ok || v != "v" {
+		t.Fatalf("b.k = %q,%v", v, ok)
+	}
+}
+
+func TestTextAndMixedContent(t *testing.T) {
+	s := "<a>hello <b>world</b> bye</a>"
+	d := mustParse(t, s)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	b := d.Root.Children[0]
+	if string(b.Region(d.Text)) != "<b>world</b>" {
+		t.Fatalf("b region = %q", b.Region(d.Text))
+	}
+}
+
+func TestCommentsCDATAPI(t *testing.T) {
+	s := `<?xml version="1.0"?><!-- top --><a><!-- in --><b><![CDATA[<not><xml>]]></b><?pi data?></a>`
+	d := mustParse(t, s)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Root.Tag != "a" || d.Root.Children[0].Tag != "b" {
+		t.Fatal("structure wrong")
+	}
+}
+
+func TestDoctype(t *testing.T) {
+	s := `<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]><note>x</note>`
+	d := mustParse(t, s)
+	if d.Root.Tag != "note" {
+		t.Fatalf("root = %q", d.Root.Tag)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no root
+		"   ",                   // whitespace only
+		"<a>",                   // missing end tag
+		"<a></b>",               // mismatched end tag
+		"<a><b></a></b>",        // crossed tags
+		"text<a></a>",           // stray text before root
+		"<a></a><b></b>",        // two roots
+		"<a x></a>",             // attribute without value
+		`<a x=1></a>`,           // unquoted attribute
+		`<a x="1></a>`,          // unterminated attribute
+		"<a",                    // truncated
+		"<1a></1a>",             // bad name
+		"<a><b/></a>trailing<c", // garbage after root
+	}
+	for _, s := range cases {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	d := mustParse(t, "<a><b><c/></b><d/></a>")
+	a := d.Root
+	b := a.Children[0]
+	c := b.Children[0]
+	e := a.Children[1]
+	if !a.Contains(b) || !a.Contains(c) || !b.Contains(c) {
+		t.Fatal("ancestor containment missing")
+	}
+	if b.Contains(a) || c.Contains(b) || b.Contains(e) || e.Contains(b) {
+		t.Fatal("false containment")
+	}
+	if a.Contains(a) {
+		t.Fatal("self containment")
+	}
+}
+
+func TestElementsByTagAndTags(t *testing.T) {
+	d := mustParse(t, "<a><b/><c><b/></c><b/></a>")
+	bs := d.ElementsByTag("b")
+	if len(bs) != 3 {
+		t.Fatalf("b count = %d", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Start >= bs[i].Start {
+			t.Fatal("ElementsByTag not in document order")
+		}
+	}
+	tags := d.Tags()
+	if len(tags) != 3 || tags[0] != "a" || tags[1] != "b" || tags[2] != "c" {
+		t.Fatalf("Tags = %v", tags)
+	}
+}
+
+func TestLevelNumbers(t *testing.T) {
+	d := mustParse(t, "<a><b><c><d/></c></b></a>")
+	want := map[string]int{"a": 0, "b": 1, "c": 2, "d": 3}
+	d.Walk(func(e *Element) bool {
+		if e.Level != want[e.Tag] {
+			t.Errorf("level(%s) = %d, want %d", e.Tag, e.Level, want[e.Tag])
+		}
+		return true
+	})
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	d := mustParse(t, "<a><b/><c/><d/></a>")
+	count := 0
+	d.Walk(func(*Element) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("visited %d, want 2", count)
+	}
+}
+
+// genXML emits a random well-formed document and returns its text.
+func genXML(r *rand.Rand, maxDepth int) string {
+	var sb strings.Builder
+	tags := []string{"a", "b", "c", "dd", "e5"}
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := tags[r.Intn(len(tags))]
+		sb.WriteString("<" + tag)
+		if r.Intn(3) == 0 {
+			fmt.Fprintf(&sb, ` k="%d"`, r.Intn(100))
+		}
+		if depth >= maxDepth || r.Intn(4) == 0 {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteString(">")
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				sb.WriteString("some text ")
+			}
+			emit(depth + 1)
+		}
+		sb.WriteString("</" + tag + ">")
+	}
+	emit(0)
+	return sb.String()
+}
+
+// TestQuickOffsetsBracketTags verifies on random documents that every
+// element's span starts with its start tag and ends with its end tag, and
+// that parent spans strictly contain child spans.
+func TestQuickOffsetsBracketTags(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		text := genXML(r, 5)
+		d, err := Parse([]byte(text))
+		if err != nil {
+			t.Logf("doc: %s err: %v", text, err)
+			return false
+		}
+		ok := true
+		d.Walk(func(e *Element) bool {
+			region := string(e.Region(d.Text))
+			if !strings.HasPrefix(region, "<"+e.Tag) {
+				ok = false
+				return false
+			}
+			wantEnd := "</" + e.Tag + ">"
+			if !strings.HasSuffix(region, wantEnd) && !strings.HasSuffix(region, "/>") {
+				ok = false
+				return false
+			}
+			for _, c := range e.Children {
+				if !(e.Start < c.Start && c.End < e.End) {
+					ok = false
+					return false
+				}
+				if c.Parent != e || c.Level != e.Level+1 {
+					ok = false
+					return false
+				}
+			}
+			// Siblings are ordered and disjoint.
+			for i := 1; i < len(e.Children); i++ {
+				if e.Children[i-1].End > e.Children[i].Start {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReparseRegion verifies that slicing out any element's region
+// yields a valid document with the same number of elements as the subtree.
+func TestQuickReparseRegion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		text := genXML(r, 4)
+		d, err := Parse([]byte(text))
+		if err != nil {
+			return false
+		}
+		ok := true
+		d.Walk(func(e *Element) bool {
+			sub, err := Parse(e.Region(d.Text))
+			if err != nil {
+				ok = false
+				return false
+			}
+			count := 0
+			walk(e, func(*Element) bool { count++; return true })
+			if sub.Len() != count {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(genXML(r, 4))
+	}
+	sb.WriteString("</root>")
+	text := []byte(sb.String())
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package xrtree provides the query operations of the XR-tree (Jiang,
+// Lu, Wang, Ooi — ICDE 2003, reference [5] of the paper): given the
+// elements of a document, find all ancestors of a point (a "stabbing"
+// query) and all descendants of an interval in logarithmic time plus
+// output, instead of scanning element lists.
+//
+// The published XR-tree is a disk B+-tree whose internal entries carry
+// stab lists; in memory the same operations fall out of two arrays and
+// the nesting property: elements sorted by start for binary search, and
+// a parent link from each element to its tightest enclosing element, so
+// a stabbing query is one binary search, one parent-chain hop to the
+// deepest container, and then a walk up the chain (O(log n + answers)).
+package xrtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/join"
+)
+
+// Tree is a static ancestor/descendant index over one element set.
+type Tree struct {
+	nodes  []join.Node // sorted by start
+	parent []int       // index of tightest enclosing element, -1 if none
+}
+
+// Build indexes the elements, which must come from one properly nested
+// document (intervals nest or are disjoint; starts are unique). The
+// input need not be sorted.
+func Build(nodes []join.Node) (*Tree, error) {
+	sorted := append([]join.Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	t := &Tree{nodes: sorted, parent: make([]int, len(sorted))}
+	var stack []int
+	for i, n := range sorted {
+		if i > 0 && sorted[i-1].Start == n.Start {
+			return nil, fmt.Errorf("xrtree: duplicate start %d", n.Start)
+		}
+		for len(stack) > 0 && sorted[stack[len(stack)-1]].End <= n.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			t.parent[i] = -1
+		} else {
+			top := stack[len(stack)-1]
+			if n.End > sorted[top].End {
+				return nil, fmt.Errorf("xrtree: interval [%d,%d) overlaps [%d,%d) without nesting",
+					n.Start, n.End, sorted[top].Start, sorted[top].End)
+			}
+			t.parent[i] = top
+		}
+		stack = append(stack, i)
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed elements.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Node returns the i-th element in start order.
+func (t *Tree) Node(i int) join.Node { return t.nodes[i] }
+
+// deepestContaining returns the index of the deepest element strictly
+// containing point p, or -1.
+func (t *Tree) deepestContaining(p int) int {
+	// Rightmost element starting before p.
+	i := sort.Search(len(t.nodes), func(j int) bool { return t.nodes[j].Start >= p })
+	i--
+	if i < 0 {
+		return -1
+	}
+	// Either nodes[i] contains p, or the container is on its enclosing
+	// chain (everything between ends before p by nesting).
+	for i >= 0 && t.nodes[i].End <= p {
+		i = t.parent[i]
+	}
+	return i
+}
+
+// Ancestors returns all elements strictly containing point p, outermost
+// first — the XR-tree stabbing query, O(log n + answers).
+func (t *Tree) Ancestors(p int) []join.Node {
+	var chain []join.Node
+	for i := t.deepestContaining(p); i >= 0; i = t.parent[i] {
+		chain = append(chain, t.nodes[i])
+	}
+	// Reverse to outermost-first.
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	return chain
+}
+
+// AncestorsOfInterval returns all elements strictly containing the
+// interval [start, end), outermost first.
+func (t *Tree) AncestorsOfInterval(start, end int) []join.Node {
+	anc := t.Ancestors(start)
+	// Containers of start that end before `end` cannot contain the whole
+	// interval; by nesting they form a suffix of the chain.
+	cut := len(anc)
+	for cut > 0 && anc[cut-1].End < end {
+		cut--
+	}
+	return anc[:cut]
+}
+
+// Descendants returns all elements strictly inside [start, end), in
+// start order — a single range scan.
+func (t *Tree) Descendants(start, end int) []join.Node {
+	lo := sort.Search(len(t.nodes), func(j int) bool { return t.nodes[j].Start > start })
+	hi := sort.Search(len(t.nodes), func(j int) bool { return t.nodes[j].Start >= end })
+	var out []join.Node
+	for i := lo; i < hi; i++ {
+		if t.nodes[i].End <= end {
+			out = append(out, t.nodes[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package xrtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/join"
+	"repro/internal/xmltree"
+)
+
+func nodesOf(t *testing.T, s string) []join.Node {
+	t.Helper()
+	doc, err := xmltree.Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []join.Node
+	doc.Walk(func(e *xmltree.Element) bool {
+		out = append(out, join.Node{Start: e.Start, End: e.End, Level: e.Level,
+			Ref: join.ElemRef{Start: e.Start, End: e.End, Level: e.Level}})
+		return true
+	})
+	return out
+}
+
+func TestBuildAndAncestors(t *testing.T) {
+	// <a>[0,30) <b>[3,20) <c>[6,13)</c> </b> <d>[20,26)</d> </a>
+	nodes := nodesOf(t, "<a><b><c></c>xxx</b><d>yy</d></a>")
+	tr, err := Build(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// A point inside <c>: ancestors are a, b, c (outermost first).
+	cNode := nodes[2]
+	anc := tr.Ancestors(cNode.Start + 1)
+	if len(anc) != 3 {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	if anc[0].Start != 0 || anc[2].Start != cNode.Start {
+		t.Fatalf("order wrong: %v", anc)
+	}
+	// A point outside everything.
+	if got := tr.Ancestors(nodes[0].End + 100); got != nil {
+		t.Fatalf("got %v", got)
+	}
+	// Exactly at an element start: not strictly inside it.
+	anc = tr.Ancestors(cNode.Start)
+	if len(anc) != 2 {
+		t.Fatalf("ancestors at c.Start = %v", anc)
+	}
+}
+
+func TestAncestorsOfInterval(t *testing.T) {
+	nodes := nodesOf(t, "<a><b><c></c></b><d></d></a>")
+	tr, err := Build(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := nodes[2]
+	anc := tr.AncestorsOfInterval(c.Start, c.End)
+	if len(anc) != 2 {
+		t.Fatalf("ancestors of c = %v", anc)
+	}
+	d := nodes[3]
+	anc = tr.AncestorsOfInterval(d.Start, d.End)
+	if len(anc) != 1 || anc[0].Start != 0 {
+		t.Fatalf("ancestors of d = %v", anc)
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	nodes := nodesOf(t, "<a><b><c></c></b><d></d></a>")
+	tr, err := Build(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nodes[0]
+	got := tr.Descendants(a.Start, a.End)
+	if len(got) != 3 {
+		t.Fatalf("descendants of a = %v", got)
+	}
+	b := nodes[1]
+	got = tr.Descendants(b.Start, b.End)
+	if len(got) != 1 {
+		t.Fatalf("descendants of b = %v", got)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build([]join.Node{{Start: 0, End: 10}, {Start: 0, End: 5}}); err == nil {
+		t.Fatal("duplicate starts accepted")
+	}
+	if _, err := Build([]join.Node{{Start: 0, End: 10}, {Start: 5, End: 15}}); err == nil {
+		t.Fatal("improper overlap accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ancestors(5) != nil || tr.Descendants(0, 100) != nil {
+		t.Fatal("empty tree returned results")
+	}
+}
+
+func genXML(r *rand.Rand) string {
+	var sb []byte
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := string(rune('a' + r.Intn(3)))
+		if depth > 4 || r.Intn(3) == 0 {
+			sb = append(sb, ("<" + tag + "/>")...)
+			return
+		}
+		sb = append(sb, ("<" + tag + ">")...)
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			emit(depth + 1)
+		}
+		sb = append(sb, ("</" + tag + ">")...)
+	}
+	sb = append(sb, "<r>"...)
+	for i := 0; i < 4; i++ {
+		emit(1)
+	}
+	sb = append(sb, "</r>"...)
+	return string(sb)
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc, err := xmltree.Parse([]byte(genXML(r)))
+		if err != nil {
+			return false
+		}
+		var nodes []join.Node
+		doc.Walk(func(e *xmltree.Element) bool {
+			nodes = append(nodes, join.Node{Start: e.Start, End: e.End, Level: e.Level})
+			return true
+		})
+		tr, err := Build(nodes)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		maxEnd := nodes[0].End
+		for p := -1; p <= maxEnd+1; p += 1 + r.Intn(3) {
+			var want []join.Node
+			for _, n := range nodes {
+				if n.Start < p && p < n.End {
+					want = append(want, n)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i].Start < want[j].Start })
+			got := tr.Ancestors(p)
+			if len(got) != len(want) {
+				t.Logf("seed %d p %d: got %v want %v", seed, p, got, want)
+				return false
+			}
+			for i := range got {
+				if got[i].Start != want[i].Start {
+					return false
+				}
+			}
+		}
+		// Descendant queries for every element.
+		for _, e := range nodes {
+			var want []join.Node
+			for _, n := range nodes {
+				if e.Start < n.Start && n.End <= e.End {
+					want = append(want, n)
+				}
+			}
+			got := tr.Descendants(e.Start, e.End)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i].Start != want[i].Start {
+					return false
+				}
+			}
+			// Interval ancestors for every element too.
+			var wantA []join.Node
+			for _, n := range nodes {
+				if n.Start < e.Start && e.End <= n.End && n != e {
+					wantA = append(wantA, n)
+				}
+			}
+			gotA := tr.AncestorsOfInterval(e.Start, e.End)
+			if len(gotA) != len(wantA) {
+				t.Logf("seed %d elem [%d,%d): gotA %v wantA %v", seed, e.Start, e.End, gotA, wantA)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAncestorsVsScan(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var text []byte
+	text = append(text, "<r>"...)
+	for i := 0; i < 3000; i++ {
+		text = append(text, genXML(r)[3:]...)
+		text = text[:len(text)-4]
+	}
+	text = append(text, "</r>"...)
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		b.Skip("generated doc invalid")
+	}
+	var nodes []join.Node
+	doc.Walk(func(e *xmltree.Element) bool {
+		nodes = append(nodes, join.Node{Start: e.Start, End: e.End})
+		return true
+	})
+	tr, err := Build(nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := nodes[len(nodes)/2].Start + 1
+	b.Run("xrtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Ancestors(p)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cnt := 0
+			for _, n := range nodes {
+				if n.Start < p && p < n.End {
+					cnt++
+				}
+			}
+			_ = cnt
+		}
+	})
+}

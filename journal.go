@@ -1,0 +1,276 @@
+package lazyxml
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/xmltree"
+)
+
+// JournaledDB is a DB with durable updates: every Insert/Remove is
+// appended to a write-ahead journal before being applied, and Compact
+// folds the journal into a snapshot. Opening the same directory again
+// restores the snapshot and replays the journal, so the database — the
+// update log included — survives restarts without the "maintenance
+// hours" rebuild.
+//
+// Layout: <dir>/snapshot.lxml (full store state, may be absent) and
+// <dir>/journal.wal (records appended since the snapshot). A torn tail
+// record (crash mid-write) is detected by checksum and ignored.
+type JournaledDB struct {
+	*DB
+	dir  string
+	wal  *os.File
+	sync bool
+}
+
+const (
+	journalName  = "journal.wal"
+	snapshotName = "snapshot.lxml"
+
+	opInsert byte = 1
+	opRemove byte = 2
+)
+
+// JournalOption configures OpenJournal.
+type JournalOption func(*JournaledDB)
+
+// WithSync makes every update fsync the journal before returning
+// (durable against power loss, slower). Without it the OS page cache
+// decides.
+func WithSync() JournalOption { return func(j *JournaledDB) { j.sync = true } }
+
+// OpenJournal opens (or creates) a journaled database in dir. The mode
+// and options apply when no snapshot exists yet; afterwards the
+// snapshot's own settings win. Journal records found after the snapshot
+// are replayed.
+func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption) (*JournaledDB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var db *DB
+	snapPath := filepath.Join(dir, snapshotName)
+	if _, err := os.Stat(snapPath); err == nil {
+		db, err = RestoreFile(snapPath, dbOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("lazyxml: restoring %s: %w", snapPath, err)
+		}
+	} else {
+		db = Open(mode, dbOpts...)
+	}
+	j := &JournaledDB{DB: db, dir: dir}
+	for _, o := range jOpts {
+		o(j)
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.wal = wal
+	return j, nil
+}
+
+// replay applies the journal's records to the restored store, stopping
+// cleanly at a torn tail.
+func (j *JournaledDB) replay() error {
+	f, err := os.Open(filepath.Join(j.dir, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		rec, err := readRecord(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Torn or corrupt tail: everything before it was applied;
+			// the tail is discarded on the next append-compact cycle.
+			return nil
+		}
+		switch rec.op {
+		case opInsert:
+			if _, err := j.DB.Insert(rec.gp, rec.frag); err != nil {
+				return fmt.Errorf("lazyxml: replaying insert at %d: %w", rec.gp, err)
+			}
+		case opRemove:
+			if err := j.DB.Remove(rec.gp, rec.l); err != nil {
+				return fmt.Errorf("lazyxml: replaying remove [%d,%d): %w", rec.gp, rec.gp+rec.l, err)
+			}
+		default:
+			return nil // unknown op: treat as corrupt tail
+		}
+	}
+}
+
+type walRecord struct {
+	op   byte
+	gp   int
+	l    int
+	frag []byte
+}
+
+// encodeRecord renders a record: op, gp, l, frag, crc32 of the payload.
+func encodeRecord(rec walRecord) []byte {
+	buf := []byte{rec.op}
+	buf = binary.AppendVarint(buf, int64(rec.gp))
+	buf = binary.AppendVarint(buf, int64(rec.l))
+	if rec.op == opInsert {
+		buf = append(buf, rec.frag...)
+	}
+	sum := crc32.ChecksumIEEE(buf)
+	return binary.AppendUvarint(buf, uint64(sum))
+}
+
+func readRecord(br *bufio.Reader) (walRecord, error) {
+	var rec walRecord
+	op, err := br.ReadByte()
+	if err != nil {
+		return rec, io.EOF
+	}
+	rec.op = op
+	payload := []byte{op}
+	gp, err := binary.ReadVarint(br)
+	if err != nil {
+		return rec, fmt.Errorf("torn gp")
+	}
+	payload = binary.AppendVarint(payload, gp)
+	l, err := binary.ReadVarint(br)
+	if err != nil {
+		return rec, fmt.Errorf("torn length")
+	}
+	payload = binary.AppendVarint(payload, l)
+	rec.gp, rec.l = int(gp), int(l)
+	if rec.gp < 0 || rec.l < 0 || rec.l > 1<<30 {
+		return rec, fmt.Errorf("corrupt record header")
+	}
+	if op == opInsert {
+		rec.frag = make([]byte, rec.l)
+		if _, err := io.ReadFull(br, rec.frag); err != nil {
+			return rec, fmt.Errorf("torn fragment")
+		}
+		payload = append(payload, rec.frag...)
+	}
+	sum, err := binary.ReadUvarint(br)
+	if err != nil {
+		return rec, fmt.Errorf("torn checksum")
+	}
+	if uint32(sum) != crc32.ChecksumIEEE(payload) {
+		return rec, fmt.Errorf("checksum mismatch")
+	}
+	return rec, nil
+}
+
+// append writes a record to the journal (before the in-memory apply —
+// write-ahead).
+func (j *JournaledDB) append(rec walRecord) error {
+	if j.wal == nil {
+		return fmt.Errorf("lazyxml: journal is closed")
+	}
+	if _, err := j.wal.Write(encodeRecord(rec)); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.wal.Sync()
+	}
+	return nil
+}
+
+// Insert journals and applies a segment insertion.
+func (j *JournaledDB) Insert(gp int, fragment []byte) (SID, error) {
+	// Validate before journaling so a bad fragment never pollutes the WAL.
+	if _, err := ValidateFragment(fragment); err != nil {
+		return 0, err
+	}
+	if err := j.append(walRecord{op: opInsert, gp: gp, l: len(fragment), frag: fragment}); err != nil {
+		return 0, err
+	}
+	return j.DB.Insert(gp, fragment)
+}
+
+// Append journals and applies an insertion at the end of the document.
+func (j *JournaledDB) Append(fragment []byte) (SID, error) {
+	return j.Insert(j.DB.Len(), fragment)
+}
+
+// Remove journals and applies a range removal.
+func (j *JournaledDB) Remove(gp, l int) error {
+	if err := j.append(walRecord{op: opRemove, gp: gp, l: l}); err != nil {
+		return err
+	}
+	return j.DB.Remove(gp, l)
+}
+
+// RemoveElementAt removes (journaled) the element starting at gp.
+func (j *JournaledDB) RemoveElementAt(gp int) error {
+	l, err := j.DB.ElementExtentAt(gp)
+	if err != nil {
+		return err
+	}
+	return j.Remove(gp, l)
+}
+
+// Compact folds the journal into a fresh snapshot: the store state is
+// written to snapshot.lxml (atomically, via rename) and the journal is
+// truncated.
+func (j *JournaledDB) Compact() error {
+	tmp := filepath.Join(j.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := j.DB.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
+		return err
+	}
+	return j.wal.Truncate(0)
+}
+
+// Close flushes and closes the journal; the DB remains usable in memory
+// but further journaled updates fail.
+func (j *JournaledDB) Close() error {
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Sync()
+	if cerr := j.wal.Close(); err == nil {
+		err = cerr
+	}
+	j.wal = nil
+	return err
+}
+
+// ValidateFragment checks that a fragment is a well-formed XML segment
+// (exactly what Insert requires) and returns its element count. The
+// journal uses it so a rejected fragment never reaches the WAL.
+func ValidateFragment(fragment []byte) (int, error) {
+	d, err := xmltree.ParseFragment(fragment)
+	if err != nil {
+		return 0, err
+	}
+	return d.Len(), nil
+}

@@ -1,0 +1,177 @@
+package lazyxml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/join"
+	"repro/internal/twig"
+)
+
+// Tuple is one complete match of a multi-step path: one element per
+// step, outermost first, as returned by QueryTwig.
+type Tuple = twig.Tuple
+
+// QueryTwig evaluates a path expression holistically with PathStack
+// (Bruno et al., SIGMOD 2002): instead of a pipeline of binary joins, all
+// steps are matched in one synchronized pass, and every result is a full
+// tuple binding one element per step. Element positions in the tuples
+// are global.
+func (db *DB) QueryTwig(path string) ([]Tuple, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]twig.Step, 0, 1+len(p.Steps))
+	steps = append(steps, twig.Step{Nodes: db.store.GlobalElements(p.First)})
+	for _, st := range p.Steps {
+		steps = append(steps, twig.Step{Axis: st.Axis, Nodes: db.store.GlobalElements(st.Tag)})
+	}
+	return twig.PathStack(steps)
+}
+
+// Path is a parsed path expression: a first tag followed by axis steps.
+type Path struct {
+	First string
+	Steps []PathStep
+}
+
+// PathStep is one step of a path expression.
+type PathStep struct {
+	Axis Axis
+	Tag  string
+}
+
+// String renders the path back to its textual form.
+func (p Path) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.First)
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		sb.WriteString(s.Tag)
+	}
+	return sb.String()
+}
+
+// ParsePath parses expressions of the form "a//b/c". A leading "/" or
+// "//" is accepted and ignored (the first step matches elements with the
+// tag anywhere in the document, as in the paper's experiments).
+func ParsePath(expr string) (Path, error) {
+	s := strings.TrimSpace(expr)
+	s = strings.TrimPrefix(s, "//")
+	s = strings.TrimPrefix(s, "/")
+	if s == "" {
+		return Path{}, fmt.Errorf("lazyxml: empty path expression %q", expr)
+	}
+	var p Path
+	i := 0
+	readTag := func() (string, error) {
+		start := i
+		for i < len(s) && s[i] != '/' {
+			i++
+		}
+		tag := s[start:i]
+		if tag == "" || strings.ContainsAny(tag, " \t<>[]='\"") {
+			// Bracketed predicates belong to ParsePattern/QueryPattern.
+			return "", fmt.Errorf("lazyxml: invalid tag %q in path %q", tag, expr)
+		}
+		return tag, nil
+	}
+	tag, err := readTag()
+	if err != nil {
+		return Path{}, err
+	}
+	p.First = tag
+	for i < len(s) {
+		axis := Child
+		if strings.HasPrefix(s[i:], "//") {
+			axis = Descendant
+			i += 2
+		} else {
+			i++
+		}
+		tag, err := readTag()
+		if err != nil {
+			return Path{}, err
+		}
+		p.Steps = append(p.Steps, PathStep{Axis: axis, Tag: tag})
+	}
+	return p, nil
+}
+
+// evalPath evaluates a parsed path over the store.
+func (db *DB) evalPath(p Path) ([]Match, error) {
+	if len(p.Steps) == 0 {
+		// Single step: return every element with the tag.
+		nodes := db.store.GlobalElements(p.First)
+		out := make([]Match, len(nodes))
+		for i, n := range nodes {
+			out[i] = Match{Desc: n.Ref, DescStart: n.Start, DescEnd: n.End}
+		}
+		return out, nil
+	}
+	// First binary join with the configured algorithm.
+	ms, err := db.store.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, db.alg)
+	if err != nil {
+		return nil, err
+	}
+	// Subsequent steps: deduplicate the descendant frontier and join it
+	// against the next tag's global element list with Stack-Tree-Desc.
+	for _, step := range p.Steps[1:] {
+		frontier := dedupeDescendants(ms)
+		dlist := db.store.GlobalElements(step.Tag)
+		pairs := join.StackTreeDesc(frontier, dlist, step.Axis)
+		ms = make([]Match, len(pairs))
+		for i, pr := range pairs {
+			m := Match{Anc: pr.Anc, Desc: pr.Desc}
+			// Global positions of both sides are already known: the
+			// frontier nodes carried them in Start/End, and dlist too;
+			// recover them from the pair refs via the frontier index.
+			ms[i] = m
+		}
+		// Re-resolve global positions for the new pairs.
+		ms = db.resolveGlobals(ms, frontier, dlist)
+	}
+	return ms, nil
+}
+
+// dedupeDescendants turns the descendant side of the matches into a
+// sorted, duplicate-free node list for the next join step.
+func dedupeDescendants(ms []Match) []join.Node {
+	seen := map[join.ElemRef]Match{}
+	for _, m := range ms {
+		seen[m.Desc] = m
+	}
+	nodes := make([]join.Node, 0, len(seen))
+	for ref, m := range seen {
+		nodes = append(nodes, join.Node{Start: m.DescStart, End: m.DescEnd, Level: ref.Level, Ref: ref})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Start < nodes[j].Start })
+	return nodes
+}
+
+// resolveGlobals fills in the global positions of pair members by looking
+// them up in the node lists that produced them.
+func (db *DB) resolveGlobals(ms []Match, alist, dlist []join.Node) []Match {
+	pos := make(map[join.ElemRef][2]int, len(alist)+len(dlist))
+	for _, n := range alist {
+		pos[n.Ref] = [2]int{n.Start, n.End}
+	}
+	for _, n := range dlist {
+		pos[n.Ref] = [2]int{n.Start, n.End}
+	}
+	for i := range ms {
+		if p, ok := pos[ms[i].Anc]; ok {
+			ms[i].AncStart, ms[i].AncEnd = p[0], p[1]
+		}
+		if p, ok := pos[ms[i].Desc]; ok {
+			ms[i].DescStart, ms[i].DescEnd = p[0], p[1]
+		}
+	}
+	return ms
+}

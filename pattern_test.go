@@ -1,0 +1,230 @@
+package lazyxml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func TestParsePattern(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"a//b", "a//b", false},
+		{"a[b]//c", "a[b]//c", false},
+		{"a[//b]//c", "a[//b]//c", false},
+		{"a[b//c]/d", "a[b//c]/d", false},
+		{"a[b][c]", "a[b][c]", false},
+		{"person[profile//interest]//watches/watch", "person[profile//interest]//watches/watch", false},
+		{"a[@id]", "a[@id]", false},
+		{"", "", true},
+		{"a[", "", true},
+		{"a[]", "", true},
+		{"a]b", "", true},
+		{"a[b[c]]", "", true},
+		{"a[b]c", "", true},
+	}
+	for _, c := range cases {
+		p, err := ParsePattern(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParsePattern(%q) succeeded: %v", c.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePattern(%q): %v", c.in, err)
+			continue
+		}
+		if p.String() != c.want {
+			t.Errorf("ParsePattern(%q) = %q, want %q", c.in, p.String(), c.want)
+		}
+	}
+}
+
+func TestQueryPatternBasics(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, `<site>`+
+		`<person><profile><interest/></profile><watches><watch/><watch/></watches></person>`+
+		`<person><watches><watch/></watches></person>`+
+		`</site>`)
+	// Only the first person has an interest, so only its watches match.
+	n, err := db.CountPattern("person[profile//interest]//watches/watch")
+	if err != nil || n != 2 {
+		t.Fatalf("got %d, %v; want 2", n, err)
+	}
+	// Without the predicate all three watches match.
+	n, err = db.CountPattern("person//watches/watch")
+	if err != nil || n != 3 {
+		t.Fatalf("got %d, %v; want 3", n, err)
+	}
+	// Multiple predicates intersect.
+	n, err = db.CountPattern("person[profile][watches]//watch")
+	if err != nil || n != 2 {
+		t.Fatalf("got %d, %v; want 2", n, err)
+	}
+	// Child-axis predicate: profile is a child, interest is not.
+	n, err = db.CountPattern("person[interest]//watch")
+	if err != nil || n != 0 {
+		t.Fatalf("got %d, %v; want 0", n, err)
+	}
+	n, err = db.CountPattern("person[//interest]//watch")
+	if err != nil || n != 2 {
+		t.Fatalf("got %d, %v; want 2", n, err)
+	}
+}
+
+func TestQueryPatternPredicateOnLaterStep(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><b><m/><c/></b><b><c/></b></a>")
+	// Only the first b has an m child; its c matches.
+	n, err := db.CountPattern("a//b[m]/c")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+}
+
+func TestQueryPatternAttributePredicate(t *testing.T) {
+	db := Open(LD, WithAttributes())
+	mustAppend(t, db, `<people><person id="1"><phone/></person><person><phone/></person></people>`)
+	n, err := db.CountPattern("person[@id]//phone")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+}
+
+// brutePattern evaluates a pattern directly on the element tree.
+func brutePattern(doc *xmltree.Document, pat Pattern) int {
+	matchesPred := func(anchor *xmltree.Element, pr PredPath) bool {
+		frontier := []*xmltree.Element{anchor}
+		for _, ps := range pr.Steps {
+			var next []*xmltree.Element
+			for _, f := range frontier {
+				doc.Walk(func(e *xmltree.Element) bool {
+					if e.Tag != ps.Tag {
+						return true
+					}
+					ok := false
+					if ps.Axis == Descendant {
+						ok = f.Contains(e)
+					} else {
+						ok = e.Parent == f
+					}
+					if ok {
+						next = append(next, e)
+					}
+					return true
+				})
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	qualifies := func(e *xmltree.Element, st PatternStep) bool {
+		if e.Tag != st.Tag {
+			return false
+		}
+		for _, pr := range st.Preds {
+			if !matchesPred(e, pr) {
+				return false
+			}
+		}
+		return true
+	}
+	var count int
+	var rec func(step int, prev *xmltree.Element)
+	rec = func(step int, prev *xmltree.Element) {
+		if step == len(pat.Spine) {
+			count++
+			return
+		}
+		st := pat.Spine[step]
+		doc.Walk(func(e *xmltree.Element) bool {
+			if !qualifies(e, st) {
+				return true
+			}
+			if step > 0 {
+				if st.Axis == Descendant {
+					if !prev.Contains(e) {
+						return true
+					}
+				} else if e.Parent != prev {
+					return true
+				}
+			}
+			rec(step+1, e)
+			return true
+		})
+	}
+	rec(0, nil)
+	return count
+}
+
+func TestQuickPatternAgainstBruteForce(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	patterns := []string{
+		"a[b]//c", "a[//c]/b", "a//b[c]", "b[a][c]", "a[b//c]//b",
+		"a//b", "c[a]//a/b", "a[b]//b[c]/c",
+	}
+	genDoc := func(r *rand.Rand) string {
+		var sb strings.Builder
+		var emit func(depth int)
+		emit = func(depth int) {
+			tag := tags[r.Intn(len(tags))]
+			if depth > 4 || r.Intn(3) == 0 {
+				sb.WriteString("<" + tag + "/>")
+				return
+			}
+			sb.WriteString("<" + tag + ">")
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				emit(depth + 1)
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		sb.WriteString("<r>")
+		for i := 0; i < 3; i++ {
+			emit(1)
+		}
+		sb.WriteString("</r>")
+		return sb.String()
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		text := genDoc(r)
+		db := Open(LD)
+		if _, err := db.Append([]byte(text)); err != nil {
+			return false
+		}
+		doc, err := xmltree.Parse([]byte(text))
+		if err != nil {
+			return false
+		}
+		for _, expr := range patterns {
+			pat, err := ParsePattern(expr)
+			if err != nil {
+				return false
+			}
+			want := brutePattern(doc, pat)
+			got, err := db.CountPattern(expr)
+			if err != nil {
+				return false
+			}
+			if got != want {
+				t.Logf("seed %d pattern %s: got %d want %d (doc %s)", seed, expr, got, want, text)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

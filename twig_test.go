@@ -1,0 +1,122 @@
+package lazyxml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryTwigBasics(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><b><c/></b><b/><c/></a>")
+	tuples, err := db.QueryTwig("a//b//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("tuples = %d, want 1", len(tuples))
+	}
+	tu := tuples[0]
+	if len(tu) != 3 {
+		t.Fatalf("tuple width = %d", len(tu))
+	}
+	// Outermost-first, properly nested.
+	for i := 1; i < len(tu); i++ {
+		if !(tu[i-1].Start < tu[i].Start && tu[i].End <= tu[i-1].End) {
+			t.Fatalf("tuple not nested: %v", tu)
+		}
+	}
+}
+
+func TestQueryTwigSingleStep(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><b/><b/></a>")
+	tuples, err := db.QueryTwig("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+}
+
+func TestQueryTwigBadPath(t *testing.T) {
+	db := Open(LD)
+	if _, err := db.QueryTwig(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestQueryTwigCrossSegments(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><x></x></a>")
+	if _, err := db.Insert(6, []byte("<b><c/></b>")); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := db.QueryTwig("a//b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("tuples = %d, want 1", len(tuples))
+	}
+}
+
+// TestQuickTwigProjectionMatchesPipeline: the (last-two-steps) projection
+// of the holistic tuples must equal the binary-join pipeline's result
+// pairs — two very different implementations of the same semantics.
+func TestQuickTwigProjectionMatchesPipeline(t *testing.T) {
+	paths := []string{"a//b", "a/b", "a//b//c", "a//b/c", "a/b//c", "a//a//b"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := Open(LD)
+		for i := 0; i < 8; i++ {
+			frag := randomSnapshotFragment(r, []string{"a", "b", "c"})
+			gp := 0
+			if db.Len() > 0 {
+				ms, err := db.Query("a")
+				if err != nil {
+					return false
+				}
+				if len(ms) > 0 {
+					gp = ms[r.Intn(len(ms))].DescEnd
+				}
+			}
+			if _, err := db.Insert(gp, []byte(frag)); err != nil {
+				return false
+			}
+		}
+		for _, path := range paths {
+			tuples, err := db.QueryTwig(path)
+			if err != nil {
+				return false
+			}
+			proj := map[[2]int]bool{}
+			for _, tu := range tuples {
+				proj[[2]int{tu[len(tu)-2].Start, tu[len(tu)-1].Start}] = true
+			}
+			ms, err := db.Query(path)
+			if err != nil {
+				return false
+			}
+			pairs := map[[2]int]bool{}
+			for _, m := range ms {
+				pairs[[2]int{m.AncStart, m.DescStart}] = true
+			}
+			if len(proj) != len(pairs) {
+				t.Logf("seed %d path %s: twig %v vs pipeline %v", seed, path, proj, pairs)
+				return false
+			}
+			for k := range proj {
+				if !pairs[k] {
+					t.Logf("seed %d path %s: twig-only pair %v", seed, path, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package lazyxml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+const peopleDoc = `<people>` +
+	`<person id="p1"><name>Ann</name><city>Oslo</city></person>` +
+	`<person id="p2"><name>Bob</name><city>Oslo</city></person>` +
+	`<person id="p3"><name>Ann</name><city>Bergen</city></person>` +
+	`</people>`
+
+func valueDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(LD, WithValues(), WithAttributes())
+	mustAppend(t, db, peopleDoc)
+	return db
+}
+
+func TestValuePredicateOnElement(t *testing.T) {
+	db := valueDB(t)
+	n, err := db.CountPattern("person[name='Ann']//city")
+	if err != nil || n != 2 {
+		t.Fatalf("got %d, %v; want 2", n, err)
+	}
+	n, err = db.CountPattern("person[name='Bob']//city")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+	n, err = db.CountPattern("person[name='Zoe']//city")
+	if err != nil || n != 0 {
+		t.Fatalf("got %d, %v; want 0", n, err)
+	}
+	// Combined value predicates intersect.
+	n, err = db.CountPattern("person[name='Ann'][city='Oslo']/name")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+}
+
+func TestValuePredicateOnAttribute(t *testing.T) {
+	db := valueDB(t)
+	n, err := db.CountPattern("person[@id='p2']/name")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+	ms, err := db.QueryPattern("people//person[@id='p3']//name")
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("got %v, %v", ms, err)
+	}
+	// QueryTwig takes plain paths; bracket syntax must be rejected, not
+	// silently treated as a tag.
+	if _, err := db.QueryTwig("people//person[@id='p3']//name"); err == nil {
+		t.Fatal("QueryTwig accepted predicate syntax")
+	}
+}
+
+func TestValuePredicateMultiStep(t *testing.T) {
+	db := Open(LD, WithValues())
+	mustAppend(t, db, `<a><b><c>x</c></b><b><c>y</c></b></a>`)
+	n, err := db.CountPattern("a//b[c='x']")
+	if err != nil || n != 1 {
+		t.Fatalf("got %d, %v; want 1", n, err)
+	}
+	// Descendant-axis value predicate.
+	n, err = db.CountPattern("a[//c='y']/b")
+	if err != nil || n != 2 {
+		t.Fatalf("got %d, %v; want 2 (both b's under the qualifying a)", n, err)
+	}
+}
+
+func TestValuePredicateWithoutIndexErrors(t *testing.T) {
+	db := Open(LD)
+	mustAppend(t, db, "<a><b>x</b></a>")
+	if _, err := db.CountPattern("a[b='x']"); err == nil {
+		t.Fatal("value predicate without WithValues succeeded")
+	}
+}
+
+func TestValueParsePatterns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"a[b='x']", "a[b='x']", false},
+		{`a[b="x"]`, "a[b='x']", false},
+		{"a[@id='1']//b", "a[@id='1']//b", false},
+		{"a[b/c='v']", "a[b/c='v']", false},
+		{"a[b='unterminated]", "", true},
+		{"a[b=x]", "", true},
+		{"a[b='x'c]", "", true},
+		{"a[='x']", "", true},
+	}
+	for _, c := range cases {
+		p, err := ParsePattern(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParsePattern(%q) succeeded: %v", c.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePattern(%q): %v", c.in, err)
+			continue
+		}
+		if p.String() != c.want {
+			t.Errorf("ParsePattern(%q) = %q, want %q", c.in, p.String(), c.want)
+		}
+	}
+}
+
+func TestValuesSurviveUpdatesAndSnapshot(t *testing.T) {
+	db := valueDB(t)
+	// Insert another person with an indexed value.
+	if _, err := db.Insert(len("<people>"), []byte(`<person id="p4"><name>Ann</name></person>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.CountPattern("person[name='Ann']")
+	if n != 3 {
+		t.Fatalf("Ann count = %d, want 3", n)
+	}
+	// Remove one Ann (p1's whole person element).
+	ms, err := db.QueryPattern("people/person[@id='p1']")
+	if err != nil || len(ms) != 1 {
+		t.Fatal(err)
+	}
+	p1 := ms[0][len(ms[0])-1]
+	if err := db.Remove(p1.Start, p1.End-p1.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountPattern("person[name='Ann']"); n != 2 {
+		t.Fatalf("Ann count after removal = %d, want 2", n)
+	}
+	// Snapshot round trip keeps the value index.
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.CountPattern("person[name='Ann']"); n != 2 {
+		t.Fatal("value index lost in snapshot")
+	}
+	// Rebuild keeps it too.
+	if err := got.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.CountPattern("person[name='Ann']"); n != 2 {
+		t.Fatal("value index lost in rebuild")
+	}
+}
+
+func TestValueLongAndEmptyNotIndexed(t *testing.T) {
+	db := Open(LD, WithValues())
+	long := strings.Repeat("x", 100)
+	mustAppend(t, db, "<a><b>"+long+"</b><c>  </c><d>ok</d></a>")
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountPattern("a[b='" + long + "']"); n != 0 {
+		t.Fatal("over-long value matched")
+	}
+	if n, _ := db.CountPattern("a[d='ok']"); n != 1 {
+		t.Fatal("short value not matched")
+	}
+	// Whitespace-trimmed equality.
+	if n, _ := db.CountPattern("a[d=' ok ']"); n != 1 {
+		t.Fatal("trimmed value not matched")
+	}
+}
+
+// TestQuickValuePredicateAgainstBruteForce: random documents with small
+// value alphabets — value predicates agree with direct tree evaluation.
+func TestQuickValuePredicateAgainstBruteForce(t *testing.T) {
+	tags := []string{"a", "b"}
+	vals := []string{"u", "v", "w"}
+	genDoc := func(r *rand.Rand) string {
+		var sb strings.Builder
+		var emit func(depth int)
+		emit = func(depth int) {
+			tag := tags[r.Intn(len(tags))]
+			if depth > 3 || r.Intn(3) == 0 {
+				sb.WriteString("<" + tag + ">" + vals[r.Intn(len(vals))] + "</" + tag + ">")
+				return
+			}
+			sb.WriteString("<" + tag + ">")
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				emit(depth + 1)
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		sb.WriteString("<r>")
+		for i := 0; i < 3; i++ {
+			emit(1)
+		}
+		sb.WriteString("</r>")
+		return sb.String()
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		text := genDoc(r)
+		db := Open(LD, WithValues())
+		if _, err := db.Append([]byte(text)); err != nil {
+			return false
+		}
+		if err := db.CheckConsistency(); err != nil {
+			t.Log(err)
+			return false
+		}
+		doc, err := xmltree.Parse([]byte(text))
+		if err != nil {
+			return false
+		}
+		for _, anchorTag := range tags {
+			for _, childTag := range tags {
+				for _, v := range vals {
+					want := 0
+					doc.Walk(func(e *xmltree.Element) bool {
+						if e.Tag != anchorTag || e == doc.Root {
+							return true
+						}
+						for _, c := range e.Children {
+							if c.Tag == childTag && strings.TrimSpace(c.DirectText(doc.Text)) == v {
+								want++
+								break
+							}
+						}
+						return true
+					})
+					expr := anchorTag + "[" + childTag + "='" + v + "']"
+					got, err := db.CountPattern(expr)
+					if err != nil {
+						return false
+					}
+					if got != want {
+						t.Logf("seed %d %s: got %d want %d (doc %s)", seed, expr, got, want, text)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
