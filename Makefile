@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify vet build test race bench
+
+# The standard pre-merge gate: vet, build, race-enabled tests.
+verify:
+	./scripts/verify.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

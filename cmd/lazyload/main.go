@@ -1,0 +1,152 @@
+// Command lazyload drives a running lazyxmld with a concurrent mixed
+// workload and reports throughput and latency percentiles — the quick
+// way to see the paper's claim hold over the network: updates stay
+// cheap while queries keep running.
+//
+// Each worker owns one document and issues a read/write mix against it:
+// writes insert a small fragment right after the document's root open
+// tag (always a valid segment insertion), reads run a document-scoped
+// structural count. A final whole-collection query and /stats round off
+// the run.
+//
+// Usage:
+//
+//	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
+//	         [-prefix load] [-keep]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "base URL of a running lazyxmld")
+	workers := flag.Int("c", 8, "concurrent workers (one document each)")
+	total := flag.Int("n", 2000, "total operations across all workers")
+	readFrac := flag.Float64("read", 0.8, "fraction of operations that are queries")
+	prefix := flag.String("prefix", "load", "document name prefix")
+	keep := flag.Bool("keep", false, "leave the documents on the server after the run")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// One document per worker; recreate from scratch.
+	for w := 0; w < *workers; w++ {
+		name := fmt.Sprintf("%s-%d", *prefix, w)
+		do(client, "DELETE", *url+"/docs/"+name, nil) // ignore 404
+		status, body := do(client, "PUT", *url+"/docs/"+name, []byte("<load></load>"))
+		if status != http.StatusCreated {
+			log.Fatalf("lazyload: PUT %s: %d %s", name, status, body)
+		}
+	}
+
+	type sample struct {
+		read bool
+		d    time.Duration
+		err  bool
+	}
+	perWorker := *total / *workers
+	samples := make([][]sample, *workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			name := fmt.Sprintf("%s-%d", *prefix, w)
+			samples[w] = make([]sample, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				read := rng.Float64() < *readFrac
+				t0 := time.Now()
+				var status int
+				if read {
+					status, _ = do(client, "GET", *url+"/docs/"+name+"/count?path=load//item", nil)
+				} else {
+					frag := fmt.Sprintf("<item w=\"%d\" n=\"%d\"/>", w, i)
+					// "<load>" is 6 bytes: inserting there keeps the
+					// document well-formed forever.
+					status, _ = do(client, "POST", *url+"/docs/"+name+"/insert?off=6", []byte(frag))
+				}
+				samples[w] = append(samples[w], sample{read: read, d: time.Since(t0), err: status >= 400})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var reads, writes, errs int
+	var readLat, writeLat []time.Duration
+	for _, ss := range samples {
+		for _, s := range ss {
+			if s.err {
+				errs++
+			}
+			if s.read {
+				reads++
+				readLat = append(readLat, s.d)
+			} else {
+				writes++
+				writeLat = append(writeLat, s.d)
+			}
+		}
+	}
+	ops := reads + writes
+	fmt.Printf("lazyload: %d ops (%d reads, %d writes, %d errors) in %s — %.0f ops/s\n",
+		ops, reads, writes, errs, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	report("reads ", readLat)
+	report("writes", writeLat)
+
+	status, body := do(client, "GET", *url+"/count?path=load//item", nil)
+	fmt.Printf("collection count: %d %s", status, body)
+	status, body = do(client, "GET", *url+"/stats", nil)
+	fmt.Printf("stats: %d %s", status, body)
+
+	if !*keep {
+		for w := 0; w < *workers; w++ {
+			do(client, "DELETE", *url+"/docs/"+fmt.Sprintf("%s-%d", *prefix, w), nil)
+		}
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func report(label string, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(f float64) time.Duration { return lat[int(f*float64(len(lat)-1))] }
+	fmt.Printf("  %s p50=%s p95=%s p99=%s max=%s\n", label,
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+}
+
+func do(client *http.Client, method, url string, body []byte) (int, string) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		log.Fatalf("lazyload: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("lazyload: %s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}

@@ -1,0 +1,163 @@
+// Command lazyxmld serves a lazy XML collection over HTTP: the network
+// daemon over the engine. With -journal it is durable — every update is
+// WAL'd before it is applied, and a killed daemon restarts from
+// snapshot + replay. Without it the collection lives in memory.
+//
+// Usage:
+//
+//	lazyxmld [-addr :8080] [-journal dir] [-mode ld|ls] [-alg lazy|std|skip|auto]
+//	         [-attrs] [-values] [-sync] [-timeout 30s] [-drain 10s]
+//	         [-writers 1] [-readers 0] [-compact-on-exit]
+//
+// Routes (all responses JSON unless noted):
+//
+//	GET    /healthz                     liveness
+//	GET    /stats                       engine sizes, update-log footprint
+//	GET    /metrics                     request counters, latency histograms
+//	GET    /docs                        list document names
+//	PUT    /docs/{name}                 add a document (body: XML)
+//	GET    /docs/{name}                 current document text (XML)
+//	DELETE /docs/{name}                 remove a document
+//	POST   /docs/{name}/insert?off=N    insert a fragment (body: XML)
+//	DELETE /docs/{name}/range?off=N&len=L   remove a byte range
+//	DELETE /docs/{name}/element?off=N   remove one element
+//	GET    /query?path=a//b             whole-collection structural query
+//	GET    /count?path=a//b             cardinality only
+//	GET    /docs/{name}/query?path=...  document-scoped query
+//	GET    /docs/{name}/count?path=...  document-scoped cardinality
+//	POST   /compact                     fold the journal into a snapshot
+//	POST   /rebuild                     collapse every document's segments
+//	POST   /check                       verify index consistency
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests (up to -drain), then closes the journal.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	journalDir := flag.String("journal", "", "directory of the durable journal (empty: in-memory)")
+	syncWAL := flag.Bool("sync", false, "fsync the journal on every update (durable against power loss)")
+	mode := flag.String("mode", "ld", "maintenance mode: ld (lazy dynamic) or ls (lazy static)")
+	alg := flag.String("alg", "lazy", "join algorithm: lazy, std, skip or auto")
+	attrs := flag.Bool("attrs", false, "index attributes as @name pseudo-elements")
+	values := flag.Bool("values", false, "index element/attribute values for equality predicates")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
+	readers := flag.Int("readers", 0, "max concurrent read requests (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 32<<20, "max upload size in bytes")
+	compactOnExit := flag.Bool("compact-on-exit", false, "fold the journal into a snapshot during shutdown")
+	flag.Parse()
+
+	var m lazyxml.Mode
+	switch strings.ToLower(*mode) {
+	case "ld":
+		m = lazyxml.LD
+	case "ls":
+		m = lazyxml.LS
+	default:
+		log.Fatalf("lazyxmld: unknown mode %q", *mode)
+	}
+	var a lazyxml.Algorithm
+	switch strings.ToLower(*alg) {
+	case "lazy":
+		a = lazyxml.LazyJoin
+	case "std":
+		a = lazyxml.STD
+	case "skip":
+		a = lazyxml.SkipSTD
+	case "auto":
+		a = lazyxml.Auto
+	default:
+		log.Fatalf("lazyxmld: unknown algorithm %q", *alg)
+	}
+	dbOpts := []lazyxml.Option{lazyxml.WithAlgorithm(a)}
+	if *attrs {
+		dbOpts = append(dbOpts, lazyxml.WithAttributes())
+	}
+	if *values {
+		dbOpts = append(dbOpts, lazyxml.WithValues())
+	}
+
+	var backend server.Backend
+	var jc *lazyxml.JournaledCollection
+	if *journalDir != "" {
+		var jOpts []lazyxml.JournalOption
+		if *syncWAL {
+			jOpts = append(jOpts, lazyxml.WithSync())
+		}
+		var err error
+		jc, err = lazyxml.OpenJournaledCollection(*journalDir, m, dbOpts, jOpts...)
+		if err != nil {
+			log.Fatalf("lazyxmld: opening journal %s: %v", *journalDir, err)
+		}
+		backend = jc
+		log.Printf("lazyxmld: journal %s restored: %d documents, %d segments",
+			*journalDir, jc.Len(), jc.Stats().Segments)
+	} else {
+		backend = lazyxml.NewCollection(m, dbOpts...)
+		log.Printf("lazyxmld: in-memory collection (no -journal: state dies with the process)")
+	}
+
+	srv := server.New(backend, server.Config{
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Writers:        *writers,
+		Readers:        *readers,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s writers=%d timeout=%s)",
+		*addr, m, *alg, *writers, *timeout)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("lazyxmld: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("lazyxmld: shutting down, draining for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("lazyxmld: drain: %v", err)
+	}
+	if jc != nil {
+		if *compactOnExit {
+			if err := jc.Compact(); err != nil {
+				log.Printf("lazyxmld: compact on exit: %v", err)
+			}
+		}
+		if err := jc.Close(); err != nil {
+			log.Printf("lazyxmld: closing journal: %v", err)
+		}
+	}
+	met := srv.Metrics()
+	fmt.Printf("lazyxmld: served %d requests (%d errors), bye\n", met.Requests, met.Errors)
+}

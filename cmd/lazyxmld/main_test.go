@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSIGTERMDrainAndRestart builds the daemon, runs it against a
+// journal directory, updates it over HTTP, SIGTERMs it, and checks both
+// the clean exit and that a second run restores the state from
+// snapshot + WAL.
+func TestDaemonSIGTERMDrainAndRestart(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "lazyxmld")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	// A fixed free port, reused across both runs.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-journal", dir, "-drain", "5s")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return cmd
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		cmd.Process.Kill()
+		t.Fatal("daemon did not become healthy")
+		return nil
+	}
+
+	cmd := start()
+	put, err := http.NewRequest("PUT", base+"/docs/d", strings.NewReader("<d></d>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(base+"/docs/d/insert?off=3", "application/xml",
+			strings.NewReader(fmt.Sprintf("<x n=\"%d\"/>", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("insert %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	// SIGTERM: the daemon must drain and exit zero.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited dirty after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// Restart: snapshot + WAL replay must restore the five inserts.
+	cmd = start()
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+	resp, err = http.Get(base + "/docs/d/count?path=d//x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"count\":5") {
+		t.Fatalf("count after restart: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(base+"/check", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("consistency check after restart failed")
+	}
+}

@@ -6,6 +6,22 @@ import (
 	"sync"
 )
 
+// engine is the mutation surface a Collection drives. Both *DB and
+// *JournaledDB satisfy it, so the same named-document layer works over
+// an in-memory database and a journal-backed one: a journaled collection
+// routes every update through the write-ahead log while reads keep
+// using the shared in-memory store.
+type engine interface {
+	Append(fragment []byte) (SID, error)
+	Insert(gp int, fragment []byte) (SID, error)
+	Remove(gp, l int) error
+}
+
+var (
+	_ engine = (*DB)(nil)
+	_ engine = (*JournaledDB)(nil)
+)
+
 // Collection manages named XML documents inside one lazy database — the
 // paper's model of "the whole XML database, whether it has been organized
 // with a tree or many sub-trees" as a single super document under a dummy
@@ -15,12 +31,14 @@ import (
 type Collection struct {
 	mu   sync.RWMutex
 	db   *DB
+	eng  engine
 	docs map[string]SID
 }
 
 // NewCollection returns an empty collection backed by a fresh database.
 func NewCollection(mode Mode, opts ...Option) *Collection {
-	return &Collection{db: Open(mode, opts...), docs: map[string]SID{}}
+	db := Open(mode, opts...)
+	return &Collection{db: db, eng: db, docs: map[string]SID{}}
 }
 
 // DB exposes the underlying database (whole-collection queries, stats,
@@ -35,7 +53,7 @@ func (c *Collection) Put(name string, text []byte) error {
 	if _, exists := c.docs[name]; exists {
 		return fmt.Errorf("lazyxml: document %q already exists", name)
 	}
-	sid, err := c.db.Append(text)
+	sid, err := c.eng.Append(text)
 	if err != nil {
 		return err
 	}
@@ -55,7 +73,7 @@ func (c *Collection) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
 	}
-	if err := c.db.Remove(seg.GP, seg.L); err != nil {
+	if err := c.eng.Remove(seg.GP, seg.L); err != nil {
 		return err
 	}
 	delete(c.docs, name)
@@ -120,8 +138,93 @@ func (c *Collection) Insert(name string, off int, fragment []byte) (SID, error) 
 	if off < 0 || lo+off > hi {
 		return 0, fmt.Errorf("lazyxml: offset %d outside document %q (%d bytes)", off, name, hi-lo)
 	}
-	return c.db.Insert(lo+off, fragment)
+	return c.eng.Insert(lo+off, fragment)
 }
+
+// Remove removes the byte range [off, off+l) relative to the named
+// document. The range must lie inside the document's span and cover
+// whole elements so the super document stays well-formed.
+func (c *Collection) Remove(name string, off, l int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi, err := c.span(name)
+	if err != nil {
+		return err
+	}
+	if l <= 0 {
+		return fmt.Errorf("lazyxml: removal length %d must be positive", l)
+	}
+	if off < 0 || lo+off+l > hi {
+		return fmt.Errorf("lazyxml: range [%d,%d) outside document %q (%d bytes)", off, off+l, name, hi-lo)
+	}
+	return c.eng.Remove(lo+off, l)
+}
+
+// RemoveElementAt removes the single element whose start tag begins at
+// the given offset relative to the named document. It needs the retained
+// text to find the element's extent.
+func (c *Collection) RemoveElementAt(name string, off int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi, err := c.span(name)
+	if err != nil {
+		return err
+	}
+	if off < 0 || lo+off >= hi {
+		return fmt.Errorf("lazyxml: offset %d outside document %q (%d bytes)", off, name, hi-lo)
+	}
+	l, err := c.db.ElementExtentAt(lo + off)
+	if err != nil {
+		return err
+	}
+	if lo+off+l > hi {
+		return fmt.Errorf("lazyxml: element at %d extends past document %q", off, name)
+	}
+	return c.eng.Remove(lo+off, l)
+}
+
+// Collapse packs a named document's segment subtree into one fresh
+// segment (the paper's §5.3 remedy when the update log grows too large
+// for query performance) and returns the document's new segment id.
+func (c *Collection) Collapse(name string) (SID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sid, ok := c.docs[name]
+	if !ok {
+		return 0, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	nsid, err := c.db.Collapse(sid)
+	if err != nil {
+		return 0, err
+	}
+	c.docs[name] = nsid
+	return nsid, nil
+}
+
+// CollapseAll collapses every document in turn — the collection's
+// equivalent of Rebuild that keeps the name→segment map valid.
+func (c *Collection) CollapseAll() error {
+	for _, name := range c.Names() {
+		if _, err := c.Collapse(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SID returns the segment id of a named document.
+func (c *Collection) SID(name string) (SID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sid, ok := c.docs[name]
+	return sid, ok
+}
+
+// Stats returns the underlying database's sizes and counters.
+func (c *Collection) Stats() Stats { return c.db.Stats() }
+
+// Count returns the number of matches of path over the whole collection.
+func (c *Collection) Count(path string) (int, error) { return c.db.Count(path) }
 
 // Query evaluates a path expression over the whole collection.
 func (c *Collection) Query(path string) ([]Match, error) { return c.db.Query(path) }

@@ -138,3 +138,95 @@ func TestCollectionTagCollisionAcrossDocs(t *testing.T) {
 		t.Fatalf("collection-wide = %d", len(all))
 	}
 }
+
+func TestCollectionRemove(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("cat", []byte("<cat><a/><b/></cat>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("dog", []byte("<dog><a/></dog>")); err != nil {
+		t.Fatal(err)
+	}
+	// "<cat>" is 5 bytes; <a/> spans [5,9) within the document.
+	if err := c.Remove("cat", 5, 4); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Text("cat")
+	if err != nil || string(text) != "<cat><b/></cat>" {
+		t.Fatalf("cat = %s, %v", text, err)
+	}
+	// The other document is untouched even though its global span shifted.
+	if text, _ := c.Text("dog"); string(text) != "<dog><a/></dog>" {
+		t.Fatalf("dog = %s", text)
+	}
+	if n, _ := c.CountDoc("dog", "dog//a"); n != 1 {
+		t.Fatal("dog lost its match")
+	}
+	// Out-of-range and degenerate removals are rejected.
+	if err := c.Remove("cat", 5, 0); err == nil {
+		t.Fatal("zero-length removal accepted")
+	}
+	if err := c.Remove("cat", -1, 4); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := c.Remove("cat", 5, 1000); err == nil {
+		t.Fatal("range past document end accepted")
+	}
+	if err := c.Remove("nosuch", 0, 1); err == nil {
+		t.Fatal("unknown document accepted")
+	}
+	if err := c.DB().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionRemoveElementAt(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("cat", []byte("<cat><a><x/></a><b/></cat>")); err != nil {
+		t.Fatal(err)
+	}
+	// <a> starts at document offset 5; removing it takes <x/> along.
+	if err := c.RemoveElementAt("cat", 5); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Text("cat")
+	if err != nil || string(text) != "<cat><b/></cat>" {
+		t.Fatalf("cat = %s, %v", text, err)
+	}
+	// No element starts mid-tag.
+	if err := c.RemoveElementAt("cat", 1); err == nil {
+		t.Fatal("mid-tag offset accepted")
+	}
+	if err := c.RemoveElementAt("cat", -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := c.RemoveElementAt("cat", 1000); err == nil {
+		t.Fatal("offset past document end accepted")
+	}
+	if err := c.RemoveElementAt("nosuch", 0); err == nil {
+		t.Fatal("unknown document accepted")
+	}
+	if err := c.DB().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionSIDAndStats(t *testing.T) {
+	c := NewCollection(LD)
+	if err := c.Put("a", []byte("<a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	sid, ok := c.SID("a")
+	if !ok || sid == 0 {
+		t.Fatalf("SID = %d, %v", sid, ok)
+	}
+	if _, ok := c.SID("nosuch"); ok {
+		t.Fatal("SID of unknown document")
+	}
+	if st := c.Stats(); st.Segments != 1 || st.Elements != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if n, err := c.Count("a//b"); err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}

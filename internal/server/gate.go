@@ -1,0 +1,47 @@
+package server
+
+import "context"
+
+// gate implements the server's configurable concurrency model. The
+// engine's own locks make every operation safe; the gate adds policy on
+// top: by default a single writer at a time (updates queue instead of
+// contending on the store lock) and unlimited readers, both bounded by
+// the request's context so a queued request gives up at its deadline.
+type gate struct {
+	writers chan struct{}
+	readers chan struct{} // nil means unlimited
+}
+
+func newGate(writers, readers int) *gate {
+	if writers <= 0 {
+		writers = 1
+	}
+	g := &gate{writers: make(chan struct{}, writers)}
+	if readers > 0 {
+		g.readers = make(chan struct{}, readers)
+	}
+	return g
+}
+
+func acquire(ctx context.Context, slots chan struct{}) error {
+	if slots == nil {
+		return nil
+	}
+	select {
+	case slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func release(slots chan struct{}) {
+	if slots != nil {
+		<-slots
+	}
+}
+
+func (g *gate) acquireWrite(ctx context.Context) error { return acquire(ctx, g.writers) }
+func (g *gate) releaseWrite()                          { release(g.writers) }
+func (g *gate) acquireRead(ctx context.Context) error  { return acquire(ctx, g.readers) }
+func (g *gate) releaseRead()                           { release(g.readers) }

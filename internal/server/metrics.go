@@ -1,0 +1,121 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers latencies from <1µs up to >=2^30µs (~18 min) in
+// power-of-two buckets — enough range for any request this server can
+// serve, cheap enough to update with one atomic add.
+const numBuckets = 32
+
+// histogram is a lock-free log2 latency histogram in microseconds.
+type histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for v := us; v > 0 && b < numBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// quantile returns an upper bound (the bucket boundary) for the q-th
+// latency quantile in microseconds.
+func (h *histogram) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < numBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= rank {
+			return int64(1) << b // upper boundary of bucket b: 2^b µs
+		}
+	}
+	return int64(1) << (numBuckets - 1)
+}
+
+// snapshot renders the histogram as JSON-friendly summary numbers.
+func (h *histogram) snapshot() HistogramStats {
+	count := h.count.Load()
+	s := HistogramStats{Count: count}
+	if count > 0 {
+		s.MeanUS = h.sumUS.Load() / count
+		s.P50US = h.quantile(0.50)
+		s.P95US = h.quantile(0.95)
+		s.P99US = h.quantile(0.99)
+	}
+	return s
+}
+
+// HistogramStats is the JSON form of a latency histogram. Quantiles are
+// upper bounds of power-of-two microsecond buckets.
+type HistogramStats struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"meanMicros"`
+	P50US  int64 `json:"p50Micros"`
+	P95US  int64 `json:"p95Micros"`
+	P99US  int64 `json:"p99Micros"`
+}
+
+// metrics aggregates request counters for the /metrics endpoint. All
+// fields are updated with atomics; reads are approximate but torn-free
+// per counter.
+type metrics struct {
+	start time.Time
+
+	requests atomic.Int64 // all requests
+	errors   atomic.Int64 // responses with status >= 400
+	timeouts atomic.Int64 // requests that hit the per-request deadline
+	inflight atomic.Int64
+
+	queries atomic.Int64 // read-path requests (query/count/text/stats)
+	updates atomic.Int64 // write-path requests (put/insert/remove/delete)
+	admin   atomic.Int64 // compact/rebuild/check
+
+	readLatency  histogram
+	writeLatency histogram
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Requests      int64          `json:"requests"`
+	Errors        int64          `json:"errors"`
+	Timeouts      int64          `json:"timeouts"`
+	Inflight      int64          `json:"inflight"`
+	Queries       int64          `json:"queries"`
+	Updates       int64          `json:"updates"`
+	Admin         int64          `json:"admin"`
+	ReadLatency   HistogramStats `json:"readLatency"`
+	WriteLatency  HistogramStats `json:"writeLatency"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		Timeouts:      m.timeouts.Load(),
+		Inflight:      m.inflight.Load(),
+		Queries:       m.queries.Load(),
+		Updates:       m.updates.Load(),
+		Admin:         m.admin.Load(),
+		ReadLatency:   m.readLatency.snapshot(),
+		WriteLatency:  m.writeLatency.snapshot(),
+	}
+}

@@ -1,0 +1,608 @@
+// Package server exposes a lazy XML collection over HTTP/JSON: the
+// network front-end of the engine. Updates arrive exactly as the paper
+// models them — "insert (or remove) this well-formed fragment at this
+// byte offset" — and queries run the structural-join machinery, so the
+// whole engine surface (documents, updates, queries, maintenance,
+// statistics) is reachable by any HTTP client.
+//
+// Concurrency model: the engine's locks make every call safe; the
+// server adds a configurable gate on top — a single writer by default
+// (updates queue instead of contending on the store lock) and unlimited
+// readers. Every request runs under a deadline; queued requests give up
+// when it expires. Errors are structured JSON ({"error": ...}) with
+// meaningful status codes, and /metrics exports request counters plus
+// log2 latency histograms.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	lazyxml "repro"
+)
+
+// Backend is the named-document surface the server serves. Both
+// *lazyxml.Collection (ephemeral) and *lazyxml.JournaledCollection
+// (durable) satisfy it.
+type Backend interface {
+	Put(name string, text []byte) error
+	Delete(name string) error
+	Insert(name string, off int, fragment []byte) (lazyxml.SID, error)
+	Remove(name string, off, l int) error
+	RemoveElementAt(name string, off int) error
+	Text(name string) ([]byte, error)
+	Names() []string
+	Len() int
+	Query(path string) ([]lazyxml.Match, error)
+	Count(path string) (int, error)
+	QueryDoc(name, path string) ([]lazyxml.Match, error)
+	CountDoc(name, path string) (int, error)
+	Stats() lazyxml.Stats
+	CollapseAll() error
+	DB() *lazyxml.DB
+}
+
+// durable is the extra surface of a journal-backed backend.
+type durable interface {
+	Compact() error
+	Close() error
+}
+
+var (
+	_ Backend = (*lazyxml.Collection)(nil)
+	_ Backend = (*lazyxml.JournaledCollection)(nil)
+	_ durable = (*lazyxml.JournaledCollection)(nil)
+)
+
+// Config tunes the server. The zero value is usable.
+type Config struct {
+	// RequestTimeout bounds each request, gate wait included
+	// (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps uploaded documents and fragments (default 32 MiB).
+	MaxBodyBytes int64
+	// Writers is the number of concurrently applied updates (default 1:
+	// single-writer, many-reader).
+	Writers int
+	// Readers caps concurrent read-path requests (default 0: unlimited).
+	Readers int
+	// MaxMatches caps the matches returned by query endpoints when the
+	// request does not pass an explicit ?limit= (default 10000).
+	MaxMatches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Writers <= 0 {
+		c.Writers = 1
+	}
+	if c.MaxMatches <= 0 {
+		c.MaxMatches = 10000
+	}
+	return c
+}
+
+// Server is the HTTP front-end over one Backend.
+type Server struct {
+	backend Backend
+	cfg     Config
+	gate    *gate
+	met     *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server over the backend.
+func New(backend Backend, cfg Config) *Server {
+	s := &Server{
+		backend: backend,
+		cfg:     cfg.withDefaults(),
+		met:     &metrics{start: time.Now()},
+	}
+	s.gate = newGate(s.cfg.Writers, s.cfg.Readers)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler; mount it on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a snapshot of the request counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
+
+// Close closes the backend's journal when it has one.
+func (s *Server) Close() error {
+	if d, ok := s.backend.(durable); ok {
+		return d.Close()
+	}
+	return nil
+}
+
+// request classes for the concurrency gate and metrics.
+const (
+	classRead = iota
+	classWrite
+	classAdmin // maintenance: exclusive like a write, counted separately
+)
+
+func (s *Server) routes() {
+	// Health and introspection.
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.met.snapshot())
+	})
+	s.mux.Handle("GET /stats", s.handle(classRead, s.handleStats))
+
+	// Documents.
+	s.mux.Handle("GET /docs", s.handle(classRead, s.handleListDocs))
+	s.mux.Handle("PUT /docs/{name}", s.handle(classWrite, s.handlePutDoc))
+	s.mux.Handle("GET /docs/{name}", s.handle(classRead, s.handleGetDoc))
+	s.mux.Handle("DELETE /docs/{name}", s.handle(classWrite, s.handleDeleteDoc))
+
+	// Doc-scoped updates.
+	s.mux.Handle("POST /docs/{name}/insert", s.handle(classWrite, s.handleInsert))
+	s.mux.Handle("DELETE /docs/{name}/range", s.handle(classWrite, s.handleRemoveRange))
+	s.mux.Handle("DELETE /docs/{name}/element", s.handle(classWrite, s.handleRemoveElement))
+
+	// Queries.
+	s.mux.Handle("GET /query", s.handle(classRead, s.handleQuery))
+	s.mux.Handle("GET /count", s.handle(classRead, s.handleCount))
+	s.mux.Handle("GET /docs/{name}/query", s.handle(classRead, s.handleQueryDoc))
+	s.mux.Handle("GET /docs/{name}/count", s.handle(classRead, s.handleCountDoc))
+
+	// Maintenance.
+	s.mux.Handle("POST /compact", s.handle(classAdmin, s.handleCompact))
+	s.mux.Handle("POST /rebuild", s.handle(classAdmin, s.handleRebuild))
+	s.mux.Handle("POST /check", s.handle(classAdmin, s.handleCheck))
+}
+
+// handlerFunc is an engine handler: it returns a status and a JSON body,
+// or an error already carrying its status.
+type handlerFunc func(r *http.Request) (int, any, error)
+
+// handle wraps an engine handler with the per-request deadline, the
+// concurrency gate, body limiting, metrics and panic containment.
+func (s *Server) handle(class int, fn handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.requests.Add(1)
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		var err error
+		switch class {
+		case classRead:
+			s.met.queries.Add(1)
+			err = s.gate.acquireRead(ctx)
+			defer func() {
+				if err == nil {
+					s.gate.releaseRead()
+				}
+			}()
+		default:
+			if class == classWrite {
+				s.met.updates.Add(1)
+			} else {
+				s.met.admin.Add(1)
+			}
+			err = s.gate.acquireWrite(ctx)
+			defer func() {
+				if err == nil {
+					s.gate.releaseWrite()
+				}
+			}()
+		}
+		if err != nil {
+			s.met.timeouts.Add(1)
+			s.error(w, http.StatusServiceUnavailable, "queued past deadline: %v", err)
+			return
+		}
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.error(w, http.StatusInternalServerError, "internal panic: %v", p)
+			}
+			d := time.Since(start)
+			if class == classRead {
+				s.met.readLatency.observe(d)
+			} else {
+				s.met.writeLatency.observe(d)
+			}
+		}()
+
+		status, body, herr := fn(r)
+		if herr != nil {
+			s.error(w, errStatus(herr), "%s", herr.Error())
+			return
+		}
+		if raw, ok := body.(rawBody); ok {
+			w.Header().Set("Content-Type", raw.contentType)
+			w.WriteHeader(status)
+			w.Write(raw.data)
+			return
+		}
+		writeJSON(w, status, body)
+	})
+}
+
+// rawBody makes a handler return non-JSON content (document text).
+type rawBody struct {
+	contentType string
+	data        []byte
+}
+
+// errStatus maps engine errors onto HTTP statuses by their shape: the
+// engine's own messages distinguish unknown names, duplicates and
+// invalid offsets.
+func errStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown document"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "already exists"):
+		return http.StatusConflict
+	case errors.Is(err, lazyxml.ErrNotAnElement):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// statusError carries an explicit HTTP status through a handler return.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func failf(status int, format string, args ...any) error {
+	return &statusError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Add(1)
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...), "status": status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(body)
+}
+
+// ---- parameter helpers ----
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, failf(http.StatusBadRequest, "missing required query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, failf(http.StatusBadRequest, "parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func pathParam(r *http.Request) (string, error) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		return "", failf(http.StatusBadRequest, "missing required query parameter \"path\"")
+	}
+	return path, nil
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, failf(http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		}
+		return nil, failf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	if len(body) == 0 {
+		return nil, failf(http.StatusBadRequest, "empty body: expected an XML fragment")
+	}
+	return body, nil
+}
+
+// ---- match serialization ----
+
+// ElemJSON is one element of a match: its lazy identity (segment id and
+// immutable local span) — the paper's point is that this never changes
+// under later updates.
+type ElemJSON struct {
+	SID   int `json:"sid"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Level int `json:"level"`
+}
+
+// MatchJSON is one structural-join result with global positions.
+type MatchJSON struct {
+	AncStart  int      `json:"ancStart"`
+	AncEnd    int      `json:"ancEnd"`
+	DescStart int      `json:"descStart"`
+	DescEnd   int      `json:"descEnd"`
+	Anc       ElemJSON `json:"anc"`
+	Desc      ElemJSON `json:"desc"`
+}
+
+// QueryResponse is the body of the query endpoints.
+type QueryResponse struct {
+	Count     int         `json:"count"`
+	Truncated bool        `json:"truncated"`
+	Matches   []MatchJSON `json:"matches"`
+}
+
+func (s *Server) queryResponse(ms []lazyxml.Match, r *http.Request) (QueryResponse, error) {
+	limit := s.cfg.MaxMatches
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return QueryResponse{}, failf(http.StatusBadRequest, "parameter \"limit\": must be a non-negative integer")
+		}
+		limit = v
+	}
+	resp := QueryResponse{Count: len(ms)}
+	n := len(ms)
+	if n > limit {
+		n = limit
+		resp.Truncated = true
+	}
+	resp.Matches = make([]MatchJSON, n)
+	for i, m := range ms[:n] {
+		resp.Matches[i] = MatchJSON{
+			AncStart: m.AncStart, AncEnd: m.AncEnd,
+			DescStart: m.DescStart, DescEnd: m.DescEnd,
+			Anc:  ElemJSON{SID: int(m.Anc.SID), Start: m.Anc.Start, End: m.Anc.End, Level: m.Anc.Level},
+			Desc: ElemJSON{SID: int(m.Desc.SID), Start: m.Desc.Start, End: m.Desc.End, Level: m.Desc.Level},
+		}
+	}
+	return resp, nil
+}
+
+// ---- handlers ----
+
+// StatsResponse is the body of GET /stats: the engine's Stats plus the
+// collection and durability context operators need to decide when the
+// lazy update log has earned a Compact or Rebuild.
+type StatsResponse struct {
+	Mode           string `json:"mode"`
+	TextLen        int    `json:"textLen"`
+	Segments       int    `json:"segments"`
+	Elements       int    `json:"elements"`
+	Tags           int    `json:"tags"`
+	SBTreeBytes    int    `json:"sbTreeBytes"`
+	TagListBytes   int    `json:"tagListBytes"`
+	ElemIdxBytes   int    `json:"elemIdxBytes"`
+	UpdateLogBytes int    `json:"updateLogBytes"`
+	Inserts        int    `json:"inserts"`
+	Removes        int    `json:"removes"`
+	Docs           int    `json:"docs"`
+	Durable        bool   `json:"durable"`
+}
+
+func (s *Server) handleStats(r *http.Request) (int, any, error) {
+	st := s.backend.Stats()
+	_, dur := s.backend.(durable)
+	return http.StatusOK, StatsResponse{
+		Mode:           st.Mode.String(),
+		TextLen:        st.TextLen,
+		Segments:       st.Segments,
+		Elements:       st.Elements,
+		Tags:           st.Tags,
+		SBTreeBytes:    st.SBTreeBytes,
+		TagListBytes:   st.TagListBytes,
+		ElemIdxBytes:   st.ElemIdxBytes,
+		UpdateLogBytes: st.SBTreeBytes + st.TagListBytes,
+		Inserts:        st.Inserts,
+		Removes:        st.Removes,
+		Docs:           s.backend.Len(),
+		Durable:        dur,
+	}, nil
+}
+
+func (s *Server) handleListDocs(r *http.Request) (int, any, error) {
+	names := s.backend.Names()
+	return http.StatusOK, map[string]any{"docs": names, "count": len(names)}, nil
+}
+
+func (s *Server) handlePutDoc(r *http.Request) (int, any, error) {
+	name := r.PathValue("name")
+	body, err := readBody(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := s.backend.Put(name, body); err != nil {
+		return 0, nil, err
+	}
+	sid, _ := sidOf(s.backend, name)
+	return http.StatusCreated, map[string]any{"doc": name, "sid": sid, "bytes": len(body)}, nil
+}
+
+// sidOf fetches the segment id when the backend exposes it.
+func sidOf(b Backend, name string) (int, bool) {
+	type sider interface{ SID(string) (lazyxml.SID, bool) }
+	if c, ok := b.(sider); ok {
+		if sid, ok := c.SID(name); ok {
+			return int(sid), true
+		}
+	}
+	return 0, false
+}
+
+func (s *Server) handleGetDoc(r *http.Request) (int, any, error) {
+	text, err := s.backend.Text(r.PathValue("name"))
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, rawBody{contentType: "application/xml", data: text}, nil
+}
+
+func (s *Server) handleDeleteDoc(r *http.Request) (int, any, error) {
+	name := r.PathValue("name")
+	if err := s.backend.Delete(name); err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, map[string]any{"deleted": name}, nil
+}
+
+func (s *Server) handleInsert(r *http.Request) (int, any, error) {
+	name := r.PathValue("name")
+	off, err := intParam(r, "off")
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := readBody(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	sid, err := s.backend.Insert(name, off, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusCreated, map[string]any{"doc": name, "sid": int(sid), "off": off, "bytes": len(body)}, nil
+}
+
+func (s *Server) handleRemoveRange(r *http.Request) (int, any, error) {
+	name := r.PathValue("name")
+	off, err := intParam(r, "off")
+	if err != nil {
+		return 0, nil, err
+	}
+	l, err := intParam(r, "len")
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := s.backend.Remove(name, off, l); err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, map[string]any{"doc": name, "off": off, "len": l}, nil
+}
+
+func (s *Server) handleRemoveElement(r *http.Request) (int, any, error) {
+	name := r.PathValue("name")
+	off, err := intParam(r, "off")
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := s.backend.RemoveElementAt(name, off); err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, map[string]any{"doc": name, "off": off}, nil
+}
+
+func (s *Server) handleQuery(r *http.Request) (int, any, error) {
+	path, err := pathParam(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	ms, err := s.backend.Query(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := s.queryResponse(ms, r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, resp, nil
+}
+
+func (s *Server) handleCount(r *http.Request) (int, any, error) {
+	path, err := pathParam(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := s.backend.Count(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, map[string]any{"count": n}, nil
+}
+
+func (s *Server) handleQueryDoc(r *http.Request) (int, any, error) {
+	path, err := pathParam(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	ms, err := s.backend.QueryDoc(r.PathValue("name"), path)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := s.queryResponse(ms, r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, resp, nil
+}
+
+func (s *Server) handleCountDoc(r *http.Request) (int, any, error) {
+	path, err := pathParam(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := s.backend.CountDoc(r.PathValue("name"), path)
+	if err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, map[string]any{"count": n}, nil
+}
+
+func (s *Server) handleCompact(r *http.Request) (int, any, error) {
+	d, ok := s.backend.(durable)
+	if !ok {
+		return 0, nil, failf(http.StatusNotImplemented, "no journal: the server runs in-memory")
+	}
+	if err := d.Compact(); err != nil {
+		return 0, nil, failf(http.StatusInternalServerError, "compact: %v", err)
+	}
+	return http.StatusOK, map[string]any{"compacted": true}, nil
+}
+
+// handleRebuild is the collection's equivalent of the paper's
+// "maintenance hours" re-index: every document's segment subtree is
+// collapsed into one segment (clearing the update log's footprint) while
+// the name→segment map stays valid. Durable backends compact afterwards
+// so the collapse survives a restart.
+func (s *Server) handleRebuild(r *http.Request) (int, any, error) {
+	if err := s.backend.CollapseAll(); err != nil {
+		return 0, nil, failf(http.StatusInternalServerError, "rebuild: %v", err)
+	}
+	st := s.backend.Stats()
+	return http.StatusOK, map[string]any{"rebuilt": true, "segments": st.Segments}, nil
+}
+
+func (s *Server) handleCheck(r *http.Request) (int, any, error) {
+	if err := s.backend.DB().CheckConsistency(); err != nil {
+		return 0, nil, failf(http.StatusConflict, "consistency check failed: %v", err)
+	}
+	return http.StatusOK, map[string]any{"consistent": true}, nil
+}

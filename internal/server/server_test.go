@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	lazyxml "repro"
+)
+
+// call issues one request against the test server and decodes the JSON
+// body into out (when out is non-nil).
+func call(t *testing.T, ts *httptest.Server, method, path string, body []byte, out any) int {
+	t.Helper()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(lazyxml.NewCollection(lazyxml.LD), Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+
+	// put → insert → query → stats: the issue's canonical flow.
+	if st := call(t, ts, "PUT", "/docs/catalog", []byte("<catalog><book><title>Lazy</title></book></catalog>"), nil); st != http.StatusCreated {
+		t.Fatalf("put: %d", st)
+	}
+	// "<catalog>" is 9 bytes: insert a second book right after it.
+	var ins struct {
+		SID int `json:"sid"`
+	}
+	if st := call(t, ts, "POST", "/docs/catalog/insert?off=9", []byte("<book><title>Join</title></book>"), &ins); st != http.StatusCreated {
+		t.Fatalf("insert: %d", st)
+	}
+	if ins.SID == 0 {
+		t.Fatal("insert did not report a segment id")
+	}
+
+	var q QueryResponse
+	if st := call(t, ts, "GET", "/docs/catalog/query?path=catalog//title", nil, &q); st != http.StatusOK {
+		t.Fatalf("query: %d", st)
+	}
+	if q.Count != 2 || len(q.Matches) != 2 {
+		t.Fatalf("query = %+v", q)
+	}
+	if q.Matches[0].Desc.SID == 0 {
+		t.Fatal("match lost its lazy identity")
+	}
+
+	var cnt struct {
+		Count int `json:"count"`
+	}
+	if st := call(t, ts, "GET", "/count?path=book//title", nil, &cnt); st != http.StatusOK || cnt.Count != 2 {
+		t.Fatalf("count = %+v (%d)", cnt, st)
+	}
+
+	var stats StatsResponse
+	if st := call(t, ts, "GET", "/stats", nil, &stats); st != http.StatusOK {
+		t.Fatalf("stats: %d", st)
+	}
+	if stats.Docs != 1 || stats.Segments != 2 || stats.Mode != "LD" || stats.Durable {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.UpdateLogBytes <= 0 {
+		t.Fatal("update-log footprint missing from stats")
+	}
+
+	// Document text round-trips with the insert applied.
+	req, _ := http.NewRequest("GET", ts.URL+"/docs/catalog", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/xml" {
+		t.Fatalf("text content type = %q", ct)
+	}
+	if !strings.Contains(string(text), "<title>Join</title>") {
+		t.Fatalf("text = %s", text)
+	}
+
+	// Remove the inserted element (it still starts at offset 9).
+	if st := call(t, ts, "DELETE", "/docs/catalog/element?off=9", nil, nil); st != http.StatusOK {
+		t.Fatalf("remove element: %d", st)
+	}
+	if st := call(t, ts, "GET", "/count?path=book//title", nil, &cnt); st != http.StatusOK || cnt.Count != 1 {
+		t.Fatalf("count after remove = %+v (%d)", cnt, st)
+	}
+	// Remove the remaining book by range: it spans [9, 9+32).
+	if st := call(t, ts, "DELETE", "/docs/catalog/range?off=9&len=32", nil, nil); st != http.StatusOK {
+		t.Fatalf("remove range: %d", st)
+	}
+	if st := call(t, ts, "GET", "/count?path=book//title", nil, &cnt); st != http.StatusOK || cnt.Count != 0 {
+		t.Fatalf("count after range remove = %+v (%d)", cnt, st)
+	}
+
+	// The engine's own audit agrees over HTTP.
+	if st := call(t, ts, "POST", "/check", nil, nil); st != http.StatusOK {
+		t.Fatalf("check: %d", st)
+	}
+
+	var list struct {
+		Docs  []string `json:"docs"`
+		Count int      `json:"count"`
+	}
+	if st := call(t, ts, "GET", "/docs", nil, &list); st != http.StatusOK || list.Count != 1 || list.Docs[0] != "catalog" {
+		t.Fatalf("docs = %+v (%d)", list, st)
+	}
+	if st := call(t, ts, "DELETE", "/docs/catalog", nil, nil); st != http.StatusOK {
+		t.Fatal("delete doc")
+	}
+	if st := call(t, ts, "GET", "/docs", nil, &list); st != http.StatusOK || list.Count != 0 {
+		t.Fatalf("docs after delete = %+v", list)
+	}
+}
+
+func TestServerStructuredErrors(t *testing.T) {
+	ts := newTestServer(t)
+	call(t, ts, "PUT", "/docs/d", []byte("<d/>"), nil)
+
+	cases := []struct {
+		method, path string
+		body         []byte
+		want         int
+	}{
+		{"GET", "/docs/nosuch", nil, http.StatusNotFound},
+		{"DELETE", "/docs/nosuch", nil, http.StatusNotFound},
+		{"GET", "/docs/nosuch/count?path=a", nil, http.StatusNotFound},
+		{"PUT", "/docs/d", []byte("<d/>"), http.StatusConflict},           // duplicate
+		{"PUT", "/docs/e", []byte("<oops>"), http.StatusBadRequest},       // not well-formed
+		{"PUT", "/docs/e", nil, http.StatusBadRequest},                    // empty body
+		{"POST", "/docs/d/insert?off=999", []byte("<x/>"), http.StatusBadRequest},
+		{"POST", "/docs/d/insert", []byte("<x/>"), http.StatusBadRequest}, // missing off
+		{"POST", "/docs/d/insert?off=abc", []byte("<x/>"), http.StatusBadRequest},
+		{"DELETE", "/docs/d/range?off=0&len=0", nil, http.StatusBadRequest},
+		{"DELETE", "/docs/d/element?off=1", nil, http.StatusBadRequest},
+		{"GET", "/query", nil, http.StatusBadRequest},                     // missing path
+		{"GET", "/query?path=" + "%20", nil, http.StatusBadRequest},       // unparsable path
+		{"GET", "/query?path=a&limit=-1", nil, http.StatusBadRequest},
+		{"POST", "/compact", nil, http.StatusNotImplemented}, // in-memory backend
+	}
+	for _, c := range cases {
+		var e struct {
+			Error  string `json:"error"`
+			Status int    `json:"status"`
+		}
+		got := call(t, ts, c.method, c.path, c.body, &e)
+		if got != c.want {
+			t.Errorf("%s %s = %d, want %d (error %q)", c.method, c.path, got, c.want, e.Error)
+		}
+		if e.Error == "" || e.Status != c.want {
+			t.Errorf("%s %s: unstructured error body %+v", c.method, c.path, e)
+		}
+	}
+
+	// Errors are counted.
+	var met MetricsSnapshot
+	if st := call(t, ts, "GET", "/metrics", nil, &met); st != http.StatusOK {
+		t.Fatal("metrics")
+	}
+	if met.Errors < int64(len(cases)) {
+		t.Fatalf("metrics.Errors = %d, want >= %d", met.Errors, len(cases))
+	}
+}
+
+func TestServerQueryLimit(t *testing.T) {
+	ts := newTestServer(t)
+	call(t, ts, "PUT", "/docs/d", []byte("<d><x/><x/><x/><x/></d>"), nil)
+	var q QueryResponse
+	if st := call(t, ts, "GET", "/query?path=x&limit=2", nil, &q); st != http.StatusOK {
+		t.Fatal("query")
+	}
+	if q.Count != 4 || len(q.Matches) != 2 || !q.Truncated {
+		t.Fatalf("limited query = %+v", q)
+	}
+}
+
+func TestServerRebuildCollapsesSegments(t *testing.T) {
+	ts := newTestServer(t)
+	call(t, ts, "PUT", "/docs/d", []byte("<d></d>"), nil)
+	for i := 0; i < 8; i++ {
+		if st := call(t, ts, "POST", "/docs/d/insert?off=3", []byte("<x/>"), nil); st != http.StatusCreated {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	var stats StatsResponse
+	call(t, ts, "GET", "/stats", nil, &stats)
+	if stats.Segments < 9 {
+		t.Fatalf("segments before rebuild = %d", stats.Segments)
+	}
+	var rb struct {
+		Rebuilt  bool `json:"rebuilt"`
+		Segments int  `json:"segments"`
+	}
+	if st := call(t, ts, "POST", "/rebuild", nil, &rb); st != http.StatusOK || !rb.Rebuilt {
+		t.Fatalf("rebuild: %d %+v", st, rb)
+	}
+	if rb.Segments != 1 {
+		t.Fatalf("segments after rebuild = %d", rb.Segments)
+	}
+	// Queries still work, documents still resolve.
+	var cnt struct {
+		Count int `json:"count"`
+	}
+	if st := call(t, ts, "GET", "/docs/d/count?path=d//x", nil, &cnt); st != http.StatusOK || cnt.Count != 8 {
+		t.Fatalf("count after rebuild = %+v (%d)", cnt, st)
+	}
+	if st := call(t, ts, "POST", "/check", nil, nil); st != http.StatusOK {
+		t.Fatal("check after rebuild")
+	}
+}
+
+func TestServerRequestTimeoutOnQueuedWrite(t *testing.T) {
+	// A single-writer server whose writer slot is held hostage: a queued
+	// update must give up at its deadline with 503, counted as a timeout.
+	backend := lazyxml.NewCollection(lazyxml.LD)
+	s := New(backend, Config{RequestTimeout: 50 * time.Millisecond})
+	if err := s.gate.acquireWrite(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.gate.releaseWrite()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	st := call(t, ts, "PUT", "/docs/d", []byte("<d/>"), nil)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("queued write = %d, want 503", st)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+	if met := s.Metrics(); met.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d", met.Timeouts)
+	}
+	// Reads are not blocked by the stuck writer.
+	var stats StatsResponse
+	if st := call(t, ts, "GET", "/stats", nil, &stats); st != http.StatusOK {
+		t.Fatal("read blocked by writer gate")
+	}
+}

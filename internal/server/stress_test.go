@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	lazyxml "repro"
+)
+
+// TestServerConcurrentClients hammers one server with parallel readers
+// and writers — the single-writer/many-reader gate plus the engine's own
+// locks must keep it race-clean (run under -race) and consistent.
+func TestServerConcurrentClients(t *testing.T) {
+	backend := lazyxml.NewCollection(lazyxml.LD)
+	s := New(backend, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const writers, readers, opsPerWorker = 4, 8, 25
+
+	// One document per writer, created up front so readers always have a
+	// target.
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("doc-%d", w)
+		if st := call(t, ts, "PUT", "/docs/"+name, []byte("<doc></doc>"), nil); st != http.StatusCreated {
+			t.Fatalf("put %s: %d", name, st)
+		}
+	}
+
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc-%d", w)
+			for i := 0; i < opsPerWorker; i++ {
+				frag := fmt.Sprintf("<item w=\"%d\" n=\"%d\"/>", w, i)
+				// "<doc>" is 5 bytes: always a valid insertion point.
+				if st := call(t, ts, "POST", "/docs/"+name+"/insert?off=5", []byte(frag), nil); st != http.StatusCreated {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc-%d", r%writers)
+			for i := 0; i < opsPerWorker; i++ {
+				switch i % 3 {
+				case 0:
+					if st := call(t, ts, "GET", "/docs/"+name+"/count?path=doc//item", nil, nil); st != http.StatusOK {
+						failures.Add(1)
+					}
+				case 1:
+					if st := call(t, ts, "GET", "/query?path=item&limit=5", nil, nil); st != http.StatusOK {
+						failures.Add(1)
+					}
+				default:
+					if st := call(t, ts, "GET", "/stats", nil, nil); st != http.StatusOK {
+						failures.Add(1)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d requests failed under concurrency", n)
+	}
+	// Every insert landed exactly once.
+	var cnt struct {
+		Count int `json:"count"`
+	}
+	if st := call(t, ts, "GET", "/count?path=doc//item", nil, &cnt); st != http.StatusOK {
+		t.Fatal("final count")
+	}
+	if cnt.Count != writers*opsPerWorker {
+		t.Fatalf("items = %d, want %d", cnt.Count, writers*opsPerWorker)
+	}
+	if st := call(t, ts, "POST", "/check", nil, nil); st != http.StatusOK {
+		t.Fatal("consistency check after stress")
+	}
+	met := s.Metrics()
+	if met.Requests == 0 || met.ReadLatency.Count == 0 || met.WriteLatency.Count == 0 {
+		t.Fatalf("metrics did not observe the load: %+v", met)
+	}
+}

@@ -1,0 +1,326 @@
+package lazyxml
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// JournaledCollection is a Collection whose state — the documents' text,
+// the update log, and the name→segment map — survives restarts. Segment
+// updates go through the underlying JournaledDB's write-ahead journal;
+// the name map has its own small log (docs.wal) and snapshot (docs.snap)
+// in the same directory, folded together by Compact.
+//
+// Segment ids are deterministic: a snapshot preserves the id counter and
+// WAL replay re-applies updates in order, so the persisted name→SID map
+// stays valid across restarts.
+type JournaledCollection struct {
+	*Collection
+	j    *JournaledDB
+	dir  string
+	dwal *os.File
+}
+
+const (
+	docsWALName  = "docs.wal"
+	docsSnapName = "docs.snap"
+	docsMagic    = "LXDC1"
+
+	dopPut byte = 1
+	dopDel byte = 2
+)
+
+// OpenJournaledCollection opens (or creates) a durable collection in
+// dir. The mode and options apply when no snapshot exists yet. On open,
+// the database journal is replayed first, then the document-name log; a
+// name record whose segment no longer exists (a crash between the two
+// journal appends) is dropped, so the collection always reopens
+// consistent.
+func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption) (*JournaledCollection, error) {
+	j, err := OpenJournal(dir, mode, dbOpts, jOpts...)
+	if err != nil {
+		return nil, err
+	}
+	col := &Collection{db: j.DB, eng: j, docs: map[string]SID{}}
+	jc := &JournaledCollection{Collection: col, j: j, dir: dir}
+	if err := jc.loadDocsSnap(); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if err := jc.replayDocsWAL(); err != nil {
+		j.Close()
+		return nil, err
+	}
+	jc.dropOrphans()
+	dwal, err := os.OpenFile(filepath.Join(dir, docsWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	jc.dwal = dwal
+	return jc, nil
+}
+
+// Journal exposes the underlying journaled database.
+func (jc *JournaledCollection) Journal() *JournaledDB { return jc.j }
+
+// CheckConsistency verifies the update log and element index against the
+// re-parsed super document.
+func (jc *JournaledCollection) CheckConsistency() error { return jc.db.CheckConsistency() }
+
+// Put adds a named document and records the name durably.
+func (jc *JournaledCollection) Put(name string, text []byte) error {
+	if err := jc.Collection.Put(name, text); err != nil {
+		return err
+	}
+	sid, _ := jc.SID(name)
+	return jc.appendDoc(dopPut, sid, name)
+}
+
+// Delete removes a named document and records the deletion durably.
+func (jc *JournaledCollection) Delete(name string) error {
+	sid, ok := jc.SID(name)
+	if !ok {
+		return fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	if err := jc.Collection.Delete(name); err != nil {
+		return err
+	}
+	return jc.appendDoc(dopDel, sid, name)
+}
+
+// CollapseAll collapses every document's segment subtree and then
+// compacts, because a collapse rewrites the update log in memory without
+// going through the WAL — the fresh snapshot is what makes it durable.
+func (jc *JournaledCollection) CollapseAll() error {
+	if err := jc.Collection.CollapseAll(); err != nil {
+		return err
+	}
+	return jc.Compact()
+}
+
+// Compact folds both journals into snapshots: the name map is written to
+// docs.snap (atomically, via rename) and its log truncated, then the
+// store snapshot is taken and the database journal truncated.
+func (jc *JournaledCollection) Compact() error {
+	if err := jc.writeDocsSnap(); err != nil {
+		return err
+	}
+	if err := jc.dwal.Truncate(0); err != nil {
+		return err
+	}
+	return jc.j.Compact()
+}
+
+// Close flushes and closes both journals; the collection remains usable
+// in memory but further updates fail.
+func (jc *JournaledCollection) Close() error {
+	var err error
+	if jc.dwal != nil {
+		err = jc.dwal.Sync()
+		if cerr := jc.dwal.Close(); err == nil {
+			err = cerr
+		}
+		jc.dwal = nil
+	}
+	if cerr := jc.j.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// appendDoc writes one name record: op, sid, name, crc32 of the payload.
+// The record follows the segment-journal append, so a crash in between
+// leaves at worst an anonymous segment, dropped on the next open.
+func (jc *JournaledCollection) appendDoc(op byte, sid SID, name string) error {
+	if jc.dwal == nil {
+		return fmt.Errorf("lazyxml: journal is closed")
+	}
+	buf := []byte{op}
+	buf = binary.AppendVarint(buf, int64(sid))
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	sum := crc32.ChecksumIEEE(buf)
+	buf = binary.AppendUvarint(buf, uint64(sum))
+	if _, err := jc.dwal.Write(buf); err != nil {
+		return err
+	}
+	if jc.j.sync {
+		return jc.dwal.Sync()
+	}
+	return nil
+}
+
+// readDocRecord parses one name record, mirroring the torn-tail
+// discipline of the segment journal: any short or corrupt read aborts
+// the replay without failing the open.
+func readDocRecord(br *bufio.Reader) (op byte, sid SID, name string, err error) {
+	op, err = br.ReadByte()
+	if err != nil {
+		return 0, 0, "", io.EOF
+	}
+	payload := []byte{op}
+	sidV, err := binary.ReadVarint(br)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("torn sid")
+	}
+	payload = binary.AppendVarint(payload, sidV)
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("torn name length")
+	}
+	if nameLen > 1<<16 {
+		return 0, 0, "", fmt.Errorf("corrupt name length")
+	}
+	payload = binary.AppendUvarint(payload, nameLen)
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return 0, 0, "", fmt.Errorf("torn name")
+	}
+	payload = append(payload, nameBuf...)
+	sum, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("torn checksum")
+	}
+	if uint32(sum) != crc32.ChecksumIEEE(payload) {
+		return 0, 0, "", fmt.Errorf("checksum mismatch")
+	}
+	return op, SID(sidV), string(nameBuf), nil
+}
+
+// replayDocsWAL applies the name log on top of the snapshot's map.
+func (jc *JournaledCollection) replayDocsWAL() error {
+	f, err := os.Open(filepath.Join(jc.dir, docsWALName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		op, sid, name, err := readDocRecord(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return nil // torn or corrupt tail: stop cleanly
+		}
+		switch op {
+		case dopPut:
+			jc.docs[name] = sid
+		case dopDel:
+			delete(jc.docs, name)
+		default:
+			return nil // unknown op: treat as corrupt tail
+		}
+	}
+}
+
+// dropOrphans removes map entries whose segment no longer exists — the
+// crash window where a name record outlived (or preceded) its segment
+// journal record.
+func (jc *JournaledCollection) dropOrphans() {
+	for name, sid := range jc.docs {
+		if _, ok := jc.db.store.SegmentTree().Lookup(sid); !ok {
+			delete(jc.docs, name)
+		}
+	}
+}
+
+// writeDocsSnap persists the whole name map atomically: magic, entry
+// count, (sid, name) pairs, crc32 of everything before it.
+func (jc *JournaledCollection) writeDocsSnap() error {
+	jc.mu.RLock()
+	buf := []byte(docsMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(jc.docs)))
+	for _, name := range jc.Collection.names() {
+		buf = binary.AppendVarint(buf, int64(jc.docs[name]))
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+	jc.mu.RUnlock()
+	sum := crc32.ChecksumIEEE(buf)
+	buf = binary.AppendUvarint(buf, uint64(sum))
+	tmp := filepath.Join(jc.dir, docsSnapName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(jc.dir, docsSnapName))
+}
+
+// loadDocsSnap restores the name map from docs.snap, if present.
+func (jc *JournaledCollection) loadDocsSnap() error {
+	raw, err := os.ReadFile(filepath.Join(jc.dir, docsSnapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(bytes.NewReader(raw))
+	magic := make([]byte, len(docsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != docsMagic {
+		return fmt.Errorf("lazyxml: bad docs snapshot magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("lazyxml: corrupt docs snapshot: %w", err)
+	}
+	docs := make(map[string]SID, count)
+	for i := uint64(0); i < count; i++ {
+		sidV, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("lazyxml: corrupt docs snapshot entry: %w", err)
+		}
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil || nameLen > 1<<16 {
+			return fmt.Errorf("lazyxml: corrupt docs snapshot name length")
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return fmt.Errorf("lazyxml: corrupt docs snapshot name: %w", err)
+		}
+		docs[string(nameBuf)] = SID(sidV)
+	}
+	sum, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("lazyxml: corrupt docs snapshot checksum: %w", err)
+	}
+	payloadLen := len(raw) - uvarintLen(sum)
+	if payloadLen < 0 || uint32(sum) != crc32.ChecksumIEEE(raw[:payloadLen]) {
+		return fmt.Errorf("lazyxml: docs snapshot checksum mismatch")
+	}
+	jc.Collection.docs = docs
+	return nil
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// names returns the document names sorted, with the lock already held by
+// the caller.
+func (c *Collection) names() []string {
+	out := make([]string, 0, len(c.docs))
+	for name := range c.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
