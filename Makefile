@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench
+.PHONY: verify vet build test race bench bench-shards
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -20,3 +20,7 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Mixed read/write throughput through the real daemon: 1 shard vs 4.
+bench-shards:
+	./scripts/bench_shards.sh

@@ -1,0 +1,58 @@
+package lazyxml
+
+// Backend is the named-document contract every store variant satisfies:
+// the explicit form of what was previously implicit — the engine
+// interface Collection drives plus the read surface the HTTP server
+// consumed. *Collection (ephemeral), *JournaledCollection (durable) and
+// *ShardedCollection (N independent stores behind one routing layer)
+// all implement it, so every layer above (server, daemon, load driver)
+// is written against Backend and never against a concrete store.
+type Backend interface {
+	// Documents.
+	Put(name string, text []byte) error
+	Delete(name string) error
+	Text(name string) ([]byte, error)
+	Names() []string
+	Len() int
+	SID(name string) (SID, bool)
+
+	// Offset updates (the paper's model: insert/remove a well-formed
+	// fragment at a byte offset inside a named document).
+	Insert(name string, off int, fragment []byte) (SID, error)
+	Remove(name string, off, l int) error
+	RemoveElementAt(name string, off int) error
+
+	// Structural queries: whole-collection (fanned out across shards in
+	// a sharded backend) and document-scoped.
+	Query(path string) ([]Match, error)
+	Count(path string) (int, error)
+	QueryDoc(name, path string) ([]Match, error)
+	CountDoc(name, path string) (int, error)
+
+	// Maintenance and introspection.
+	Stats() Stats
+	CollapseAll() error
+	CheckConsistency() error
+
+	// Shard topology. A single-store backend reports one shard and
+	// routes every name to it; a sharded backend reports the shard a
+	// name lives on (or would be routed to).
+	ShardCount() int
+	ShardOf(name string) int
+	ShardStats() []ShardStat
+}
+
+// ShardStat is one shard's slice of a backend's statistics: the signal
+// feed for per-shard maintenance decisions (when does shard i's update
+// log earn a Collapse?).
+type ShardStat struct {
+	Shard int
+	Docs  int
+	Stats Stats
+}
+
+var (
+	_ Backend = (*Collection)(nil)
+	_ Backend = (*JournaledCollection)(nil)
+	_ Backend = (*ShardedCollection)(nil)
+)

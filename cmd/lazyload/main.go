@@ -9,16 +9,28 @@
 // structural count. A final whole-collection query and /stats round off
 // the run.
 //
+// The driver is shard-aware: it asks /stats for the server's shard
+// count and, when the server is sharded, picks document names that
+// spread evenly across shards (mirroring the engine's FNV-1a routing),
+// so the load exercises every writer lane instead of hot-spotting one.
+//
+// By default the client keeps connections alive with an idle pool at
+// least as large as the worker count, so the numbers measure engine
+// latency rather than TCP setup; -reuse=false disables keep-alives to
+// measure the connection-churn regime instead.
+//
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
-//	         [-prefix load] [-keep]
+//	         [-prefix load] [-reuse] [-keep]
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"math/rand"
@@ -35,18 +47,43 @@ func main() {
 	total := flag.Int("n", 2000, "total operations across all workers")
 	readFrac := flag.Float64("read", 0.8, "fraction of operations that are queries")
 	prefix := flag.String("prefix", "load", "document name prefix")
+	reuse := flag.Bool("reuse", true, "persistent client: keep-alive connections, idle pool >= -c (false: new TCP connection per request)")
 	keep := flag.Bool("keep", false, "leave the documents on the server after the run")
 	flag.Parse()
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	// The transport is sized so every worker can hold a warm connection:
+	// with the default MaxIdleConnsPerHost of 2, workers beyond the
+	// second would re-dial constantly and the tail latencies would be
+	// TCP setup, not engine time.
+	pool := *workers + 2
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        pool,
+			MaxIdleConnsPerHost: pool,
+			IdleConnTimeout:     90 * time.Second,
+			DisableKeepAlives:   !*reuse,
+		},
+	}
 
-	// One document per worker; recreate from scratch.
+	shardCount := serverShardCount(client, *url)
+	mode := "keep-alive"
+	if !*reuse {
+		mode = "no-reuse"
+	}
+	fmt.Printf("lazyload: %d workers, %d ops, %.0f%% reads, %s, server shards=%d\n",
+		*workers, *total, *readFrac*100, mode, shardCount)
+
+	// One document per worker; recreate from scratch. When the server is
+	// sharded, worker w's document is named so it routes to shard w mod
+	// shardCount — an even spread across every writer lane.
+	names := make([]string, *workers)
 	for w := 0; w < *workers; w++ {
-		name := fmt.Sprintf("%s-%d", *prefix, w)
-		do(client, "DELETE", *url+"/docs/"+name, nil) // ignore 404
-		status, body := do(client, "PUT", *url+"/docs/"+name, []byte("<load></load>"))
+		names[w] = docName(*prefix, w, shardCount)
+		do(client, "DELETE", *url+"/docs/"+names[w], nil) // ignore 404
+		status, body := do(client, "PUT", *url+"/docs/"+names[w], []byte("<load></load>"))
 		if status != http.StatusCreated {
-			log.Fatalf("lazyload: PUT %s: %d %s", name, status, body)
+			log.Fatalf("lazyload: PUT %s: %d %s", names[w], status, body)
 		}
 	}
 
@@ -64,7 +101,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
-			name := fmt.Sprintf("%s-%d", *prefix, w)
+			name := names[w]
 			samples[w] = make([]sample, 0, perWorker)
 			for i := 0; i < perWorker; i++ {
 				read := rng.Float64() < *readFrac
@@ -102,24 +139,92 @@ func main() {
 		}
 	}
 	ops := reads + writes
-	fmt.Printf("lazyload: %d ops (%d reads, %d writes, %d errors) in %s — %.0f ops/s\n",
-		ops, reads, writes, errs, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	fmt.Printf("lazyload: %d ops (%d reads, %d writes, %d errors) in %s — %.0f ops/s (writes %.0f/s)\n",
+		ops, reads, writes, errs, elapsed.Round(time.Millisecond),
+		float64(ops)/elapsed.Seconds(), float64(writes)/elapsed.Seconds())
 	report("reads ", readLat)
 	report("writes", writeLat)
 
 	status, body := do(client, "GET", *url+"/count?path=load//item", nil)
 	fmt.Printf("collection count: %d %s", status, body)
-	status, body = do(client, "GET", *url+"/stats", nil)
-	fmt.Printf("stats: %d %s", status, body)
+	reportShardSpread(client, *url)
 
 	if !*keep {
 		for w := 0; w < *workers; w++ {
-			do(client, "DELETE", *url+"/docs/"+fmt.Sprintf("%s-%d", *prefix, w), nil)
+			do(client, "DELETE", *url+"/docs/"+names[w], nil)
 		}
 	}
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// statsBody is the slice of GET /stats the driver reads.
+type statsBody struct {
+	ShardCount int `json:"shardCount"`
+	Shards     []struct {
+		Shard          int `json:"shard"`
+		Docs           int `json:"docs"`
+		Inserts        int `json:"inserts"`
+		UpdateLogBytes int `json:"updateLogBytes"`
+	} `json:"shards"`
+}
+
+// serverShardCount asks /stats how many shards the server runs; servers
+// without a shard dimension count as one.
+func serverShardCount(client *http.Client, base string) int {
+	status, body := do(client, "GET", base+"/stats", nil)
+	if status != http.StatusOK {
+		log.Fatalf("lazyload: GET /stats: %d %s", status, body)
+	}
+	var st statsBody
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.ShardCount < 1 {
+		return 1
+	}
+	return st.ShardCount
+}
+
+// docName picks worker w's document name. Against a sharded server it
+// appends a probe suffix until the name hashes (FNV-1a, the engine's
+// routing rule) to shard w mod shards, so the workers cover every shard
+// evenly.
+func docName(prefix string, w, shards int) string {
+	base := fmt.Sprintf("%s-%d", prefix, w)
+	if shards <= 1 {
+		return base
+	}
+	want := uint32(w % shards)
+	for k := 0; ; k++ {
+		name := base
+		if k > 0 {
+			name = fmt.Sprintf("%s-%d", base, k)
+		}
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		if h.Sum32()%uint32(shards) == want {
+			return name
+		}
+	}
+}
+
+// reportShardSpread prints the per-shard document and insert counts from
+// /stats, the visible proof the load hit every shard.
+func reportShardSpread(client *http.Client, base string) {
+	status, body := do(client, "GET", base+"/stats", nil)
+	if status != http.StatusOK {
+		fmt.Printf("stats: %d %s", status, body)
+		return
+	}
+	var st statsBody
+	if err := json.Unmarshal([]byte(body), &st); err != nil || len(st.Shards) == 0 {
+		fmt.Printf("stats: %d %s", status, body)
+		return
+	}
+	fmt.Printf("shard spread (%d shards):", st.ShardCount)
+	for _, s := range st.Shards {
+		fmt.Printf(" [%d: %d docs, %d inserts, %dB log]", s.Shard, s.Docs, s.Inserts, s.UpdateLogBytes)
+	}
+	fmt.Println()
 }
 
 func report(label string, lat []time.Duration) {

@@ -5,9 +5,18 @@
 //
 // Usage:
 //
-//	lazyxmld [-addr :8080] [-journal dir] [-mode ld|ls] [-alg lazy|std|skip|auto]
-//	         [-attrs] [-values] [-sync] [-timeout 30s] [-drain 10s]
-//	         [-writers 1] [-readers 0] [-compact-on-exit]
+//	lazyxmld [-addr :8080] [-journal dir] [-shards 1] [-mode ld|ls]
+//	         [-alg lazy|std|skip|auto] [-attrs] [-values] [-sync]
+//	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
+//	         [-compact-on-exit]
+//
+// With -shards N documents are routed by name hash across N independent
+// stores, each with its own journal directory (shard-0000, …) and its
+// own writer slot, so writes to different shards apply concurrently. The
+// default of 1 preserves the single-store on-disk layout: a journal
+// directory from an unsharded daemon reopens unchanged. A directory
+// created with N > 1 remembers its shard count (shards.meta) and that
+// persisted count wins over the flag.
 //
 // Routes (all responses JSON unless noted):
 //
@@ -53,6 +62,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	journalDir := flag.String("journal", "", "directory of the durable journal (empty: in-memory)")
+	shards := flag.Int("shards", 1, "independent stores; documents are routed by name hash (1 = single store, legacy layout)")
 	syncWAL := flag.Bool("sync", false, "fsync the journal on every update (durable against power loss)")
 	mode := flag.String("mode", "ld", "maintenance mode: ld (lazy dynamic) or ls (lazy static)")
 	alg := flag.String("alg", "lazy", "join algorithm: lazy, std, skip or auto")
@@ -97,20 +107,27 @@ func main() {
 	}
 
 	var backend server.Backend
-	var jc *lazyxml.JournaledCollection
+	var sc *lazyxml.ShardedCollection
 	if *journalDir != "" {
 		var jOpts []lazyxml.JournalOption
 		if *syncWAL {
 			jOpts = append(jOpts, lazyxml.WithSync())
 		}
 		var err error
-		jc, err = lazyxml.OpenJournaledCollection(*journalDir, m, dbOpts, jOpts...)
+		sc, err = lazyxml.OpenShardedCollection(*journalDir, *shards, m, dbOpts, jOpts...)
 		if err != nil {
 			log.Fatalf("lazyxmld: opening journal %s: %v", *journalDir, err)
 		}
-		backend = jc
-		log.Printf("lazyxmld: journal %s restored: %d documents, %d segments",
-			*journalDir, jc.Len(), jc.Stats().Segments)
+		backend = sc
+		if sc.ShardCount() != *shards {
+			log.Printf("lazyxmld: journal %s already holds %d shards; -shards %d ignored",
+				*journalDir, sc.ShardCount(), *shards)
+		}
+		log.Printf("lazyxmld: journal %s restored: %d documents, %d segments, %d shard(s)",
+			*journalDir, sc.Len(), sc.Stats().Segments, sc.ShardCount())
+	} else if *shards > 1 {
+		backend = lazyxml.NewShardedCollection(*shards, m, dbOpts...)
+		log.Printf("lazyxmld: in-memory collection, %d shards (no -journal: state dies with the process)", *shards)
 	} else {
 		backend = lazyxml.NewCollection(m, dbOpts...)
 		log.Printf("lazyxmld: in-memory collection (no -journal: state dies with the process)")
@@ -133,8 +150,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s writers=%d timeout=%s)",
-		*addr, m, *alg, *writers, *timeout)
+	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s shards=%d writers=%d timeout=%s)",
+		*addr, m, *alg, backend.ShardCount(), *writers, *timeout)
 
 	select {
 	case err := <-errCh:
@@ -148,13 +165,13 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("lazyxmld: drain: %v", err)
 	}
-	if jc != nil {
+	if sc != nil {
 		if *compactOnExit {
-			if err := jc.Compact(); err != nil {
+			if err := sc.Compact(); err != nil {
 				log.Printf("lazyxmld: compact on exit: %v", err)
 			}
 		}
-		if err := jc.Close(); err != nil {
+		if err := sc.Close(); err != nil {
 			log.Printf("lazyxmld: closing journal: %v", err)
 		}
 	}

@@ -223,6 +223,22 @@ func (c *Collection) SID(name string) (SID, bool) {
 // Stats returns the underlying database's sizes and counters.
 func (c *Collection) Stats() Stats { return c.db.Stats() }
 
+// CheckConsistency verifies the update log and element index against the
+// re-parsed super document.
+func (c *Collection) CheckConsistency() error { return c.db.CheckConsistency() }
+
+// ShardCount reports one shard: a plain collection is a single store.
+func (c *Collection) ShardCount() int { return 1 }
+
+// ShardOf routes every name to the only shard.
+func (c *Collection) ShardOf(name string) int { return 0 }
+
+// ShardStats reports the whole collection as shard 0, so the /stats
+// shard dimension is uniform whether or not the store is sharded.
+func (c *Collection) ShardStats() []ShardStat {
+	return []ShardStat{{Shard: 0, Docs: c.Len(), Stats: c.Stats()}}
+}
+
 // Count returns the number of matches of path over the whole collection.
 func (c *Collection) Count(path string) (int, error) { return c.db.Count(path) }
 

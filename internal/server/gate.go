@@ -4,19 +4,30 @@ import "context"
 
 // gate implements the server's configurable concurrency model. The
 // engine's own locks make every operation safe; the gate adds policy on
-// top: by default a single writer at a time (updates queue instead of
-// contending on the store lock) and unlimited readers, both bounded by
-// the request's context so a queued request gives up at its deadline.
+// top: per shard, a single writer at a time by default (updates to the
+// same shard queue instead of contending on that shard's store lock),
+// while writes to different shards proceed concurrently — the write gate
+// scales per shard instead of per process. Readers are unlimited unless
+// capped. Every acquisition is bounded by the request's context so a
+// queued request gives up at its deadline.
 type gate struct {
-	writers chan struct{}
-	readers chan struct{} // nil means unlimited
+	shards  []chan struct{} // one write-slot channel per shard
+	readers chan struct{}   // nil means unlimited
 }
 
-func newGate(writers, readers int) *gate {
-	if writers <= 0 {
-		writers = 1
+// newGate builds a gate with writersPerShard slots on each of shards
+// write lanes and an optional reader cap.
+func newGate(shards, writersPerShard, readers int) *gate {
+	if shards <= 0 {
+		shards = 1
 	}
-	g := &gate{writers: make(chan struct{}, writers)}
+	if writersPerShard <= 0 {
+		writersPerShard = 1
+	}
+	g := &gate{shards: make([]chan struct{}, shards)}
+	for i := range g.shards {
+		g.shards[i] = make(chan struct{}, writersPerShard)
+	}
 	if readers > 0 {
 		g.readers = make(chan struct{}, readers)
 	}
@@ -41,7 +52,41 @@ func release(slots chan struct{}) {
 	}
 }
 
-func (g *gate) acquireWrite(ctx context.Context) error { return acquire(ctx, g.writers) }
-func (g *gate) releaseWrite()                          { release(g.writers) }
-func (g *gate) acquireRead(ctx context.Context) error  { return acquire(ctx, g.readers) }
-func (g *gate) releaseRead()                           { release(g.readers) }
+// clamp maps an out-of-range shard index onto a valid lane, so a racing
+// topology mismatch degrades to queuing rather than panicking.
+func (g *gate) clamp(shard int) int {
+	if shard < 0 || shard >= len(g.shards) {
+		return 0
+	}
+	return shard
+}
+
+func (g *gate) acquireWrite(ctx context.Context, shard int) error {
+	return acquire(ctx, g.shards[g.clamp(shard)])
+}
+func (g *gate) releaseWrite(shard int) { release(g.shards[g.clamp(shard)]) }
+
+// acquireAdmin takes one write slot on every shard in index order (the
+// fixed order makes concurrent admins deadlock-free), so a maintenance
+// operation excludes one writer per shard exactly as a write does on its
+// own shard. On failure the acquired prefix is released.
+func (g *gate) acquireAdmin(ctx context.Context) error {
+	for i := range g.shards {
+		if err := acquire(ctx, g.shards[i]); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				release(g.shards[j])
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gate) releaseAdmin() {
+	for i := range g.shards {
+		release(g.shards[i])
+	}
+}
+
+func (g *gate) acquireRead(ctx context.Context) error { return acquire(ctx, g.readers) }
+func (g *gate) releaseRead()                          { release(g.readers) }

@@ -89,6 +89,39 @@ type metrics struct {
 
 	readLatency  histogram
 	writeLatency histogram
+
+	// perShard tracks the write path per shard lane, sized once at
+	// construction to the backend's shard count.
+	perShard []shardCounters
+}
+
+// shardCounters is the write-path slice of one shard's traffic.
+type shardCounters struct {
+	updates      atomic.Int64
+	writeLatency histogram
+}
+
+func newMetrics(shards int) *metrics {
+	if shards < 1 {
+		shards = 1
+	}
+	return &metrics{start: time.Now(), perShard: make([]shardCounters, shards)}
+}
+
+// observeWrite records one write on its shard lane and in the global
+// write histogram.
+func (m *metrics) observeWrite(shard int, d time.Duration) {
+	m.writeLatency.observe(d)
+	if shard >= 0 && shard < len(m.perShard) {
+		m.perShard[shard].writeLatency.observe(d)
+	}
+}
+
+func (m *metrics) countUpdate(shard int) {
+	m.updates.Add(1)
+	if shard >= 0 && shard < len(m.perShard) {
+		m.perShard[shard].updates.Add(1)
+	}
 }
 
 // MetricsSnapshot is the JSON body of GET /metrics.
@@ -103,9 +136,27 @@ type MetricsSnapshot struct {
 	Admin         int64          `json:"admin"`
 	ReadLatency   HistogramStats `json:"readLatency"`
 	WriteLatency  HistogramStats `json:"writeLatency"`
+	// Shards is the write path broken down by shard lane: the evidence
+	// that writes to different shards really run in parallel.
+	Shards []ShardMetrics `json:"shards"`
+}
+
+// ShardMetrics is one shard lane's write-path counters.
+type ShardMetrics struct {
+	Shard        int            `json:"shard"`
+	Updates      int64          `json:"updates"`
+	WriteLatency HistogramStats `json:"writeLatency"`
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
+	shards := make([]ShardMetrics, len(m.perShard))
+	for i := range m.perShard {
+		shards[i] = ShardMetrics{
+			Shard:        i,
+			Updates:      m.perShard[i].updates.Load(),
+			WriteLatency: m.perShard[i].writeLatency.snapshot(),
+		}
+	}
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.requests.Load(),
@@ -117,5 +168,6 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Admin:         m.admin.Load(),
 		ReadLatency:   m.readLatency.snapshot(),
 		WriteLatency:  m.writeLatency.snapshot(),
+		Shards:        shards,
 	}
 }

@@ -6,12 +6,14 @@
 // statistics) is reachable by any HTTP client.
 //
 // Concurrency model: the engine's locks make every call safe; the
-// server adds a configurable gate on top — a single writer by default
-// (updates queue instead of contending on the store lock) and unlimited
-// readers. Every request runs under a deadline; queued requests give up
-// when it expires. Errors are structured JSON ({"error": ...}) with
-// meaningful status codes, and /metrics exports request counters plus
-// log2 latency histograms.
+// server adds a configurable gate on top — per shard, a single writer by
+// default (updates to a shard queue instead of contending on its store
+// lock) and unlimited readers, so a sharded backend applies writes to
+// different shards concurrently. Every request runs under a deadline;
+// queued requests give up when it expires. Errors are structured JSON
+// ({"error": ...}) with meaningful status codes, and /metrics exports
+// request counters plus log2 latency histograms, broken down by shard on
+// the write path.
 package server
 
 import (
@@ -28,26 +30,11 @@ import (
 	lazyxml "repro"
 )
 
-// Backend is the named-document surface the server serves. Both
-// *lazyxml.Collection (ephemeral) and *lazyxml.JournaledCollection
-// (durable) satisfy it.
-type Backend interface {
-	Put(name string, text []byte) error
-	Delete(name string) error
-	Insert(name string, off int, fragment []byte) (lazyxml.SID, error)
-	Remove(name string, off, l int) error
-	RemoveElementAt(name string, off int) error
-	Text(name string) ([]byte, error)
-	Names() []string
-	Len() int
-	Query(path string) ([]lazyxml.Match, error)
-	Count(path string) (int, error)
-	QueryDoc(name, path string) ([]lazyxml.Match, error)
-	CountDoc(name, path string) (int, error)
-	Stats() lazyxml.Stats
-	CollapseAll() error
-	DB() *lazyxml.DB
-}
+// Backend is the named-document surface the server serves — the
+// engine's own contract. *lazyxml.Collection (ephemeral),
+// *lazyxml.JournaledCollection (durable) and *lazyxml.ShardedCollection
+// (N independent stores) all satisfy it.
+type Backend = lazyxml.Backend
 
 // durable is the extra surface of a journal-backed backend.
 type durable interface {
@@ -56,10 +43,23 @@ type durable interface {
 }
 
 var (
-	_ Backend = (*lazyxml.Collection)(nil)
-	_ Backend = (*lazyxml.JournaledCollection)(nil)
 	_ durable = (*lazyxml.JournaledCollection)(nil)
+	_ durable = (*lazyxml.ShardedCollection)(nil)
 )
+
+// asDurable reports the backend's durable surface. A backend may carry
+// the methods without being durable (an in-memory ShardedCollection);
+// IsDurable disambiguates.
+func asDurable(b Backend) (durable, bool) {
+	d, ok := b.(durable)
+	if !ok {
+		return nil, false
+	}
+	if td, ok := b.(interface{ IsDurable() bool }); ok && !td.IsDurable() {
+		return nil, false
+	}
+	return d, true
+}
 
 // Config tunes the server. The zero value is usable.
 type Config struct {
@@ -68,8 +68,9 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps uploaded documents and fragments (default 32 MiB).
 	MaxBodyBytes int64
-	// Writers is the number of concurrently applied updates (default 1:
-	// single-writer, many-reader).
+	// Writers is the number of concurrently applied updates per shard
+	// (default 1: single-writer, many-reader on each shard; total write
+	// concurrency is Writers × the backend's shard count).
 	Writers int
 	// Readers caps concurrent read-path requests (default 0: unlimited).
 	Readers int
@@ -103,14 +104,15 @@ type Server struct {
 	mux     *http.ServeMux
 }
 
-// New builds a server over the backend.
+// New builds a server over the backend. The write gate and the metrics
+// grow one lane per backend shard.
 func New(backend Backend, cfg Config) *Server {
 	s := &Server{
 		backend: backend,
 		cfg:     cfg.withDefaults(),
-		met:     &metrics{start: time.Now()},
+		met:     newMetrics(backend.ShardCount()),
 	}
-	s.gate = newGate(s.cfg.Writers, s.cfg.Readers)
+	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, s.cfg.Readers)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -124,7 +126,7 @@ func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
 
 // Close closes the backend's journal when it has one.
 func (s *Server) Close() error {
-	if d, ok := s.backend.(durable); ok {
+	if d, ok := asDurable(s.backend); ok {
 		return d.Close()
 	}
 	return nil
@@ -189,6 +191,7 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		var err error
+		shard := 0
 		switch class {
 		case classRead:
 			s.met.queries.Add(1)
@@ -198,16 +201,26 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 					s.gate.releaseRead()
 				}
 			}()
-		default:
-			if class == classWrite {
-				s.met.updates.Add(1)
-			} else {
-				s.met.admin.Add(1)
+		case classWrite:
+			// Doc-scoped writes queue on their document's shard lane, so
+			// writes to different shards are applied concurrently.
+			if name := r.PathValue("name"); name != "" {
+				shard = s.backend.ShardOf(name)
 			}
-			err = s.gate.acquireWrite(ctx)
+			s.met.countUpdate(shard)
+			err = s.gate.acquireWrite(ctx, shard)
+			defer func(shard int) {
+				if err == nil {
+					s.gate.releaseWrite(shard)
+				}
+			}(shard)
+		default:
+			// Maintenance spans every shard: take one write slot on each.
+			s.met.admin.Add(1)
+			err = s.gate.acquireAdmin(ctx)
 			defer func() {
 				if err == nil {
-					s.gate.releaseWrite()
+					s.gate.releaseAdmin()
 				}
 			}()
 		}
@@ -217,17 +230,19 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 			return
 		}
 
-		defer func() {
+		defer func(shard int) {
 			if p := recover(); p != nil {
 				s.error(w, http.StatusInternalServerError, "internal panic: %v", p)
 			}
 			d := time.Since(start)
 			if class == classRead {
 				s.met.readLatency.observe(d)
+			} else if class == classWrite {
+				s.met.observeWrite(shard, d)
 			} else {
 				s.met.writeLatency.observe(d)
 			}
-		}()
+		}(shard)
 
 		status, body, herr := fn(r)
 		if herr != nil {
@@ -393,26 +408,56 @@ func (s *Server) queryResponse(ms []lazyxml.Match, r *http.Request) (QueryRespon
 
 // StatsResponse is the body of GET /stats: the engine's Stats plus the
 // collection and durability context operators need to decide when the
-// lazy update log has earned a Compact or Rebuild.
+// lazy update log has earned a Compact or Rebuild. Shards breaks the
+// update counters and update-log footprint down per shard — the signal
+// feed an auto-compaction policy keys on.
 type StatsResponse struct {
-	Mode           string `json:"mode"`
-	TextLen        int    `json:"textLen"`
-	Segments       int    `json:"segments"`
-	Elements       int    `json:"elements"`
-	Tags           int    `json:"tags"`
-	SBTreeBytes    int    `json:"sbTreeBytes"`
-	TagListBytes   int    `json:"tagListBytes"`
-	ElemIdxBytes   int    `json:"elemIdxBytes"`
-	UpdateLogBytes int    `json:"updateLogBytes"`
-	Inserts        int    `json:"inserts"`
-	Removes        int    `json:"removes"`
-	Docs           int    `json:"docs"`
-	Durable        bool   `json:"durable"`
+	Mode           string           `json:"mode"`
+	TextLen        int              `json:"textLen"`
+	Segments       int              `json:"segments"`
+	Elements       int              `json:"elements"`
+	Tags           int              `json:"tags"`
+	SBTreeBytes    int              `json:"sbTreeBytes"`
+	TagListBytes   int              `json:"tagListBytes"`
+	ElemIdxBytes   int              `json:"elemIdxBytes"`
+	UpdateLogBytes int              `json:"updateLogBytes"`
+	Inserts        int              `json:"inserts"`
+	Removes        int              `json:"removes"`
+	Docs           int              `json:"docs"`
+	Durable        bool             `json:"durable"`
+	ShardCount     int              `json:"shardCount"`
+	Shards         []ShardStatsJSON `json:"shards"`
+}
+
+// ShardStatsJSON is one shard's slice of the statistics.
+type ShardStatsJSON struct {
+	Shard          int `json:"shard"`
+	Docs           int `json:"docs"`
+	TextLen        int `json:"textLen"`
+	Segments       int `json:"segments"`
+	Elements       int `json:"elements"`
+	UpdateLogBytes int `json:"updateLogBytes"`
+	Inserts        int `json:"inserts"`
+	Removes        int `json:"removes"`
 }
 
 func (s *Server) handleStats(r *http.Request) (int, any, error) {
 	st := s.backend.Stats()
-	_, dur := s.backend.(durable)
+	_, dur := asDurable(s.backend)
+	per := s.backend.ShardStats()
+	shards := make([]ShardStatsJSON, len(per))
+	for i, ss := range per {
+		shards[i] = ShardStatsJSON{
+			Shard:          ss.Shard,
+			Docs:           ss.Docs,
+			TextLen:        ss.Stats.TextLen,
+			Segments:       ss.Stats.Segments,
+			Elements:       ss.Stats.Elements,
+			UpdateLogBytes: ss.Stats.SBTreeBytes + ss.Stats.TagListBytes,
+			Inserts:        ss.Stats.Inserts,
+			Removes:        ss.Stats.Removes,
+		}
+	}
 	return http.StatusOK, StatsResponse{
 		Mode:           st.Mode.String(),
 		TextLen:        st.TextLen,
@@ -427,6 +472,8 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Removes:        st.Removes,
 		Docs:           s.backend.Len(),
 		Durable:        dur,
+		ShardCount:     s.backend.ShardCount(),
+		Shards:         shards,
 	}, nil
 }
 
@@ -444,19 +491,8 @@ func (s *Server) handlePutDoc(r *http.Request) (int, any, error) {
 	if err := s.backend.Put(name, body); err != nil {
 		return 0, nil, err
 	}
-	sid, _ := sidOf(s.backend, name)
-	return http.StatusCreated, map[string]any{"doc": name, "sid": sid, "bytes": len(body)}, nil
-}
-
-// sidOf fetches the segment id when the backend exposes it.
-func sidOf(b Backend, name string) (int, bool) {
-	type sider interface{ SID(string) (lazyxml.SID, bool) }
-	if c, ok := b.(sider); ok {
-		if sid, ok := c.SID(name); ok {
-			return int(sid), true
-		}
-	}
-	return 0, false
+	sid, _ := s.backend.SID(name)
+	return http.StatusCreated, map[string]any{"doc": name, "sid": int(sid), "bytes": len(body)}, nil
 }
 
 func (s *Server) handleGetDoc(r *http.Request) (int, any, error) {
@@ -577,7 +613,7 @@ func (s *Server) handleCountDoc(r *http.Request) (int, any, error) {
 }
 
 func (s *Server) handleCompact(r *http.Request) (int, any, error) {
-	d, ok := s.backend.(durable)
+	d, ok := asDurable(s.backend)
 	if !ok {
 		return 0, nil, failf(http.StatusNotImplemented, "no journal: the server runs in-memory")
 	}
@@ -601,7 +637,7 @@ func (s *Server) handleRebuild(r *http.Request) (int, any, error) {
 }
 
 func (s *Server) handleCheck(r *http.Request) (int, any, error) {
-	if err := s.backend.DB().CheckConsistency(); err != nil {
+	if err := s.backend.CheckConsistency(); err != nil {
 		return 0, nil, failf(http.StatusConflict, "consistency check failed: %v", err)
 	}
 	return http.StatusOK, map[string]any{"consistent": true}, nil

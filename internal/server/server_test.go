@@ -159,16 +159,16 @@ func TestServerStructuredErrors(t *testing.T) {
 		{"GET", "/docs/nosuch", nil, http.StatusNotFound},
 		{"DELETE", "/docs/nosuch", nil, http.StatusNotFound},
 		{"GET", "/docs/nosuch/count?path=a", nil, http.StatusNotFound},
-		{"PUT", "/docs/d", []byte("<d/>"), http.StatusConflict},           // duplicate
-		{"PUT", "/docs/e", []byte("<oops>"), http.StatusBadRequest},       // not well-formed
-		{"PUT", "/docs/e", nil, http.StatusBadRequest},                    // empty body
+		{"PUT", "/docs/d", []byte("<d/>"), http.StatusConflict},     // duplicate
+		{"PUT", "/docs/e", []byte("<oops>"), http.StatusBadRequest}, // not well-formed
+		{"PUT", "/docs/e", nil, http.StatusBadRequest},              // empty body
 		{"POST", "/docs/d/insert?off=999", []byte("<x/>"), http.StatusBadRequest},
 		{"POST", "/docs/d/insert", []byte("<x/>"), http.StatusBadRequest}, // missing off
 		{"POST", "/docs/d/insert?off=abc", []byte("<x/>"), http.StatusBadRequest},
 		{"DELETE", "/docs/d/range?off=0&len=0", nil, http.StatusBadRequest},
 		{"DELETE", "/docs/d/element?off=1", nil, http.StatusBadRequest},
-		{"GET", "/query", nil, http.StatusBadRequest},                     // missing path
-		{"GET", "/query?path=" + "%20", nil, http.StatusBadRequest},       // unparsable path
+		{"GET", "/query", nil, http.StatusBadRequest},               // missing path
+		{"GET", "/query?path=" + "%20", nil, http.StatusBadRequest}, // unparsable path
 		{"GET", "/query?path=a&limit=-1", nil, http.StatusBadRequest},
 		{"POST", "/compact", nil, http.StatusNotImplemented}, // in-memory backend
 	}
@@ -248,10 +248,10 @@ func TestServerRequestTimeoutOnQueuedWrite(t *testing.T) {
 	// update must give up at its deadline with 503, counted as a timeout.
 	backend := lazyxml.NewCollection(lazyxml.LD)
 	s := New(backend, Config{RequestTimeout: 50 * time.Millisecond})
-	if err := s.gate.acquireWrite(context.Background()); err != nil {
+	if err := s.gate.acquireWrite(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	defer s.gate.releaseWrite()
+	defer s.gate.releaseWrite(0)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

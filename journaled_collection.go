@@ -72,10 +72,6 @@ func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...Jo
 // Journal exposes the underlying journaled database.
 func (jc *JournaledCollection) Journal() *JournaledDB { return jc.j }
 
-// CheckConsistency verifies the update log and element index against the
-// re-parsed super document.
-func (jc *JournaledCollection) CheckConsistency() error { return jc.db.CheckConsistency() }
-
 // Put adds a named document and records the name durably.
 func (jc *JournaledCollection) Put(name string, text []byte) error {
 	if err := jc.Collection.Put(name, text); err != nil {

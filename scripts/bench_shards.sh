@@ -1,0 +1,46 @@
+#!/bin/sh
+# Compare 1-shard vs N-shard mixed read/write throughput through the
+# real daemon + load driver (make bench-shards). Tunables via env:
+#   PORT (default 18080)  N ops (default 8000)  C workers (default 8)
+#   READ fraction (default 0.7)  SHARDS (default 4)
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+N=${N:-8000}
+C=${C:-8}
+READ=${READ:-0.7}
+SHARDS=${SHARDS:-4}
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/lazyxmld" ./cmd/lazyxmld
+go build -o "$BIN/lazyload" ./cmd/lazyload
+
+wait_healthy() {
+    i=0
+    while [ $i -lt 100 ]; do
+        if "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -c 1 -n 0 >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench_shards: daemon on :$PORT never became healthy" >&2
+    return 1
+}
+
+run_one() {
+    shards=$1
+    "$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -shards "$shards" &
+    pid=$!
+    wait_healthy
+    echo "== shards=$shards  (c=$C n=$N read=$READ) =="
+    "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -c "$C" -n "$N" -read "$READ"
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null || true
+    echo
+}
+
+run_one 1
+run_one "$SHARDS"

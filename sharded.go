@@ -1,0 +1,481 @@
+package lazyxml
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ShardedCollection routes named documents across N independent stores.
+// Each shard is a complete Collection (or JournaledCollection): its own
+// super document, its own update log, its own journal directory — so the
+// paper's per-store laziness argument scales out, and a write to one
+// shard never queues behind a write to another.
+//
+// Routing: a document's shard is chosen once, by FNV-1a hash of its name
+// modulo the shard count, and then never changes — the name→shard map is
+// effectively persisted because each shard durably records its own
+// documents (docs.wal/docs.snap), and reopening rebuilds the map from
+// the shards themselves. Changing the shard count of an existing
+// directory therefore never moves data: the persisted count wins.
+//
+// Whole-collection Query/Count fan out across shards with bounded
+// concurrency and merge in shard order (matches within a shard stay in
+// document order). Positions and segment ids in matches are shard-local:
+// each shard is its own coordinate space. Document-scoped operations are
+// routed to exactly one shard and behave exactly as on a single store.
+type ShardedCollection struct {
+	mu     sync.RWMutex
+	shards []Backend
+	jcs    []*JournaledCollection // parallel to shards; nil entries when in-memory
+	route  map[string]int         // name → shard index
+	dir    string                 // journal root ("" when in-memory)
+	fanout int                    // max concurrent shards in whole-collection ops
+}
+
+const (
+	shardsMetaName  = "shards.meta"
+	shardsMetaMagic = "LXSM1"
+	shardDirFormat  = "shard-%04d"
+)
+
+// NewShardedCollection returns an in-memory sharded collection over n
+// independent stores (n < 1 is treated as 1).
+func NewShardedCollection(n int, mode Mode, opts ...Option) *ShardedCollection {
+	if n < 1 {
+		n = 1
+	}
+	sc := &ShardedCollection{
+		shards: make([]Backend, n),
+		jcs:    make([]*JournaledCollection, n),
+		route:  map[string]int{},
+		fanout: defaultFanout(n),
+	}
+	for i := range sc.shards {
+		sc.shards[i] = NewCollection(mode, opts...)
+	}
+	return sc
+}
+
+// OpenShardedCollection opens (or creates) a durable sharded collection
+// in dir. Each shard keeps its own journal directory (shard-0000,
+// shard-0001, …) with the exact single-store layout inside; with one
+// shard the root directory itself is the shard, byte-compatible with a
+// pre-sharding journal directory, so old data opens unchanged.
+//
+// The shard count is persisted in shards.meta once more than one shard
+// exists; on reopen the persisted count always wins over the requested
+// one, so data never silently lands on the wrong shard. Opening a legacy
+// single-store directory with n > 1 is refused rather than guessed at.
+func OpenShardedCollection(dir string, n int, mode Mode, dbOpts []Option, jOpts ...JournalOption) (*ShardedCollection, error) {
+	if n < 1 {
+		n = 1
+	}
+	n, err := resolveShardCount(dir, n)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardedCollection{
+		shards: make([]Backend, n),
+		jcs:    make([]*JournaledCollection, n),
+		route:  map[string]int{},
+		dir:    dir,
+		fanout: defaultFanout(n),
+	}
+	for i := 0; i < n; i++ {
+		sdir := dir
+		if n > 1 {
+			sdir = filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
+		}
+		jc, err := OpenJournaledCollection(sdir, mode, dbOpts, jOpts...)
+		if err != nil {
+			sc.closeShards()
+			return nil, fmt.Errorf("lazyxml: opening shard %d: %w", i, err)
+		}
+		sc.shards[i] = jc
+		sc.jcs[i] = jc
+	}
+	// Rebuild the name→shard map from the shards' own durable name maps:
+	// the routing state is exactly as crash-consistent as the shards are.
+	for i, sh := range sc.shards {
+		for _, name := range sh.Names() {
+			if _, dup := sc.route[name]; !dup {
+				sc.route[name] = i
+			}
+		}
+	}
+	return sc, nil
+}
+
+// resolveShardCount reconciles the requested shard count with the
+// directory's persisted one. The persisted count wins; a fresh multi-
+// shard directory records its count; a legacy single-store directory is
+// only openable as one shard.
+func resolveShardCount(dir string, requested int) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, shardsMetaName))
+	if err == nil {
+		var n int
+		if _, serr := fmt.Sscanf(string(raw), shardsMetaMagic+" %d", &n); serr != nil || n < 1 {
+			return 0, fmt.Errorf("lazyxml: corrupt %s: %q", shardsMetaName, strings.TrimSpace(string(raw)))
+		}
+		return n, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return 0, err
+	}
+	if requested == 1 {
+		// Single shard uses the root directory directly and writes no
+		// meta file: the layout stays identical to a pre-sharding dir.
+		return 1, nil
+	}
+	for _, f := range []string{journalName, snapshotName, docsWALName, docsSnapName} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err == nil {
+			return 0, fmt.Errorf("lazyxml: %s holds a legacy single-store journal; open it with 1 shard (or move its files into %s)",
+				dir, fmt.Sprintf(shardDirFormat, 0))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	meta := fmt.Sprintf("%s %d\n", shardsMetaMagic, requested)
+	if err := os.WriteFile(filepath.Join(dir, shardsMetaName), []byte(meta), 0o644); err != nil {
+		return 0, err
+	}
+	return requested, nil
+}
+
+func defaultFanout(n int) int {
+	if p := runtime.GOMAXPROCS(0); n > p {
+		return p
+	}
+	return n
+}
+
+func (sc *ShardedCollection) closeShards() {
+	for _, jc := range sc.jcs {
+		if jc != nil {
+			jc.Close()
+		}
+	}
+}
+
+// ShardCount returns the number of independent stores.
+func (sc *ShardedCollection) ShardCount() int { return len(sc.shards) }
+
+// IsDurable reports whether the shards journal their updates.
+func (sc *ShardedCollection) IsDurable() bool { return sc.dir != "" }
+
+// hashShard is the routing rule for names not yet placed: FNV-1a mod N.
+func (sc *ShardedCollection) hashShard(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(sc.shards)))
+}
+
+// ShardOf returns the shard a document lives on, or — for a name not in
+// the collection — the shard a Put would route it to. Existing documents
+// always win over the hash, so a shard-count change never reroutes data.
+func (sc *ShardedCollection) ShardOf(name string) int {
+	sc.mu.RLock()
+	si, ok := sc.route[name]
+	sc.mu.RUnlock()
+	if ok {
+		return si
+	}
+	return sc.hashShard(name)
+}
+
+// shardFor resolves a name to its shard for document-scoped operations.
+func (sc *ShardedCollection) shardFor(name string) (Backend, error) {
+	sc.mu.RLock()
+	si, ok := sc.route[name]
+	sc.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	return sc.shards[si], nil
+}
+
+// Put routes a new document to its shard and adds it there. The route
+// map reservation makes the name globally unique across shards; the
+// shard write itself runs outside the routing lock, so puts to different
+// shards proceed concurrently.
+func (sc *ShardedCollection) Put(name string, text []byte) error {
+	sc.mu.Lock()
+	if _, exists := sc.route[name]; exists {
+		sc.mu.Unlock()
+		return fmt.Errorf("lazyxml: document %q already exists", name)
+	}
+	si := sc.hashShard(name)
+	sc.route[name] = si
+	sc.mu.Unlock()
+	if err := sc.shards[si].Put(name, text); err != nil {
+		sc.mu.Lock()
+		delete(sc.route, name)
+		sc.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Delete removes a named document from its shard.
+func (sc *ShardedCollection) Delete(name string) error {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return err
+	}
+	if err := sh.Delete(name); err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	delete(sc.route, name)
+	sc.mu.Unlock()
+	return nil
+}
+
+// Text returns the current text of a named document.
+func (sc *ShardedCollection) Text(name string) ([]byte, error) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Text(name)
+}
+
+// Names lists every document across all shards in sorted order.
+func (sc *ShardedCollection) Names() []string {
+	sc.mu.RLock()
+	out := make([]string, 0, len(sc.route))
+	for name := range sc.route {
+		out = append(out, name)
+	}
+	sc.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of documents across all shards.
+func (sc *ShardedCollection) Len() int {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return len(sc.route)
+}
+
+// SID returns the (shard-local) segment id of a named document.
+func (sc *ShardedCollection) SID(name string) (SID, bool) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return 0, false
+	}
+	return sh.SID(name)
+}
+
+// Insert inserts a fragment at an offset relative to the named document.
+func (sc *ShardedCollection) Insert(name string, off int, fragment []byte) (SID, error) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return 0, err
+	}
+	return sh.Insert(name, off, fragment)
+}
+
+// Remove removes the byte range [off, off+l) relative to the named
+// document.
+func (sc *ShardedCollection) Remove(name string, off, l int) error {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return err
+	}
+	return sh.Remove(name, off, l)
+}
+
+// RemoveElementAt removes the single element whose start tag begins at
+// the given document-relative offset.
+func (sc *ShardedCollection) RemoveElementAt(name string, off int) error {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return err
+	}
+	return sh.RemoveElementAt(name, off)
+}
+
+// Collapse packs a named document's segment subtree into one fresh
+// segment on its shard.
+func (sc *ShardedCollection) Collapse(name string) (SID, error) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return 0, err
+	}
+	col, ok := sh.(interface{ Collapse(string) (SID, error) })
+	if !ok {
+		return 0, fmt.Errorf("lazyxml: shard backend cannot collapse")
+	}
+	return col.Collapse(name)
+}
+
+// fanOut runs fn once per shard with bounded concurrency and returns the
+// first error (by shard index) once every shard has finished.
+func (sc *ShardedCollection) fanOut(fn func(i int, sh Backend) error) error {
+	if len(sc.shards) == 1 {
+		return fn(0, sc.shards[0])
+	}
+	errs := make([]error, len(sc.shards))
+	sem := make(chan struct{}, sc.fanout)
+	var wg sync.WaitGroup
+	for i, sh := range sc.shards {
+		wg.Add(1)
+		go func(i int, sh Backend) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query evaluates a path expression over every shard in parallel and
+// merges the matches in shard order; within a shard they stay in
+// document order. Positions are shard-local.
+func (sc *ShardedCollection) Query(path string) ([]Match, error) {
+	per := make([][]Match, len(sc.shards))
+	err := sc.fanOut(func(i int, sh Backend) error {
+		ms, err := sh.Query(path)
+		per[i] = ms
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, ms := range per {
+		total += len(ms)
+	}
+	out := make([]Match, 0, total)
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// Count sums the path's match count across all shards in parallel.
+func (sc *ShardedCollection) Count(path string) (int, error) {
+	per := make([]int, len(sc.shards))
+	err := sc.fanOut(func(i int, sh Backend) error {
+		n, err := sh.Count(path)
+		per[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int
+	for _, n := range per {
+		total += n
+	}
+	return total, nil
+}
+
+// QueryDoc evaluates a path expression scoped to one named document on
+// its shard.
+func (sc *ShardedCollection) QueryDoc(name, path string) ([]Match, error) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return sh.QueryDoc(name, path)
+}
+
+// CountDoc returns the number of matches of path inside one document.
+func (sc *ShardedCollection) CountDoc(name, path string) (int, error) {
+	sh, err := sc.shardFor(name)
+	if err != nil {
+		return 0, err
+	}
+	return sh.CountDoc(name, path)
+}
+
+// Stats aggregates every shard's sizes and counters. Mode comes from
+// shard 0 (all shards share it); Tags sums per-shard dictionaries, so a
+// tag name used on every shard counts once per shard — it is a resource
+// number, not a distinct-name count.
+func (sc *ShardedCollection) Stats() Stats {
+	var agg Stats
+	for i, ss := range sc.ShardStats() {
+		st := ss.Stats
+		if i == 0 {
+			agg.Mode = st.Mode
+		}
+		agg.TextLen += st.TextLen
+		agg.Segments += st.Segments
+		agg.Elements += st.Elements
+		agg.Tags += st.Tags
+		agg.SBTreeBytes += st.SBTreeBytes
+		agg.TagListBytes += st.TagListBytes
+		agg.ElemIdxBytes += st.ElemIdxBytes
+		agg.Inserts += st.Inserts
+		agg.Removes += st.Removes
+	}
+	return agg
+}
+
+// ShardStats returns each shard's document count and store statistics,
+// gathered in parallel.
+func (sc *ShardedCollection) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(sc.shards))
+	sc.fanOut(func(i int, sh Backend) error {
+		out[i] = ShardStat{Shard: i, Docs: sh.Len(), Stats: sh.Stats()}
+		return nil
+	})
+	return out
+}
+
+// CollapseAll collapses every document on every shard, shard-parallel.
+func (sc *ShardedCollection) CollapseAll() error {
+	return sc.fanOut(func(i int, sh Backend) error { return sh.CollapseAll() })
+}
+
+// CheckConsistency audits every shard in parallel.
+func (sc *ShardedCollection) CheckConsistency() error {
+	return sc.fanOut(func(i int, sh Backend) error {
+		if err := sh.CheckConsistency(); err != nil {
+			return fmt.Errorf("lazyxml: shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// Compact folds every shard's journal into a snapshot, shard-parallel.
+func (sc *ShardedCollection) Compact() error {
+	if !sc.IsDurable() {
+		return fmt.Errorf("lazyxml: collection is not durable")
+	}
+	return sc.fanOut(func(i int, sh Backend) error { return sc.jcs[i].Compact() })
+}
+
+// Close closes every shard's journal. In-memory collections close to a
+// no-op.
+func (sc *ShardedCollection) Close() error {
+	var first error
+	for _, jc := range sc.jcs {
+		if jc == nil {
+			continue
+		}
+		if err := jc.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
