@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-shards
+.PHONY: verify vet build test race bench bench-shards bench-repl
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -24,3 +24,8 @@ bench:
 # Mixed read/write throughput through the real daemon: 1 shard vs 4.
 bench-shards:
 	./scripts/bench_shards.sh
+
+# Bulk ingest over HTTP vs the binary protocol, plus a live follower's
+# replication lag readout.
+bench-repl:
+	./scripts/bench_repl.sh

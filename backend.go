@@ -44,11 +44,22 @@ type Backend interface {
 
 // ShardStat is one shard's slice of a backend's statistics: the signal
 // feed for per-shard maintenance decisions (when does shard i's update
-// log earn a Collapse?).
+// log earn a Collapse, when has its WAL earned a Compact?).
 type ShardStat struct {
 	Shard int
 	Docs  int
 	Stats Stats
+
+	// Journal footprint and replication sequences; zero on in-memory
+	// backends. JournalRecords/JournalBytes count what currently sits in
+	// the shard's WAL files (segment journal + name log) — the
+	// denominator for compaction policy and replication lag. Seq and
+	// DocSeq are the shard's monotonic replication positions (records
+	// ever appended to each log).
+	JournalRecords int64
+	JournalBytes   int64
+	Seq            int64
+	DocSeq         int64
 }
 
 var (

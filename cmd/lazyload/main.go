@@ -19,10 +19,19 @@
 // latency rather than TCP setup; -reuse=false disables keep-alives to
 // measure the connection-churn regime instead.
 //
+// Bulk mode (-bulk) measures document ingest instead of the mixed
+// workload: it loads -n fresh documents of roughly -doc-bytes each,
+// either over HTTP PUTs (the default) or over the binary replication
+// protocol (-bin addr, the primary's -repl listener), where PUT frames
+// pipeline -window deep on one connection instead of paying a round
+// trip per document. scripts/bench_repl.sh runs both lanes back to
+// back.
+//
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
 //	         [-prefix load] [-reuse] [-keep]
+//	         [-bulk] [-bin addr] [-doc-bytes 4096] [-window 64]
 package main
 
 import (
@@ -37,8 +46,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/repl"
 )
 
 func main() {
@@ -49,6 +61,10 @@ func main() {
 	prefix := flag.String("prefix", "load", "document name prefix")
 	reuse := flag.Bool("reuse", true, "persistent client: keep-alive connections, idle pool >= -c (false: new TCP connection per request)")
 	keep := flag.Bool("keep", false, "leave the documents on the server after the run")
+	bulk := flag.Bool("bulk", false, "bulk-ingest mode: load -n fresh documents and report docs/s + MB/s")
+	binAddr := flag.String("bin", "", "bulk over the binary protocol at this address (the primary's -repl listener; empty: HTTP PUTs)")
+	docBytes := flag.Int("doc-bytes", 4096, "approximate size of each bulk document")
+	window := flag.Int("window", 64, "binary bulk pipelining depth (puts in flight before blocking on acks)")
 	flag.Parse()
 
 	// The transport is sized so every worker can hold a warm connection:
@@ -64,6 +80,11 @@ func main() {
 			IdleConnTimeout:     90 * time.Second,
 			DisableKeepAlives:   !*reuse,
 		},
+	}
+
+	if *bulk {
+		runBulk(client, *url, *binAddr, *prefix, *total, *docBytes, *window, *workers, *keep)
+		return
 	}
 
 	shardCount := serverShardCount(client, *url)
@@ -157,6 +178,80 @@ func main() {
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// runBulk loads n fresh documents of ~docBytes each and reports ingest
+// throughput. Over HTTP it uses c concurrent workers issuing PUTs; over
+// the binary protocol it uses one connection with pipelined PUT frames
+// — the comparison scripts/bench_repl.sh prints.
+func runBulk(client *http.Client, base, binAddr, prefix string, n, docBytes, window, c int, keep bool) {
+	doc := makeBulkDoc(docBytes)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-bulk-%06d", prefix, i)
+	}
+
+	lane := "http"
+	start := time.Now()
+	if binAddr != "" {
+		lane = fmt.Sprintf("binary window=%d", window)
+		bc, err := repl.DialBulk(binAddr, 10*time.Second, window)
+		if err != nil {
+			log.Fatalf("lazyload: dialing %s: %v", binAddr, err)
+		}
+		for _, name := range names {
+			if err := bc.Put(name, doc); err != nil {
+				log.Fatalf("lazyload: bulk put %s: %v", name, err)
+			}
+		}
+		if err := bc.Close(); err != nil {
+			log.Fatalf("lazyload: bulk flush: %v", err)
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, c)
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += c {
+					status, body := do(client, "PUT", base+"/docs/"+names[i], doc)
+					if status != http.StatusCreated {
+						errs[w] = fmt.Errorf("PUT %s: %d %s", names[i], status, strings.TrimSpace(body))
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				log.Fatalf("lazyload: bulk: %v", err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	mb := float64(n*len(doc)) / (1 << 20)
+	fmt.Printf("lazyload bulk [%s]: %d docs × %dB in %s — %.0f docs/s, %.1f MB/s\n",
+		lane, n, len(doc), elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds(), mb/elapsed.Seconds())
+
+	if !keep {
+		for _, name := range names {
+			do(client, "DELETE", base+"/docs/"+name, nil)
+		}
+	}
+}
+
+// makeBulkDoc builds a well-formed document of roughly size bytes.
+func makeBulkDoc(size int) []byte {
+	var b bytes.Buffer
+	b.WriteString("<bulk>")
+	for i := 0; b.Len() < size-len("</bulk>"); i++ {
+		fmt.Fprintf(&b, "<item n=\"%d\">payload</item>", i)
+	}
+	b.WriteString("</bulk>")
+	return b.Bytes()
 }
 
 // statsBody is the slice of GET /stats the driver reads.

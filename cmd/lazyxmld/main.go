@@ -8,7 +8,7 @@
 //	lazyxmld [-addr :8080] [-journal dir] [-shards 1] [-mode ld|ls]
 //	         [-alg lazy|std|skip|auto] [-attrs] [-values] [-sync]
 //	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
-//	         [-compact-on-exit]
+//	         [-compact-on-exit] [-repl addr] [-follow addr]
 //
 // With -shards N documents are routed by name hash across N independent
 // stores, each with its own journal directory (shard-0000, …) and its
@@ -17,6 +17,17 @@
 // directory from an unsharded daemon reopens unchanged. A directory
 // created with N > 1 remembers its shard count (shards.meta) and that
 // persisted count wins over the flag.
+//
+// Replication (both sides require -journal: replication ships the WAL):
+//
+//	-repl addr    serve the binary replication/bulk-load protocol on
+//	              addr; followers subscribe here, lazyload -bulk loads
+//	              here.
+//	-follow addr  run as a read-only follower of the primary whose
+//	              -repl listener is at addr. Writes get 403 plus the
+//	              primary's address; replication lag is exported under
+//	              "replication" in /stats and /metrics. The shard count
+//	              must match the primary's.
 //
 // Routes (all responses JSON unless noted):
 //
@@ -48,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,6 +68,7 @@ import (
 	"time"
 
 	lazyxml "repro"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -74,7 +87,16 @@ func main() {
 	readers := flag.Int("readers", 0, "max concurrent read requests (0 = unlimited)")
 	maxBody := flag.Int64("max-body", 32<<20, "max upload size in bytes")
 	compactOnExit := flag.Bool("compact-on-exit", false, "fold the journal into a snapshot during shutdown")
+	replAddr := flag.String("repl", "", "serve the binary replication/bulk-load protocol on this address (requires -journal)")
+	follow := flag.String("follow", "", "follow the primary whose -repl listener is at this address (requires -journal; read-only)")
 	flag.Parse()
+
+	if (*replAddr != "" || *follow != "") && *journalDir == "" {
+		log.Fatalf("lazyxmld: -repl and -follow require -journal: replication ships the write-ahead log")
+	}
+	if *replAddr != "" && *follow != "" {
+		log.Fatalf("lazyxmld: -repl and -follow are mutually exclusive: a node is a primary or a follower")
+	}
 
 	var m lazyxml.Mode
 	switch strings.ToLower(*mode) {
@@ -133,20 +155,53 @@ func main() {
 		log.Printf("lazyxmld: in-memory collection (no -journal: state dies with the process)")
 	}
 
-	srv := server.New(backend, server.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srvCfg := server.Config{
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		Writers:        *writers,
 		Readers:        *readers,
-	})
+	}
+
+	// Replication: a primary serves the stream, a follower applies it.
+	var primary *repl.Primary
+	folErr := make(chan error, 1)
+	if *replAddr != "" {
+		p, err := repl.NewPrimary(sc, repl.PrimaryConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("lazyxmld: %v", err)
+		}
+		ln, err := net.Listen("tcp", *replAddr)
+		if err != nil {
+			log.Fatalf("lazyxmld: replication listener on %s: %v", *replAddr, err)
+		}
+		primary = p
+		go func() {
+			if err := p.Serve(ln); err != nil {
+				log.Printf("lazyxmld: replication listener: %v", err)
+			}
+		}()
+		log.Printf("lazyxmld: replicating on %s (%d shard(s))", ln.Addr(), sc.ShardCount())
+	}
+	if *follow != "" {
+		f, err := repl.NewFollower(sc, *follow, repl.FollowerConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("lazyxmld: %v", err)
+		}
+		srvCfg.PrimaryAddr = *follow
+		srvCfg.ReplStatus = func() any { return f.Status() }
+		go func() { folErr <- f.Run(ctx) }()
+		log.Printf("lazyxmld: following %s (read-only; writes 403 to the primary)", *follow)
+	}
+
+	srv := server.New(backend, srvCfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -156,10 +211,20 @@ func main() {
 	select {
 	case err := <-errCh:
 		log.Fatalf("lazyxmld: %v", err)
+	case err := <-folErr:
+		// The follower only returns between signal and shutdown (nil) or
+		// on a fatal, non-retryable error (incompatible primary, behind
+		// the compaction horizon, diverged history).
+		if err != nil {
+			log.Fatalf("lazyxmld: follower: %v", err)
+		}
 	case <-ctx.Done():
 	}
 	stop()
 	log.Printf("lazyxmld: shutting down, draining for up to %s", *drain)
+	if primary != nil {
+		primary.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,142 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// BulkClient loads documents over the binary protocol, pipelining PUT
+// frames: up to window puts are in flight before the client blocks on
+// acknowledgements, so the loader is not bound by one round trip per
+// document the way a non-keep-alive HTTP client is.
+type BulkClient struct {
+	conn        net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	window      int
+	outstanding int
+	firstErr    error
+}
+
+// DialBulk connects to a primary's replication listener and completes
+// the handshake as a bulk loader (shard count 0: no store of its own).
+// window is the pipelining depth; <=0 picks 64.
+func DialBulk(addr string, timeout time.Duration, window int) (*BulkClient, error) {
+	if window <= 0 {
+		window = 64
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &BulkClient{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 1<<16),
+		bw:     bufio.NewWriterSize(conn, 1<<16),
+		window: window,
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	typ, payload, err := ReadFrame(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("repl: reading server hello: %w", err)
+	}
+	if typ != TypeHello {
+		conn.Close()
+		return nil, fmt.Errorf("repl: expected HELLO, got frame type %d", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if h.Version != Version {
+		conn.Close()
+		return nil, fmt.Errorf("repl: server speaks protocol %d, this build speaks %d", h.Version, Version)
+	}
+	if err := WriteFrame(c.bw, TypeHello, (Hello{Version: Version, Shards: 0}).encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Put queues one document. It returns the first server-side failure seen
+// so far; because puts are pipelined the error may belong to an earlier
+// document (the message names it).
+func (c *BulkClient) Put(name string, text []byte) error {
+	if c.firstErr != nil {
+		return c.firstErr
+	}
+	if err := WriteFrame(c.bw, TypePut, (Put{Name: name, Text: text}).encode()); err != nil {
+		c.firstErr = err
+		return err
+	}
+	c.outstanding++
+	for c.outstanding >= c.window {
+		if err := c.readAck(); err != nil {
+			c.firstErr = err
+			return err
+		}
+	}
+	return c.firstErr
+}
+
+// Flush drains every outstanding acknowledgement.
+func (c *BulkClient) Flush() error {
+	for c.outstanding > 0 && c.firstErr == nil {
+		if err := c.readAck(); err != nil {
+			c.firstErr = err
+		}
+	}
+	return c.firstErr
+}
+
+func (c *BulkClient) readAck() error {
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := ReadFrame(c.br)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case TypePutOK:
+		c.outstanding--
+		ack, err := decodePutOK(payload)
+		if err != nil {
+			return err
+		}
+		if ack.Code != 0 {
+			return fmt.Errorf("repl: server rejected put: %s", ack.Msg)
+		}
+		return nil
+	case TypeError:
+		e, err := decodeError(payload)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("repl: server error %d: %s", e.Code, e.Msg)
+	default:
+		return fmt.Errorf("repl: expected PUT_OK, got frame type %d", typ)
+	}
+}
+
+// Close flushes outstanding acks and closes the connection.
+func (c *BulkClient) Close() error {
+	err := c.Flush()
+	if cerr := c.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

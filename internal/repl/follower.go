@@ -1,0 +1,349 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	lazyxml "repro"
+)
+
+// Fatal follower errors: reconnecting will not help, the operator must
+// intervene (fix the topology, or re-seed the replica from a snapshot).
+var (
+	// ErrIncompatible reports a protocol-version or shard-count mismatch
+	// with the primary.
+	ErrIncompatible = errors.New("repl: incompatible primary (protocol version or shard count)")
+	// ErrSnapshotRequired reports that the follower's position fell
+	// behind the primary's compaction horizon: the records it needs were
+	// folded into a snapshot and no longer exist as log records.
+	ErrSnapshotRequired = errors.New("repl: behind the primary's horizon; re-seed this replica from a primary snapshot")
+	// ErrDiverged reports that a replicated record landed at a different
+	// sequence locally than it had on the primary: the stores do not
+	// share history and the replica must be re-seeded.
+	ErrDiverged = errors.New("repl: replica history diverged from the primary; re-seed this replica")
+)
+
+// FollowerConfig tunes the follower; zero values pick defaults.
+type FollowerConfig struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 100ms and 5s). Backoff resets once a stream
+	// delivers a frame.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// HeartbeatTimeout is how long the stream may stay silent — no
+	// record, no heartbeat — before the follower declares the connection
+	// dead and reconnects (default 10s).
+	HeartbeatTimeout time.Duration
+	// Logf receives connection-level events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// ShardLag is one shard's replication position on both ends of the wire.
+type ShardLag struct {
+	Shard         int   `json:"shard"`
+	AppliedSeq    int64 `json:"appliedSeq"`
+	AppliedDocSeq int64 `json:"appliedDocSeq"`
+	PrimarySeq    int64 `json:"primarySeq"`
+	PrimaryDocSeq int64 `json:"primaryDocSeq"`
+	// Lag is the record count this shard still has to apply.
+	Lag int64 `json:"lag"`
+}
+
+// Status is a point-in-time snapshot of the follower, shaped for direct
+// embedding in the server's /stats response.
+type Status struct {
+	Primary   string `json:"primary"`
+	Connected bool   `json:"connected"`
+	// LastHeartbeatUnixMillis is the primary's clock in the most recent
+	// heartbeat; 0 before the first one.
+	LastHeartbeatUnixMillis int64 `json:"lastHeartbeatUnixMillis"`
+	// SecondsSinceHeartbeat is measured on the follower's clock since
+	// the last heartbeat arrived; -1 before the first one.
+	SecondsSinceHeartbeat float64 `json:"secondsSinceHeartbeat"`
+	// Lag is the total records still to apply across all shards.
+	Lag       int64      `json:"lag"`
+	Shards    []ShardLag `json:"shards"`
+	LastError string     `json:"lastError,omitempty"`
+}
+
+// Follower dials a primary, subscribes from its own durable positions
+// and applies the record stream through its own journals, so a restart
+// resumes exactly where the local WALs end.
+type Follower struct {
+	sc   *lazyxml.ShardedCollection
+	addr string
+	cfg  FollowerConfig
+
+	mu         sync.Mutex
+	connected  bool
+	lastHB     int64     // primary clock, unix millis
+	lastHBSeen time.Time // follower clock
+	primary    []Position
+	lastErr    string
+}
+
+// NewFollower wires a follower over sc, which must be durable: applied
+// records land in the local WALs, and the local sequences are the resume
+// positions.
+func NewFollower(sc *lazyxml.ShardedCollection, addr string, cfg FollowerConfig) (*Follower, error) {
+	if !sc.IsDurable() {
+		return nil, errors.New("repl: following requires a journaled store (-journal)")
+	}
+	cfg.fill()
+	return &Follower{sc: sc, addr: addr, cfg: cfg, primary: make([]Position, sc.ShardCount())}, nil
+}
+
+// Run streams from the primary until ctx is cancelled, reconnecting with
+// jittered exponential backoff. It returns nil on cancellation and a
+// fatal error (ErrIncompatible, ErrSnapshotRequired, ErrDiverged) when
+// reconnecting cannot help.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.cfg.BackoffMin
+	for {
+		streamed, err := f.session(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if errors.Is(err, ErrIncompatible) || errors.Is(err, ErrSnapshotRequired) || errors.Is(err, ErrDiverged) {
+			f.setErr(err)
+			return err
+		}
+		f.setErr(err)
+		f.cfg.Logf("repl: follower: %v (reconnecting in ~%v)", err, backoff)
+		if streamed {
+			backoff = f.cfg.BackoffMin
+		}
+		// Jitter: sleep in [backoff/2, backoff).
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > f.cfg.BackoffMax {
+			backoff = f.cfg.BackoffMax
+		}
+	}
+}
+
+// positions reads the follower's durable per-shard resume points.
+func (f *Follower) positions() []Position {
+	out := make([]Position, f.sc.ShardCount())
+	for i := range out {
+		jc := f.sc.ShardJournal(i)
+		out[i].Seq, _ = jc.Journal().ReplState()
+		out[i].DocSeq, _ = jc.DocReplState()
+	}
+	return out
+}
+
+// session runs one connection: dial, handshake, subscribe, apply frames
+// until something breaks. streamed reports whether any frame arrived
+// (used to reset the reconnect backoff).
+func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", f.addr)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	defer f.setConnected(false)
+	// Unblock blocking reads when ctx is cancelled.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return false, fmt.Errorf("reading primary hello: %w", err)
+	}
+	if typ == TypeError {
+		return false, f.errorFrame(payload)
+	}
+	if typ != TypeHello {
+		return false, fmt.Errorf("expected HELLO, got frame type %d", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return false, err
+	}
+	if h.Version != Version {
+		return false, fmt.Errorf("%w: primary speaks protocol %d, this build speaks %d", ErrIncompatible, h.Version, Version)
+	}
+	if h.Shards != f.sc.ShardCount() {
+		return false, fmt.Errorf("%w: primary has %d shards, this store has %d", ErrIncompatible, h.Shards, f.sc.ShardCount())
+	}
+	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: f.sc.ShardCount()}).encode()); err != nil {
+		return false, err
+	}
+	pos := f.positions()
+	if err := WriteFrame(conn, TypeSubscribe, encodeSubscribe(pos)); err != nil {
+		return false, err
+	}
+	f.cfg.Logf("repl: follower subscribed to %s from %v", f.addr, pos)
+	f.setConnected(true)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.HeartbeatTimeout))
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return streamed, fmt.Errorf("stream from %s broke: %w", f.addr, err)
+		}
+		streamed = true
+		switch typ {
+		case TypeRecord:
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				return streamed, err
+			}
+			if err := f.apply(rec); err != nil {
+				return streamed, err
+			}
+		case TypeHeartbeat:
+			hb, err := decodeHeartbeat(payload)
+			if err != nil {
+				return streamed, err
+			}
+			if len(hb.Positions) != f.sc.ShardCount() {
+				return streamed, fmt.Errorf("heartbeat names %d shards, store has %d", len(hb.Positions), f.sc.ShardCount())
+			}
+			f.mu.Lock()
+			f.lastHB = hb.UnixMillis
+			f.lastHBSeen = time.Now()
+			copy(f.primary, hb.Positions)
+			f.lastErr = ""
+			f.mu.Unlock()
+		case TypeError:
+			return streamed, f.errorFrame(payload)
+		default:
+			return streamed, fmt.Errorf("unexpected frame type %d on stream", typ)
+		}
+	}
+}
+
+// apply lands one replicated record in the local shard, through the
+// local journal, and cross-checks the sequence it got there.
+func (f *Follower) apply(rec Record) error {
+	if rec.Shard < 0 || rec.Shard >= f.sc.ShardCount() {
+		return fmt.Errorf("record for shard %d, store has %d", rec.Shard, f.sc.ShardCount())
+	}
+	var seq int64
+	var err error
+	switch rec.Kind {
+	case KindSegment:
+		seq, err = f.sc.ApplySegmentRecord(rec.Shard, rec.Data)
+	case KindDoc:
+		// The sharded apply also updates the name→shard routing map, so
+		// the document is reachable through the follower's read surface.
+		seq, err = f.sc.ApplyDocRecord(rec.Shard, rec.Data)
+	default:
+		return fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("applying shard %d record %d: %w", rec.Shard, rec.Seq, err)
+	}
+	if seq != rec.Seq {
+		return fmt.Errorf("%w: shard %d record landed at sequence %d locally, %d on the primary",
+			ErrDiverged, rec.Shard, seq, rec.Seq)
+	}
+	// Applied records advance the primary-position floor too: the
+	// primary is at least as far as what it just sent.
+	f.mu.Lock()
+	p := &f.primary[rec.Shard]
+	if rec.Kind == KindSegment && rec.Seq > p.Seq {
+		p.Seq = rec.Seq
+	}
+	if rec.Kind == KindDoc && rec.Seq > p.DocSeq {
+		p.DocSeq = rec.Seq
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Follower) errorFrame(payload []byte) error {
+	e, err := decodeError(payload)
+	if err != nil {
+		return err
+	}
+	switch e.Code {
+	case ErrCodeVersion, ErrCodeShards:
+		return fmt.Errorf("%w: primary says: %s", ErrIncompatible, e.Msg)
+	case ErrCodeSnapshot:
+		return fmt.Errorf("%w: primary says: %s", ErrSnapshotRequired, e.Msg)
+	}
+	return fmt.Errorf("primary error %d: %s", e.Code, e.Msg)
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	f.mu.Unlock()
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	if err != nil {
+		f.lastErr = err.Error()
+	}
+	f.mu.Unlock()
+}
+
+// Status reports the follower's replication state: applied positions
+// are read live from the local journals, primary positions from the
+// most recent heartbeat (floored by what was applied).
+func (f *Follower) Status() Status {
+	applied := f.positions()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Primary:                 f.addr,
+		Connected:               f.connected,
+		LastHeartbeatUnixMillis: f.lastHB,
+		SecondsSinceHeartbeat:   -1,
+		LastError:               f.lastErr,
+	}
+	if !f.lastHBSeen.IsZero() {
+		st.SecondsSinceHeartbeat = time.Since(f.lastHBSeen).Seconds()
+	}
+	for i, a := range applied {
+		prim := f.primary[i]
+		if a.Seq > prim.Seq {
+			prim.Seq = a.Seq
+		}
+		if a.DocSeq > prim.DocSeq {
+			prim.DocSeq = a.DocSeq
+		}
+		lag := (prim.Seq - a.Seq) + (prim.DocSeq - a.DocSeq)
+		st.Shards = append(st.Shards, ShardLag{
+			Shard: i, AppliedSeq: a.Seq, AppliedDocSeq: a.DocSeq,
+			PrimarySeq: prim.Seq, PrimaryDocSeq: prim.DocSeq, Lag: lag,
+		})
+		st.Lag += lag
+	}
+	return st
+}

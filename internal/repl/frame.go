@@ -1,0 +1,342 @@
+// Package repl replicates a lazy XML collection over a binary framed
+// TCP protocol: WAL shipping. The primary streams its write-ahead
+// journal records — byte-identical to what sits in journal.wal and
+// docs.wal — to followers, which apply them through their own journals
+// and serve reads. The same frames carry bulk document loads, so the
+// high-throughput lane and the replication lane share one protocol.
+//
+// Wire format: every frame is a 4-byte big-endian length (of type byte
+// plus payload) followed by the type byte and the payload. Payload
+// integers use the same varint encoding as the WAL records themselves.
+//
+//	primary → follower: HELLO, then RECORD/HEARTBEAT/ERROR
+//	client  → primary:  HELLO, then SUBSCRIBE (replication) or PUT… (bulk)
+//
+// The handshake is symmetric — each side sends a HELLO with its
+// protocol version and shard count — so version or topology mismatches
+// are caught before any record crosses the wire. A subscriber carries
+// one resume position per shard: the pair (seq, docSeq) of the last
+// segment-journal and name-log records it durably applied.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version exchanged in HELLO frames. A primary
+// refuses clients with any other version (ErrCodeVersion).
+const Version = 1
+
+// helloMagic leads every HELLO payload so a stray client speaking some
+// other protocol fails fast and explicitly.
+const helloMagic = "LXR1"
+
+// MaxFrame bounds a frame's encoded size. The largest legitimate frame
+// is a RECORD carrying one WAL insert record, whose fragment the server
+// already caps (32 MiB default upload cap); 64 MiB leaves headroom.
+const MaxFrame = 64 << 20
+
+// Frame types.
+const (
+	TypeHello     byte = 1
+	TypeSubscribe byte = 2
+	TypeRecord    byte = 3
+	TypeHeartbeat byte = 4
+	TypeError     byte = 5
+	TypePut       byte = 6
+	TypePutOK     byte = 7
+)
+
+// ERROR frame codes.
+const (
+	ErrCodeVersion  uint64 = 1 // protocol version mismatch in HELLO
+	ErrCodeShards   uint64 = 2 // shard count mismatch
+	ErrCodeSnapshot uint64 = 3 // subscribed below the horizon: re-seed from a snapshot
+	ErrCodeBadFrame uint64 = 4 // malformed or unexpected frame
+	ErrCodeInternal uint64 = 5 // primary-side failure
+)
+
+// Record kinds: which of the shard's two logs a RECORD frame belongs to.
+const (
+	KindSegment byte = 0 // journal.wal record (op, gp, fragment)
+	KindDoc     byte = 1 // docs.wal record (op, sid, name)
+)
+
+// WriteFrame writes one frame: length, type, payload.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("repl: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. A length outside (0, MaxFrame] is a
+// protocol violation, distinct from an io error on a torn connection.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("repl: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("repl: torn frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Hello is the handshake payload both sides send first.
+type Hello struct {
+	Version uint64
+	// Shards is the sender's shard count. A bulk-load client that has no
+	// store of its own sends 0 ("not applicable").
+	Shards int
+}
+
+// Position is one shard's replication position: the sequences of the
+// last segment-journal and name-log records applied.
+type Position struct {
+	Seq    int64
+	DocSeq int64
+}
+
+// Record is one replicated WAL record: which shard, which log, its
+// sequence there, and the encoded record bytes exactly as they sit in
+// that WAL file.
+type Record struct {
+	Shard int
+	Kind  byte
+	Seq   int64
+	Data  []byte
+}
+
+// Heartbeat carries the primary's clock and its current per-shard
+// positions, so an idle follower still measures lag.
+type Heartbeat struct {
+	UnixMillis int64
+	Positions  []Position
+}
+
+// ErrorFrame is a structured error: a machine-readable code plus a
+// human-readable message.
+type ErrorFrame struct {
+	Code uint64
+	Msg  string
+}
+
+// Put is one bulk-loaded document.
+type Put struct {
+	Name string
+	Text []byte
+}
+
+// PutOK acknowledges one Put, in order; Code 0 is success.
+type PutOK struct {
+	Code uint64
+	Msg  string
+}
+
+// ---- payload encoding ----
+
+func (h Hello) encode() []byte {
+	buf := []byte(helloMagic)
+	buf = binary.AppendUvarint(buf, h.Version)
+	buf = binary.AppendUvarint(buf, uint64(h.Shards))
+	return buf
+}
+
+func decodeHello(p []byte) (Hello, error) {
+	var h Hello
+	if len(p) < len(helloMagic) || string(p[:len(helloMagic)]) != helloMagic {
+		return h, fmt.Errorf("repl: bad hello magic")
+	}
+	d := newDecoder(p[len(helloMagic):])
+	h.Version = d.uvarint()
+	h.Shards = int(d.uvarint())
+	return h, d.finish("hello")
+}
+
+func encodeSubscribe(positions []Position) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(positions)))
+	for _, p := range positions {
+		buf = binary.AppendUvarint(buf, uint64(p.Seq))
+		buf = binary.AppendUvarint(buf, uint64(p.DocSeq))
+	}
+	return buf
+}
+
+func decodeSubscribe(p []byte) ([]Position, error) {
+	d := newDecoder(p)
+	n := d.uvarint()
+	if n > 1<<16 {
+		return nil, fmt.Errorf("repl: absurd shard count %d in subscribe", n)
+	}
+	out := make([]Position, n)
+	for i := range out {
+		out[i].Seq = int64(d.uvarint())
+		out[i].DocSeq = int64(d.uvarint())
+	}
+	return out, d.finish("subscribe")
+}
+
+func (r Record) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(r.Shard))
+	buf = append(buf, r.Kind)
+	buf = binary.AppendUvarint(buf, uint64(r.Seq))
+	return append(buf, r.Data...)
+}
+
+func decodeRecord(p []byte) (Record, error) {
+	var r Record
+	d := newDecoder(p)
+	r.Shard = int(d.uvarint())
+	r.Kind = d.byte()
+	r.Seq = int64(d.uvarint())
+	if d.err != nil {
+		return r, fmt.Errorf("repl: corrupt record frame: %w", d.err)
+	}
+	// The rest of the frame is the WAL record, verbatim.
+	r.Data = d.rest()
+	return r, nil
+}
+
+func (h Heartbeat) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(h.UnixMillis))
+	buf = binary.AppendUvarint(buf, uint64(len(h.Positions)))
+	for _, p := range h.Positions {
+		buf = binary.AppendUvarint(buf, uint64(p.Seq))
+		buf = binary.AppendUvarint(buf, uint64(p.DocSeq))
+	}
+	return buf
+}
+
+func decodeHeartbeat(p []byte) (Heartbeat, error) {
+	var h Heartbeat
+	d := newDecoder(p)
+	h.UnixMillis = int64(d.uvarint())
+	n := d.uvarint()
+	if n > 1<<16 {
+		return h, fmt.Errorf("repl: absurd shard count %d in heartbeat", n)
+	}
+	h.Positions = make([]Position, n)
+	for i := range h.Positions {
+		h.Positions[i].Seq = int64(d.uvarint())
+		h.Positions[i].DocSeq = int64(d.uvarint())
+	}
+	return h, d.finish("heartbeat")
+}
+
+func (e ErrorFrame) encode() []byte {
+	buf := binary.AppendUvarint(nil, e.Code)
+	return append(buf, e.Msg...)
+}
+
+func decodeError(p []byte) (ErrorFrame, error) {
+	var e ErrorFrame
+	d := newDecoder(p)
+	e.Code = d.uvarint()
+	if d.err != nil {
+		return e, fmt.Errorf("repl: corrupt error frame: %w", d.err)
+	}
+	e.Msg = string(d.rest())
+	return e, nil
+}
+
+func (p Put) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(p.Name)))
+	buf = append(buf, p.Name...)
+	return append(buf, p.Text...)
+}
+
+func decodePut(b []byte) (Put, error) {
+	var p Put
+	d := newDecoder(b)
+	n := d.uvarint()
+	if d.err != nil || n > 1<<16 || int(n) > len(d.rest()) {
+		return p, fmt.Errorf("repl: corrupt put frame")
+	}
+	rest := d.rest()
+	p.Name = string(rest[:n])
+	p.Text = rest[n:]
+	return p, nil
+}
+
+func (a PutOK) encode() []byte {
+	buf := binary.AppendUvarint(nil, a.Code)
+	return append(buf, a.Msg...)
+}
+
+func decodePutOK(b []byte) (PutOK, error) {
+	var a PutOK
+	d := newDecoder(b)
+	a.Code = d.uvarint()
+	if d.err != nil {
+		return a, fmt.Errorf("repl: corrupt put-ok frame")
+	}
+	a.Msg = string(d.rest())
+	return a, nil
+}
+
+// decoder is a tiny cursor over a payload with sticky errors, so the
+// decode functions read like the encode ones.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func newDecoder(p []byte) *decoder { return &decoder{p: p} }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.p) == 0 {
+		d.err = fmt.Errorf("truncated byte")
+		return 0
+	}
+	b := d.p[0]
+	d.p = d.p[1:]
+	return b
+}
+
+func (d *decoder) rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	return d.p
+}
+
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("repl: corrupt %s frame: %w", what, d.err)
+	}
+	if len(d.p) != 0 {
+		return fmt.Errorf("repl: %d trailing bytes in %s frame", len(d.p), what)
+	}
+	return nil
+}

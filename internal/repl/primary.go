@@ -1,0 +1,462 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	lazyxml "repro"
+)
+
+// PrimaryConfig tunes the primary side of replication; zero values pick
+// sensible defaults.
+type PrimaryConfig struct {
+	// HeartbeatEvery is the interval between HEARTBEAT frames on an idle
+	// stream (default 500ms).
+	HeartbeatEvery time.Duration
+	// TailRecords is the per-shard, per-log in-memory tail buffer
+	// capacity (default 1024). Subscribers inside the window stream from
+	// memory; those behind it catch up from the on-disk WAL.
+	TailRecords int
+	// HandshakeTimeout bounds the HELLO/SUBSCRIBE exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each frame write to a subscriber, so one stuck
+	// follower cannot pin a sender goroutine forever (default 30s).
+	WriteTimeout time.Duration
+	// Logf receives connection-level events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *PrimaryConfig) fill() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.TailRecords <= 0 {
+		c.TailRecords = 1024
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// feed is one shard's live record source: taps on both of the shard's
+// journals fill two bounded rings.
+type feed struct {
+	jc  *lazyxml.JournaledCollection
+	mu  sync.Mutex
+	seg *ring
+	doc *ring
+}
+
+// Primary serves the replication and bulk-load protocol over a sharded,
+// journaled collection. Every journal append is tapped into a bounded
+// in-memory tail; subscribers stream from the tail when they are close
+// and from the on-disk WAL when they are behind.
+type Primary struct {
+	sc    *lazyxml.ShardedCollection
+	cfg   PrimaryConfig
+	feeds []*feed
+
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced whenever a record lands
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPrimary wires a primary over sc, which must be durable (journaled):
+// replication is WAL shipping, and an in-memory store has no WAL to ship.
+// The taps stay installed for the life of the process.
+func NewPrimary(sc *lazyxml.ShardedCollection, cfg PrimaryConfig) (*Primary, error) {
+	if !sc.IsDurable() {
+		return nil, errors.New("repl: replication requires a journaled store (-journal)")
+	}
+	cfg.fill()
+	p := &Primary{
+		sc:     sc,
+		cfg:    cfg,
+		notify: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < sc.ShardCount(); i++ {
+		jc := sc.ShardJournal(i)
+		if jc == nil {
+			return nil, fmt.Errorf("repl: shard %d has no journal", i)
+		}
+		fd := &feed{jc: jc, seg: newRing(cfg.TailRecords), doc: newRing(cfg.TailRecords)}
+		// The taps run under the journal mutexes; they only touch the
+		// ring (feed.mu) and swap the notify channel (p.mu), never call
+		// back into the journal.
+		jc.Journal().SetReplTap(func(seq int64, rec []byte) {
+			fd.mu.Lock()
+			fd.seg.add(seq, rec)
+			fd.mu.Unlock()
+			p.wake()
+		})
+		jc.SetDocReplTap(func(seq int64, rec []byte) {
+			fd.mu.Lock()
+			fd.doc.add(seq, rec)
+			fd.mu.Unlock()
+			p.wake()
+		})
+		p.feeds = append(p.feeds, fd)
+	}
+	return p, nil
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// wake signals every waiting sender that a record landed.
+func (p *Primary) wake() {
+	p.mu.Lock()
+	close(p.notify)
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// notifyCh returns the channel the next wake will close. Senders must
+// grab it BEFORE computing their targets: any record landing after the
+// grab closes this exact channel, so no wakeup is ever missed.
+func (p *Primary) notifyCh() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.notify
+}
+
+// Serve accepts connections until the listener is closed (see Close).
+func (p *Primary) Serve(l net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.Close()
+		return errors.New("repl: primary closed")
+	}
+	p.ln = l
+	p.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			defer func() {
+				conn.Close()
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+			}()
+			p.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, drops every connection and waits for the
+// handler goroutines. The journal taps stay installed (they are cheap)
+// so Close is safe while writes continue.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Primary) sendErr(conn net.Conn, code uint64, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	p.logf("repl: %s: %s", conn.RemoteAddr(), msg)
+	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	_ = WriteFrame(conn, TypeError, ErrorFrame{Code: code, Msg: msg}.encode())
+}
+
+// handleConn runs the handshake, then dispatches on the client's first
+// post-HELLO frame: SUBSCRIBE starts a replication stream, PUT starts a
+// bulk-load session.
+func (p *Primary) handleConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(p.cfg.HandshakeTimeout))
+	n := len(p.feeds)
+	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: n}).encode()); err != nil {
+		return
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != TypeHello {
+		p.sendErr(conn, ErrCodeBadFrame, "expected HELLO, got frame type %d (err %v)", typ, err)
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		p.sendErr(conn, ErrCodeBadFrame, "%v", err)
+		return
+	}
+	if h.Version != Version {
+		p.sendErr(conn, ErrCodeVersion, "protocol version %d, want %d", h.Version, Version)
+		return
+	}
+	// Shards 0 means "no store of my own" (a bulk loader); a follower
+	// must match the primary's topology exactly, record frames name
+	// shards by index.
+	if h.Shards != 0 && h.Shards != n {
+		p.sendErr(conn, ErrCodeShards, "client has %d shards, primary has %d", h.Shards, n)
+		return
+	}
+
+	typ, payload, err = ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case TypeSubscribe:
+		positions, err := decodeSubscribe(payload)
+		if err != nil {
+			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
+			return
+		}
+		if len(positions) != n {
+			p.sendErr(conn, ErrCodeShards, "subscribe names %d shards, primary has %d", len(positions), n)
+			return
+		}
+		conn.SetDeadline(time.Time{})
+		p.stream(conn, positions)
+	case TypePut:
+		conn.SetDeadline(time.Time{})
+		p.bulk(conn, payload)
+	default:
+		p.sendErr(conn, ErrCodeBadFrame, "expected SUBSCRIBE or PUT, got frame type %d", typ)
+	}
+}
+
+// checkPositions verifies every requested resume point is above the
+// shard's horizon and at or below its current sequence.
+func (p *Primary) checkPositions(positions []Position) (code uint64, err error) {
+	for i, pos := range positions {
+		seq, horizon := p.feeds[i].jc.Journal().ReplState()
+		docSeq, docHorizon := p.feeds[i].jc.DocReplState()
+		if pos.Seq < horizon || pos.DocSeq < docHorizon {
+			return ErrCodeSnapshot, fmt.Errorf(
+				"shard %d position (%d,%d) is below the horizon (%d,%d): history was compacted away, re-seed from a snapshot",
+				i, pos.Seq, pos.DocSeq, horizon, docHorizon)
+		}
+		if pos.Seq > seq || pos.DocSeq > docSeq {
+			return ErrCodeInternal, fmt.Errorf(
+				"shard %d position (%d,%d) is ahead of the primary (%d,%d): diverged stores",
+				i, pos.Seq, pos.DocSeq, seq, docSeq)
+		}
+	}
+	return 0, nil
+}
+
+// stream is the per-subscriber sender loop. Ordering invariant: for each
+// shard it observes the name-log target BEFORE the segment target, then
+// ships segment records up to the segment target BEFORE name records up
+// to the name target. A name record only ever references a segment
+// appended before it, so the follower never sees a dangling name.
+func (p *Primary) stream(conn net.Conn, positions []Position) {
+	if code, err := p.checkPositions(positions); err != nil {
+		p.sendErr(conn, code, "%v", err)
+		return
+	}
+	p.logf("repl: %s subscribed from %v", conn.RemoteAddr(), positions)
+
+	// Drain (and ignore) anything the follower sends; its only purpose
+	// is to detect a dead peer and unblock the sender via conn.Close.
+	readerGone := make(chan struct{})
+	go func() {
+		defer close(readerGone)
+		for {
+			if _, _, err := ReadFrame(conn); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	}()
+
+	segCur := make([]lazyxml.JournalCursor, len(positions))
+	docCur := make([]lazyxml.JournalCursor, len(positions))
+	lastBeat := time.Time{}
+	beat := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer beat.Stop()
+
+	send := func(shard int, kind byte, recs []lazyxml.ReplRecord) error {
+		for _, r := range recs {
+			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			f := Record{Shard: shard, Kind: kind, Seq: r.Seq, Data: r.Data}
+			if err := WriteFrame(conn, TypeRecord, f.encode()); err != nil {
+				return err
+			}
+			if kind == KindSegment {
+				positions[shard].Seq = r.Seq
+			} else {
+				positions[shard].DocSeq = r.Seq
+			}
+		}
+		return nil
+	}
+
+	for {
+		// Grab the notify channel before reading targets: see notifyCh.
+		wakeup := p.notifyCh()
+		sent := false
+		for i, fd := range p.feeds {
+			docTarget, _ := fd.jc.DocReplState()
+			segTarget, _ := fd.jc.Journal().ReplState()
+			for positions[i].Seq < segTarget {
+				recs, err := p.fetch(fd, KindSegment, positions[i].Seq, segTarget, &segCur[i])
+				if err != nil {
+					p.streamErr(conn, err)
+					return
+				}
+				if len(recs) == 0 {
+					break
+				}
+				if err := send(i, KindSegment, recs); err != nil {
+					return
+				}
+				sent = true
+			}
+			for positions[i].DocSeq < docTarget {
+				recs, err := p.fetch(fd, KindDoc, positions[i].DocSeq, docTarget, &docCur[i])
+				if err != nil {
+					p.streamErr(conn, err)
+					return
+				}
+				if len(recs) == 0 {
+					break
+				}
+				if err := send(i, KindDoc, recs); err != nil {
+					return
+				}
+				sent = true
+			}
+		}
+		if sent {
+			continue
+		}
+		if time.Since(lastBeat) >= p.cfg.HeartbeatEvery {
+			if err := p.heartbeat(conn); err != nil {
+				return
+			}
+			lastBeat = time.Now()
+		}
+		select {
+		case <-wakeup:
+		case <-beat.C:
+		case <-readerGone:
+			p.logf("repl: %s disconnected", conn.RemoteAddr())
+			return
+		}
+	}
+}
+
+func (p *Primary) streamErr(conn net.Conn, err error) {
+	if errors.Is(err, lazyxml.ErrCompacted) {
+		p.sendErr(conn, ErrCodeSnapshot, "%v", err)
+		return
+	}
+	p.sendErr(conn, ErrCodeInternal, "%v", err)
+}
+
+// fetch returns records in (from, target] for one shard's log: from the
+// in-memory tail when the window covers the position, otherwise from the
+// on-disk WAL.
+func (p *Primary) fetch(fd *feed, kind byte, from, target int64, cur *lazyxml.JournalCursor) ([]lazyxml.ReplRecord, error) {
+	const batch = 256
+	fd.mu.Lock()
+	r := fd.seg
+	if kind == KindDoc {
+		r = fd.doc
+	}
+	recs, ok := r.from(from, target, batch)
+	fd.mu.Unlock()
+	if ok {
+		return recs, nil
+	}
+	// Behind the tail window: read from the WAL file. The cursor caches
+	// a byte offset for its own Seq; if it doesn't match, reset it so
+	// positioning rescans.
+	if cur.Seq != from {
+		*cur = lazyxml.JournalCursor{Seq: from}
+	}
+	if kind == KindSegment {
+		return fd.jc.Journal().ReadRecords(cur, batch)
+	}
+	return fd.jc.ReadDocRecords(cur, batch)
+}
+
+func (p *Primary) heartbeat(conn net.Conn) error {
+	hb := Heartbeat{UnixMillis: time.Now().UnixMilli()}
+	for _, fd := range p.feeds {
+		docSeq, _ := fd.jc.DocReplState()
+		seq, _ := fd.jc.Journal().ReplState()
+		hb.Positions = append(hb.Positions, Position{Seq: seq, DocSeq: docSeq})
+	}
+	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	return WriteFrame(conn, TypeHeartbeat, hb.encode())
+}
+
+// bulk runs a bulk-load session: a stream of PUT frames, each answered
+// in order with a PUT_OK. first is the payload of the PUT that ended the
+// handshake.
+func (p *Primary) bulk(conn net.Conn, first []byte) {
+	p.logf("repl: %s bulk load session", conn.RemoteAddr())
+	payload := first
+	for {
+		put, err := decodePut(payload)
+		if err != nil {
+			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
+			return
+		}
+		ack := PutOK{}
+		if err := p.sc.Put(put.Name, put.Text); err != nil {
+			ack = PutOK{Code: 1, Msg: err.Error()}
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if err := WriteFrame(conn, TypePutOK, ack.encode()); err != nil {
+			return
+		}
+		typ, next, err := ReadFrame(conn)
+		if err != nil {
+			return // connection done
+		}
+		if typ != TypePut {
+			p.sendErr(conn, ErrCodeBadFrame, "expected PUT, got frame type %d", typ)
+			return
+		}
+		payload = next
+	}
+}

@@ -1,0 +1,54 @@
+package repl
+
+import lazyxml "repro"
+
+// ring is a bounded in-memory tail of one journal: the last cap records
+// appended, feeding live subscribers without touching the disk. A
+// subscriber that has fallen behind the ring's window catches up from
+// the on-disk WAL instead (the records are durable before the tap
+// fires, so the WAL always covers everything the ring has forgotten).
+type ring struct {
+	recs []lazyxml.ReplRecord
+	head int   // index of the oldest retained record
+	n    int   // retained count
+	end  int64 // sequence of the newest record; the window is (end-n, end]
+}
+
+func newRing(capacity int) *ring {
+	return &ring{recs: make([]lazyxml.ReplRecord, capacity)}
+}
+
+// add appends the next record. Sequences arrive contiguously from the
+// journal tap; on a discontinuity (tap installed mid-stream) the ring
+// resets rather than serve a gapped window.
+func (r *ring) add(seq int64, data []byte) {
+	if r.n > 0 && seq != r.end+1 {
+		r.head, r.n = 0, 0
+	}
+	if r.n == len(r.recs) {
+		r.head = (r.head + 1) % len(r.recs)
+		r.n--
+	}
+	r.recs[(r.head+r.n)%len(r.recs)] = lazyxml.ReplRecord{Seq: seq, Data: data}
+	r.n++
+	r.end = seq
+}
+
+// from returns up to max records with sequence in (from, target],
+// or ok=false when the window no longer reaches back to from+1.
+func (r *ring) from(from, target int64, max int) (out []lazyxml.ReplRecord, ok bool) {
+	if from >= target {
+		return nil, true
+	}
+	if r.n == 0 || from < r.end-int64(r.n) || from > r.end {
+		return nil, false
+	}
+	for i := from + 1 - (r.end - int64(r.n) + 1); int64(len(out)) < int64(max) && i < int64(r.n); i++ {
+		rec := r.recs[(r.head+int(i))%len(r.recs)]
+		if rec.Seq > target {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, true
+}

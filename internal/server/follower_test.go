@@ -1,0 +1,75 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	lazyxml "repro"
+)
+
+// TestFollowerMode: a server configured with a primary address refuses
+// every write with 403 naming the primary, keeps reads and maintenance
+// working, and embeds the ReplStatus payload in /stats and /metrics.
+func TestFollowerMode(t *testing.T) {
+	backend := lazyxml.NewCollection(lazyxml.LD)
+	if err := backend.Put("d", []byte("<d><x/></d>")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(backend, Config{
+		PrimaryAddr: "primary.example:9090",
+		ReplStatus:  func() any { return map[string]any{"lag": 7} },
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	var errBody struct {
+		Error   string `json:"error"`
+		Primary string `json:"primary"`
+		Status  int    `json:"status"`
+	}
+	for _, try := range []struct{ method, path string }{
+		{"PUT", "/docs/new"},
+		{"DELETE", "/docs/d"},
+		{"POST", "/docs/d/insert?off=3"},
+		{"DELETE", "/docs/d/range?off=3&len=4"},
+		{"DELETE", "/docs/d/element?off=3"},
+	} {
+		code := call(t, ts, try.method, try.path, []byte("<y/>"), &errBody)
+		if code != http.StatusForbidden {
+			t.Fatalf("%s %s on follower: %d, want 403", try.method, try.path, code)
+		}
+		if errBody.Primary != "primary.example:9090" {
+			t.Fatalf("%s %s error body does not name the primary: %+v", try.method, try.path, errBody)
+		}
+	}
+	if code := call(t, ts, "POST", "/rebuild", nil, &errBody); code != http.StatusForbidden {
+		t.Fatalf("rebuild on follower: %d, want 403", code)
+	}
+
+	// Reads and the consistency check still work.
+	if code := call(t, ts, "GET", "/docs/d/count?path=d//x", nil, nil); code != http.StatusOK {
+		t.Fatalf("read on follower: %d", code)
+	}
+	if code := call(t, ts, "POST", "/check", nil, nil); code != http.StatusOK {
+		t.Fatalf("check on follower: %d", code)
+	}
+
+	var stats struct {
+		Replication map[string]any `json:"replication"`
+	}
+	if code := call(t, ts, "GET", "/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("stats on follower failed")
+	}
+	if stats.Replication["lag"] != float64(7) {
+		t.Fatalf("/stats replication = %v", stats.Replication)
+	}
+	var met struct {
+		Replication map[string]any `json:"replication"`
+	}
+	if code := call(t, ts, "GET", "/metrics", nil, &met); code != http.StatusOK {
+		t.Fatal("metrics on follower failed")
+	}
+	if met.Replication["lag"] != float64(7) {
+		t.Fatalf("/metrics replication = %v", met.Replication)
+	}
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// MaxMatches caps the matches returned by query endpoints when the
 	// request does not pass an explicit ?limit= (default 10000).
 	MaxMatches int
+	// PrimaryAddr, when non-empty, marks this server a read-only
+	// replication follower: every write (and rebuild) is refused with
+	// 403 and the primary's address, so a misdirected client learns
+	// where writes go.
+	PrimaryAddr string
+	// ReplStatus, when non-nil, is called per request and its result
+	// embedded under "replication" in /stats and /metrics — the
+	// follower's lag readout.
+	ReplStatus func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +154,13 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ReplStatus != nil {
+			writeJSON(w, http.StatusOK, struct {
+				MetricsSnapshot
+				Replication any `json:"replication"`
+			}{s.met.snapshot(), s.cfg.ReplStatus()})
+			return
+		}
 		writeJSON(w, http.StatusOK, s.met.snapshot())
 	})
 	s.mux.Handle("GET /stats", s.handle(classRead, s.handleStats))
@@ -189,6 +205,18 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		defer cancel()
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		// A follower is read-only: its state is the primary's record
+		// stream, and a local write would fork the two histories.
+		if class == classWrite && s.cfg.PrimaryAddr != "" {
+			s.met.errors.Add(1)
+			writeJSON(w, http.StatusForbidden, map[string]any{
+				"error":   "read-only replication follower: send writes to the primary",
+				"primary": s.cfg.PrimaryAddr,
+				"status":  http.StatusForbidden,
+			})
+			return
+		}
 
 		var err error
 		shard := 0
@@ -427,18 +455,29 @@ type StatsResponse struct {
 	Durable        bool             `json:"durable"`
 	ShardCount     int              `json:"shardCount"`
 	Shards         []ShardStatsJSON `json:"shards"`
+	// Replication is the follower's lag readout (repl.Status); absent on
+	// a primary or standalone server.
+	Replication any `json:"replication,omitempty"`
 }
 
-// ShardStatsJSON is one shard's slice of the statistics.
+// ShardStatsJSON is one shard's slice of the statistics. The journal
+// fields are zero on an in-memory backend: journalRecords/journalBytes
+// count what sits in the shard's WAL files right now (the compaction
+// denominator), seq/docSeq are the shard's monotonic replication
+// positions on its two logs.
 type ShardStatsJSON struct {
-	Shard          int `json:"shard"`
-	Docs           int `json:"docs"`
-	TextLen        int `json:"textLen"`
-	Segments       int `json:"segments"`
-	Elements       int `json:"elements"`
-	UpdateLogBytes int `json:"updateLogBytes"`
-	Inserts        int `json:"inserts"`
-	Removes        int `json:"removes"`
+	Shard          int   `json:"shard"`
+	Docs           int   `json:"docs"`
+	TextLen        int   `json:"textLen"`
+	Segments       int   `json:"segments"`
+	Elements       int   `json:"elements"`
+	UpdateLogBytes int   `json:"updateLogBytes"`
+	Inserts        int   `json:"inserts"`
+	Removes        int   `json:"removes"`
+	JournalRecords int64 `json:"journalRecords"`
+	JournalBytes   int64 `json:"journalBytes"`
+	Seq            int64 `json:"seq"`
+	DocSeq         int64 `json:"docSeq"`
 }
 
 func (s *Server) handleStats(r *http.Request) (int, any, error) {
@@ -456,7 +495,15 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 			UpdateLogBytes: ss.Stats.SBTreeBytes + ss.Stats.TagListBytes,
 			Inserts:        ss.Stats.Inserts,
 			Removes:        ss.Stats.Removes,
+			JournalRecords: ss.JournalRecords,
+			JournalBytes:   ss.JournalBytes,
+			Seq:            ss.Seq,
+			DocSeq:         ss.DocSeq,
 		}
+	}
+	var replication any
+	if s.cfg.ReplStatus != nil {
+		replication = s.cfg.ReplStatus()
 	}
 	return http.StatusOK, StatsResponse{
 		Mode:           st.Mode.String(),
@@ -474,6 +521,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Durable:        dur,
 		ShardCount:     s.backend.ShardCount(),
 		Shards:         shards,
+		Replication:    replication,
 	}, nil
 }
 
@@ -629,6 +677,10 @@ func (s *Server) handleCompact(r *http.Request) (int, any, error) {
 // the name→segment map stays valid. Durable backends compact afterwards
 // so the collapse survives a restart.
 func (s *Server) handleRebuild(r *http.Request) (int, any, error) {
+	if s.cfg.PrimaryAddr != "" {
+		return 0, nil, failf(http.StatusForbidden,
+			"read-only replication follower: rebuild on the primary at %s", s.cfg.PrimaryAddr)
+	}
 	if err := s.backend.CollapseAll(); err != nil {
 		return 0, nil, failf(http.StatusInternalServerError, "rebuild: %v", err)
 	}

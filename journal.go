@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -28,11 +29,26 @@ type JournaledDB struct {
 	dir  string
 	wal  *os.File
 	sync bool
+
+	// Replication state. Every append gets the next monotonic sequence
+	// number; walStart is the sequence of the record just before the
+	// first one still in journal.wal, and horizon is the lowest sequence
+	// a subscriber may resume from (records at or below it are folded
+	// into the snapshot). mu serializes appends, compaction and WAL
+	// reads so the record order on disk is the sequence order.
+	mu       sync.Mutex
+	seq      int64
+	walStart int64
+	horizon  int64
+	tap      func(seq int64, rec []byte)
 }
 
 const (
 	journalName  = "journal.wal"
 	snapshotName = "snapshot.lxml"
+	seqMetaName  = "journal.seq"
+	docsSeqName  = "docs.seq"
+	seqMetaMagic = "LXSQ1"
 
 	opInsert byte = 1
 	opRemove byte = 2
@@ -55,8 +71,10 @@ func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption)
 		return nil, err
 	}
 	var db *DB
+	haveSnap := false
 	snapPath := filepath.Join(dir, snapshotName)
 	if _, err := os.Stat(snapPath); err == nil {
+		haveSnap = true
 		db, err = RestoreFile(snapPath, dbOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("lazyxml: restoring %s: %w", snapPath, err)
@@ -68,10 +86,32 @@ func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption)
 	for _, o := range jOpts {
 		o(j)
 	}
-	if err := j.replay(); err != nil {
+	base, haveMeta, err := readSeqMeta(filepath.Join(dir, seqMetaName))
+	if err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	j.walStart, j.horizon = base, base
+	replayed, cleanLen, err := j.replay()
+	if err != nil {
+		return nil, err
+	}
+	j.seq = j.walStart + replayed
+	if haveSnap && !haveMeta {
+		// A snapshot from before sequence numbers existed: the records it
+		// folded in are uncounted, so no subscriber below the current
+		// position can be served correctly from this WAL alone.
+		j.horizon = j.seq
+	}
+	walPath := filepath.Join(dir, journalName)
+	// Cut a torn tail off before appending: otherwise the next append
+	// would land after the garbage and be unreachable by future replays
+	// (and the byte offset of record k would stop matching its encoding).
+	if fi, err := os.Stat(walPath); err == nil && fi.Size() > cleanLen {
+		if err := os.Truncate(walPath, cleanLen); err != nil {
+			return nil, err
+		}
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -80,39 +120,42 @@ func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption)
 }
 
 // replay applies the journal's records to the restored store, stopping
-// cleanly at a torn tail.
-func (j *JournaledDB) replay() error {
+// cleanly at a torn tail. It returns how many records it applied and
+// the byte length of the clean prefix they occupy.
+func (j *JournaledDB) replay() (n, cleanLen int64, err error) {
 	f, err := os.Open(filepath.Join(j.dir, journalName))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	for {
 		rec, err := readRecord(br)
 		if err == io.EOF {
-			return nil
+			return n, cleanLen, nil
 		}
 		if err != nil {
 			// Torn or corrupt tail: everything before it was applied;
-			// the tail is discarded on the next append-compact cycle.
-			return nil
+			// the tail is cut off before the journal reopens for appends.
+			return n, cleanLen, nil
 		}
 		switch rec.op {
 		case opInsert:
 			if _, err := j.DB.Insert(rec.gp, rec.frag); err != nil {
-				return fmt.Errorf("lazyxml: replaying insert at %d: %w", rec.gp, err)
+				return n, cleanLen, fmt.Errorf("lazyxml: replaying insert at %d: %w", rec.gp, err)
 			}
 		case opRemove:
 			if err := j.DB.Remove(rec.gp, rec.l); err != nil {
-				return fmt.Errorf("lazyxml: replaying remove [%d,%d): %w", rec.gp, rec.gp+rec.l, err)
+				return n, cleanLen, fmt.Errorf("lazyxml: replaying remove [%d,%d): %w", rec.gp, rec.gp+rec.l, err)
 			}
 		default:
-			return nil // unknown op: treat as corrupt tail
+			return n, cleanLen, nil // unknown op: treat as corrupt tail
 		}
+		n++
+		cleanLen += int64(len(encodeRecord(rec)))
 	}
 }
 
@@ -175,16 +218,27 @@ func readRecord(br *bufio.Reader) (walRecord, error) {
 }
 
 // append writes a record to the journal (before the in-memory apply —
-// write-ahead).
+// write-ahead), assigns it the next sequence number and feeds the
+// replication tap. The mutex makes the on-disk record order the
+// sequence order even under concurrent writers.
 func (j *JournaledDB) append(rec walRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return fmt.Errorf("lazyxml: journal is closed")
 	}
-	if _, err := j.wal.Write(encodeRecord(rec)); err != nil {
+	enc := encodeRecord(rec)
+	if _, err := j.wal.Write(enc); err != nil {
 		return err
 	}
 	if j.sync {
-		return j.wal.Sync()
+		if err := j.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	j.seq++
+	if j.tap != nil {
+		j.tap(j.seq, enc)
 	}
 	return nil
 }
@@ -224,9 +278,12 @@ func (j *JournaledDB) RemoveElementAt(gp int) error {
 }
 
 // Compact folds the journal into a fresh snapshot: the store state is
-// written to snapshot.lxml (atomically, via rename) and the journal is
-// truncated.
+// written to snapshot.lxml (atomically, via rename), the journal is
+// truncated, and the replication horizon advances to the current
+// sequence — subscribers further behind must re-seed from a snapshot.
 func (j *JournaledDB) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	tmp := filepath.Join(j.dir, snapshotName+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -247,12 +304,18 @@ func (j *JournaledDB) Compact() error {
 	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
 		return err
 	}
-	return j.wal.Truncate(0)
+	if err := j.wal.Truncate(0); err != nil {
+		return err
+	}
+	j.walStart, j.horizon = j.seq, j.seq
+	return writeSeqMeta(filepath.Join(j.dir, seqMetaName), j.walStart)
 }
 
 // Close flushes and closes the journal; the DB remains usable in memory
 // but further journaled updates fail.
 func (j *JournaledDB) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return nil
 	}

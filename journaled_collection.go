@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // JournaledCollection is a Collection whose state — the documents' text,
@@ -27,6 +28,17 @@ type JournaledCollection struct {
 	j    *JournaledDB
 	dir  string
 	dwal *os.File
+
+	// Replication state of the name log, mirroring JournaledDB's: every
+	// name record gets the next monotonic sequence number; docWalStart
+	// is the sequence just before docs.wal's first record and docHorizon
+	// the lowest resumable sequence. dmu serializes name-log appends,
+	// truncation and reads.
+	dmu         sync.Mutex
+	docSeq      int64
+	docWalStart int64
+	docHorizon  int64
+	docTap      func(seq int64, rec []byte)
 }
 
 const (
@@ -51,16 +63,37 @@ func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...Jo
 	}
 	col := &Collection{db: j.DB, eng: j, docs: map[string]SID{}}
 	jc := &JournaledCollection{Collection: col, j: j, dir: dir}
-	if err := jc.loadDocsSnap(); err != nil {
+	haveSnap, err := jc.loadDocsSnap()
+	if err != nil {
 		j.Close()
 		return nil, err
 	}
-	if err := jc.replayDocsWAL(); err != nil {
+	base, haveMeta, err := readSeqMeta(filepath.Join(dir, docsSeqName))
+	if err != nil {
 		j.Close()
 		return nil, err
+	}
+	jc.docWalStart, jc.docHorizon = base, base
+	replayed, cleanLen, err := jc.replayDocsWAL()
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	jc.docSeq = jc.docWalStart + replayed
+	if haveSnap && !haveMeta {
+		// Pre-sequence-number snapshot: the folded-in records are
+		// uncounted, so nothing below the current position is resumable.
+		jc.docHorizon = jc.docSeq
 	}
 	jc.dropOrphans()
-	dwal, err := os.OpenFile(filepath.Join(dir, docsWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	dwalPath := filepath.Join(dir, docsWALName)
+	if fi, err := os.Stat(dwalPath); err == nil && fi.Size() > cleanLen {
+		if err := os.Truncate(dwalPath, cleanLen); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	dwal, err := os.OpenFile(dwalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		j.Close()
 		return nil, err
@@ -105,20 +138,36 @@ func (jc *JournaledCollection) CollapseAll() error {
 
 // Compact folds both journals into snapshots: the name map is written to
 // docs.snap (atomically, via rename) and its log truncated, then the
-// store snapshot is taken and the database journal truncated.
+// store snapshot is taken and the database journal truncated. Both
+// replication horizons advance to the current sequences.
 func (jc *JournaledCollection) Compact() error {
+	jc.dmu.Lock()
+	if jc.dwal == nil {
+		jc.dmu.Unlock()
+		return fmt.Errorf("lazyxml: journal is closed")
+	}
 	if err := jc.writeDocsSnap(); err != nil {
+		jc.dmu.Unlock()
 		return err
 	}
 	if err := jc.dwal.Truncate(0); err != nil {
+		jc.dmu.Unlock()
 		return err
 	}
+	jc.docWalStart, jc.docHorizon = jc.docSeq, jc.docSeq
+	if err := writeSeqMeta(filepath.Join(jc.dir, docsSeqName), jc.docWalStart); err != nil {
+		jc.dmu.Unlock()
+		return err
+	}
+	jc.dmu.Unlock()
 	return jc.j.Compact()
 }
 
 // Close flushes and closes both journals; the collection remains usable
 // in memory but further updates fail.
 func (jc *JournaledCollection) Close() error {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
 	var err error
 	if jc.dwal != nil {
 		err = jc.dwal.Sync()
@@ -133,24 +182,39 @@ func (jc *JournaledCollection) Close() error {
 	return err
 }
 
-// appendDoc writes one name record: op, sid, name, crc32 of the payload.
-// The record follows the segment-journal append, so a crash in between
-// leaves at worst an anonymous segment, dropped on the next open.
-func (jc *JournaledCollection) appendDoc(op byte, sid SID, name string) error {
-	if jc.dwal == nil {
-		return fmt.Errorf("lazyxml: journal is closed")
-	}
+// encodeDocRecord renders one name record: op, sid, name, crc32 of the
+// payload.
+func encodeDocRecord(op byte, sid SID, name string) []byte {
 	buf := []byte{op}
 	buf = binary.AppendVarint(buf, int64(sid))
 	buf = binary.AppendUvarint(buf, uint64(len(name)))
 	buf = append(buf, name...)
 	sum := crc32.ChecksumIEEE(buf)
-	buf = binary.AppendUvarint(buf, uint64(sum))
+	return binary.AppendUvarint(buf, uint64(sum))
+}
+
+// appendDoc writes one name record, assigns it the next sequence number
+// and feeds the replication tap. The record follows the segment-journal
+// append, so a crash in between leaves at worst an anonymous segment,
+// dropped on the next open.
+func (jc *JournaledCollection) appendDoc(op byte, sid SID, name string) error {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	if jc.dwal == nil {
+		return fmt.Errorf("lazyxml: journal is closed")
+	}
+	buf := encodeDocRecord(op, sid, name)
 	if _, err := jc.dwal.Write(buf); err != nil {
 		return err
 	}
 	if jc.j.sync {
-		return jc.dwal.Sync()
+		if err := jc.dwal.Sync(); err != nil {
+			return err
+		}
+	}
+	jc.docSeq++
+	if jc.docTap != nil {
+		jc.docTap(jc.docSeq, buf)
 	}
 	return nil
 }
@@ -192,24 +256,26 @@ func readDocRecord(br *bufio.Reader) (op byte, sid SID, name string, err error) 
 	return op, SID(sidV), string(nameBuf), nil
 }
 
-// replayDocsWAL applies the name log on top of the snapshot's map.
-func (jc *JournaledCollection) replayDocsWAL() error {
+// replayDocsWAL applies the name log on top of the snapshot's map. It
+// returns the number of records applied and the byte length of the
+// clean prefix they occupy.
+func (jc *JournaledCollection) replayDocsWAL() (n, cleanLen int64, err error) {
 	f, err := os.Open(filepath.Join(jc.dir, docsWALName))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	for {
 		op, sid, name, err := readDocRecord(br)
 		if err == io.EOF {
-			return nil
+			return n, cleanLen, nil
 		}
 		if err != nil {
-			return nil // torn or corrupt tail: stop cleanly
+			return n, cleanLen, nil // torn or corrupt tail: stop cleanly
 		}
 		switch op {
 		case dopPut:
@@ -217,8 +283,10 @@ func (jc *JournaledCollection) replayDocsWAL() error {
 		case dopDel:
 			delete(jc.docs, name)
 		default:
-			return nil // unknown op: treat as corrupt tail
+			return n, cleanLen, nil // unknown op: treat as corrupt tail
 		}
+		n++
+		cleanLen += int64(len(encodeDocRecord(op, sid, name)))
 	}
 }
 
@@ -254,50 +322,51 @@ func (jc *JournaledCollection) writeDocsSnap() error {
 	return os.Rename(tmp, filepath.Join(jc.dir, docsSnapName))
 }
 
-// loadDocsSnap restores the name map from docs.snap, if present.
-func (jc *JournaledCollection) loadDocsSnap() error {
+// loadDocsSnap restores the name map from docs.snap; the bool reports
+// whether a snapshot file existed.
+func (jc *JournaledCollection) loadDocsSnap() (bool, error) {
 	raw, err := os.ReadFile(filepath.Join(jc.dir, docsSnapName))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return false, nil
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	br := bufio.NewReader(bytes.NewReader(raw))
 	magic := make([]byte, len(docsMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != docsMagic {
-		return fmt.Errorf("lazyxml: bad docs snapshot magic %q", magic)
+		return false, fmt.Errorf("lazyxml: bad docs snapshot magic %q", magic)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("lazyxml: corrupt docs snapshot: %w", err)
+		return false, fmt.Errorf("lazyxml: corrupt docs snapshot: %w", err)
 	}
 	docs := make(map[string]SID, count)
 	for i := uint64(0); i < count; i++ {
 		sidV, err := binary.ReadVarint(br)
 		if err != nil {
-			return fmt.Errorf("lazyxml: corrupt docs snapshot entry: %w", err)
+			return false, fmt.Errorf("lazyxml: corrupt docs snapshot entry: %w", err)
 		}
 		nameLen, err := binary.ReadUvarint(br)
 		if err != nil || nameLen > 1<<16 {
-			return fmt.Errorf("lazyxml: corrupt docs snapshot name length")
+			return false, fmt.Errorf("lazyxml: corrupt docs snapshot name length")
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return fmt.Errorf("lazyxml: corrupt docs snapshot name: %w", err)
+			return false, fmt.Errorf("lazyxml: corrupt docs snapshot name: %w", err)
 		}
 		docs[string(nameBuf)] = SID(sidV)
 	}
 	sum, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("lazyxml: corrupt docs snapshot checksum: %w", err)
+		return false, fmt.Errorf("lazyxml: corrupt docs snapshot checksum: %w", err)
 	}
 	payloadLen := len(raw) - uvarintLen(sum)
 	if payloadLen < 0 || uint32(sum) != crc32.ChecksumIEEE(raw[:payloadLen]) {
-		return fmt.Errorf("lazyxml: docs snapshot checksum mismatch")
+		return false, fmt.Errorf("lazyxml: docs snapshot checksum mismatch")
 	}
 	jc.Collection.docs = docs
-	return nil
+	return true, nil
 }
 
 // uvarintLen returns the encoded size of v as a uvarint.

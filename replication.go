@@ -1,0 +1,354 @@
+package lazyxml
+
+// Replication support on the journal layer. The write-ahead journal is
+// already a logical log of (op, gp, fragment) — exactly the record a
+// replica needs to reconstruct the super document without rebuilding
+// the element index — so replication is WAL shipping: every append
+// gets a monotonic per-store sequence number, a follower resumes from
+// the last sequence it durably applied, and the encoded record bytes
+// themselves are the unit shipped (see internal/repl for the framing).
+//
+// Two logs, two sequences. A collection persists through two journals
+// (segment updates in journal.wal, the name→segment map in docs.wal),
+// so a replication position is a pair (Seq, DocSeq). The invariant that
+// makes the pair safe to stream independently: a name record only ever
+// refers to a segment appended before it, so any stream that ships
+// segment records up to S before name records up to D — where D was
+// observed no later than S — never delivers a dangling name.
+//
+// Compaction moves the horizon. Compact folds the WAL into a snapshot
+// and truncates it; the records below the new horizon are gone, and a
+// subscriber behind it must re-seed from a snapshot rather than the
+// log. The horizon (the WAL's base sequence) is persisted in a small
+// meta file (journal.seq / docs.seq) so sequences survive restarts.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrCompacted reports a replication read below the journal's horizon:
+// the requested records were folded into a snapshot and no longer exist
+// as log records. The subscriber must re-seed from a snapshot.
+var ErrCompacted = errors.New("lazyxml: records compacted away; re-seed from a snapshot")
+
+// ReplRecord is one journal record as shipped to a replica: its
+// sequence number and its encoded bytes, byte-identical to the record
+// in the WAL file.
+type ReplRecord struct {
+	Seq  int64
+	Data []byte
+}
+
+// JournalCursor tracks a reader's position in one journal: Seq is the
+// last sequence delivered (the next read returns Seq+1). The private
+// fields cache the byte offset so sequential reads never rescan the
+// file; a compaction invalidates the cache and the next read
+// repositions by scanning.
+type JournalCursor struct {
+	Seq   int64
+	off   int64
+	epoch int64
+	init  bool
+}
+
+// writeSeqMeta persists a journal's base sequence atomically.
+func writeSeqMeta(path string, base int64) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%s %d\n", seqMetaMagic, base)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readSeqMeta loads a journal's base sequence; absent means zero (a
+// journal from before sequence numbers, or one that never compacted).
+func readSeqMeta(path string) (base int64, ok bool, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if _, err := fmt.Sscanf(string(raw), seqMetaMagic+" %d", &base); err != nil || base < 0 {
+		return 0, false, fmt.Errorf("lazyxml: corrupt %s: %q", filepath.Base(path), strings.TrimSpace(string(raw)))
+	}
+	return base, true, nil
+}
+
+// ReplState returns the segment journal's current sequence (the last
+// record ever appended) and its horizon (the lowest sequence a
+// subscriber may resume from).
+func (j *JournaledDB) ReplState() (seq, horizon int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq, j.horizon
+}
+
+// SetReplTap installs a callback invoked synchronously — in sequence
+// order — after every durable segment-journal append, and returns the
+// sequence current at installation: records at or below it must be
+// read from the WAL, records above it will reach the tap.
+func (j *JournaledDB) SetReplTap(fn func(seq int64, rec []byte)) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.tap = fn
+	return j.seq
+}
+
+// ReadRecords reads up to max records after cur.Seq from the on-disk
+// segment WAL, advancing the cursor. It returns nil, nil when the
+// cursor is caught up, and ErrCompacted when the cursor fell behind the
+// horizon. Records are returned with their exact WAL encoding.
+func (j *JournaledDB) ReadRecords(cur *JournalCursor, max int) ([]ReplRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cur.Seq < j.horizon {
+		return nil, ErrCompacted
+	}
+	if cur.Seq >= j.seq || max <= 0 {
+		return nil, nil
+	}
+	f, err := os.Open(filepath.Join(j.dir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := positionCursor(f, cur, j.walStart, func(r *bufio.Reader) (int, error) {
+		rec, err := readRecord(r)
+		if err != nil {
+			return 0, err
+		}
+		return len(encodeRecord(rec)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplRecord, 0, max)
+	for len(out) < max && cur.Seq < j.seq {
+		rec, err := readRecord(br)
+		if err != nil {
+			return nil, fmt.Errorf("lazyxml: journal ends before sequence %d: %v", cur.Seq+1, err)
+		}
+		enc := encodeRecord(rec)
+		cur.Seq++
+		cur.off += int64(len(enc))
+		out = append(out, ReplRecord{Seq: cur.Seq, Data: enc})
+	}
+	return out, nil
+}
+
+// positionCursor seeks (or, after a compaction or on a fresh cursor,
+// rescans) the WAL so the next record read is cur.Seq+1. skip parses
+// one record and reports its encoded length.
+func positionCursor(f *os.File, cur *JournalCursor, walStart int64, skip func(*bufio.Reader) (int, error)) (*bufio.Reader, error) {
+	if cur.init && cur.epoch == walStart {
+		if _, err := f.Seek(cur.off, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return bufio.NewReader(f), nil
+	}
+	br := bufio.NewReader(f)
+	cur.epoch, cur.off = walStart, 0
+	for s := walStart; s < cur.Seq; s++ {
+		n, err := skip(br)
+		if err != nil {
+			return nil, fmt.Errorf("lazyxml: journal ends before sequence %d: %v", cur.Seq, err)
+		}
+		cur.off += int64(n)
+	}
+	cur.init = true
+	return br, nil
+}
+
+// DocReplState returns the name log's current sequence and horizon.
+func (jc *JournaledCollection) DocReplState() (seq, horizon int64) {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	return jc.docSeq, jc.docHorizon
+}
+
+// SetDocReplTap installs a callback invoked synchronously after every
+// durable name-log append; it returns the sequence current at
+// installation.
+func (jc *JournaledCollection) SetDocReplTap(fn func(seq int64, rec []byte)) int64 {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	jc.docTap = fn
+	return jc.docSeq
+}
+
+// ReadDocRecords reads up to max name records after cur.Seq from the
+// on-disk name log, advancing the cursor; semantics mirror ReadRecords.
+func (jc *JournaledCollection) ReadDocRecords(cur *JournalCursor, max int) ([]ReplRecord, error) {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	if cur.Seq < jc.docHorizon {
+		return nil, ErrCompacted
+	}
+	if cur.Seq >= jc.docSeq || max <= 0 {
+		return nil, nil
+	}
+	f, err := os.Open(filepath.Join(jc.dir, docsWALName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := positionCursor(f, cur, jc.docWalStart, func(r *bufio.Reader) (int, error) {
+		op, sid, name, err := readDocRecord(r)
+		if err != nil {
+			return 0, err
+		}
+		return len(encodeDocRecord(op, sid, name)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplRecord, 0, max)
+	for len(out) < max && cur.Seq < jc.docSeq {
+		op, sid, name, err := readDocRecord(br)
+		if err != nil {
+			return nil, fmt.Errorf("lazyxml: name log ends before sequence %d: %v", cur.Seq+1, err)
+		}
+		enc := encodeDocRecord(op, sid, name)
+		cur.Seq++
+		cur.off += int64(len(enc))
+		out = append(out, ReplRecord{Seq: cur.Seq, Data: enc})
+	}
+	return out, nil
+}
+
+// ApplySegmentRecord decodes one replicated segment-journal record and
+// applies it through this collection's own journal, so the record lands
+// in the replica's WAL byte-identical and the replica's sequence
+// advances in lockstep. It returns the sequence the record got locally;
+// a mismatch with the primary's means the streams diverged.
+func (jc *JournaledCollection) ApplySegmentRecord(data []byte) (int64, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	rec, err := readRecord(br)
+	if err != nil {
+		return 0, fmt.Errorf("lazyxml: bad replicated record: %v", err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, fmt.Errorf("lazyxml: trailing bytes after replicated record")
+	}
+	switch rec.op {
+	case opInsert:
+		_, err = jc.j.Insert(rec.gp, rec.frag)
+	case opRemove:
+		err = jc.j.Remove(rec.gp, rec.l)
+	default:
+		err = fmt.Errorf("lazyxml: unknown replicated op %d", rec.op)
+	}
+	if err != nil {
+		return 0, err
+	}
+	seq, _ := jc.j.ReplState()
+	return seq, nil
+}
+
+// ApplyDocRecord decodes one replicated name record, applies it to the
+// name map and appends it to this collection's own name log. It returns
+// the sequence the record got locally.
+func (jc *JournaledCollection) ApplyDocRecord(data []byte) (int64, error) {
+	seq, _, _, err := jc.applyDocRecord(data)
+	return seq, err
+}
+
+// applyDocRecord is ApplyDocRecord plus the decoded op and name, so a
+// sharded wrapper can keep its routing map in step.
+func (jc *JournaledCollection) applyDocRecord(data []byte) (seq int64, op byte, name string, err error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	op, sid, name, err := readDocRecord(br)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("lazyxml: bad replicated name record: %v", err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, 0, "", fmt.Errorf("lazyxml: trailing bytes after replicated name record")
+	}
+	switch op {
+	case dopPut:
+		jc.mu.Lock()
+		jc.docs[name] = sid
+		jc.mu.Unlock()
+	case dopDel:
+		jc.mu.Lock()
+		delete(jc.docs, name)
+		jc.mu.Unlock()
+	default:
+		return 0, 0, "", fmt.Errorf("lazyxml: unknown replicated name op %d", op)
+	}
+	if err := jc.appendDoc(op, sid, name); err != nil {
+		return 0, 0, "", err
+	}
+	seq, _ = jc.DocReplState()
+	return seq, op, name, nil
+}
+
+// ApplySegmentRecord applies a replicated segment record to shard i.
+func (sc *ShardedCollection) ApplySegmentRecord(shard int, data []byte) (int64, error) {
+	jc := sc.ShardJournal(shard)
+	if jc == nil {
+		return 0, fmt.Errorf("lazyxml: no journaled shard %d", shard)
+	}
+	return jc.ApplySegmentRecord(data)
+}
+
+// ApplyDocRecord applies a replicated name record to shard i and keeps
+// the collection's name→shard routing map in step — the shard's own
+// name map alone would leave the document unreachable through the
+// sharded surface.
+func (sc *ShardedCollection) ApplyDocRecord(shard int, data []byte) (int64, error) {
+	jc := sc.ShardJournal(shard)
+	if jc == nil {
+		return 0, fmt.Errorf("lazyxml: no journaled shard %d", shard)
+	}
+	seq, op, name, err := jc.applyDocRecord(data)
+	if err != nil {
+		return 0, err
+	}
+	sc.mu.Lock()
+	switch op {
+	case dopPut:
+		sc.route[name] = shard
+	case dopDel:
+		delete(sc.route, name)
+	}
+	sc.mu.Unlock()
+	return seq, nil
+}
+
+// JournalFootprint reports the records currently sitting in the two
+// WAL files (segment journal + name log) and their on-disk bytes — the
+// denominator a compaction policy and a replication-lag readout need.
+func (jc *JournaledCollection) JournalFootprint() (records, bytes int64) {
+	jc.j.mu.Lock()
+	records = jc.j.seq - jc.j.walStart
+	jc.j.mu.Unlock()
+	jc.dmu.Lock()
+	records += jc.docSeq - jc.docWalStart
+	jc.dmu.Unlock()
+	for _, name := range []string{journalName, docsWALName} {
+		if fi, err := os.Stat(filepath.Join(jc.dir, name)); err == nil {
+			bytes += fi.Size()
+		}
+	}
+	return records, bytes
+}
+
+// ShardStats reports the collection as shard 0 with its journal
+// footprint and replication sequences filled in.
+func (jc *JournaledCollection) ShardStats() []ShardStat {
+	st := ShardStat{Shard: 0, Docs: jc.Len(), Stats: jc.Stats()}
+	st.Seq, _ = jc.j.ReplState()
+	st.DocSeq, _ = jc.DocReplState()
+	st.JournalRecords, st.JournalBytes = jc.JournalFootprint()
+	return []ShardStat{st}
+}

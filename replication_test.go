@@ -1,0 +1,242 @@
+package lazyxml
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReplSeqPersistence: sequence numbers survive close/reopen, and
+// Compact advances the horizon and persists the new base.
+func TestReplSeqPersistence(t *testing.T) {
+	dir := t.TempDir()
+	jc, err := OpenJournaledCollection(dir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.Put("a", []byte("<a><x/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.Put("b", []byte("<b></b>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Insert("b", 3, []byte("<y/>")); err != nil {
+		t.Fatal(err)
+	}
+	seq, horizon := jc.Journal().ReplState()
+	docSeq, docHorizon := jc.DocReplState()
+	if seq == 0 || docSeq == 0 {
+		t.Fatalf("sequences did not advance: seq=%d docSeq=%d", seq, docSeq)
+	}
+	if horizon != 0 || docHorizon != 0 {
+		t.Fatalf("fresh journal's horizon should be 0, got %d/%d", horizon, docHorizon)
+	}
+	if err := jc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jc2, err := OpenJournaledCollection(dir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := jc2.Journal().ReplState(); s != seq {
+		t.Fatalf("seq after reopen = %d, want %d", s, seq)
+	}
+	if d, _ := jc2.DocReplState(); d != docSeq {
+		t.Fatalf("docSeq after reopen = %d, want %d", d, docSeq)
+	}
+
+	if err := jc2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s, h := jc2.Journal().ReplState()
+	if s != seq || h != seq {
+		t.Fatalf("after compact seq=%d horizon=%d, want both %d", s, h, seq)
+	}
+	d, dh := jc2.DocReplState()
+	if d != docSeq || dh != docSeq {
+		t.Fatalf("after compact docSeq=%d docHorizon=%d, want both %d", d, dh, docSeq)
+	}
+	// A reader below the horizon is told to re-seed.
+	cur := &JournalCursor{Seq: 0}
+	if _, err := jc2.Journal().ReadRecords(cur, 10); err != ErrCompacted {
+		t.Fatalf("ReadRecords below horizon: err = %v, want ErrCompacted", err)
+	}
+	if err := jc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted base survives another reopen via the meta files.
+	jc3, err := OpenJournaledCollection(dir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc3.Close()
+	if s, h := jc3.Journal().ReplState(); s != seq || h != seq {
+		t.Fatalf("after reopen seq=%d horizon=%d, want both %d", s, h, seq)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal.seq")); err != nil {
+		t.Fatalf("journal.seq meta missing: %v", err)
+	}
+}
+
+// TestReplReadRecordsByteIdentity: the records ReadRecords returns are
+// byte-identical to the WAL files — the wire format IS the file format.
+func TestReplReadRecordsByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	jc, err := OpenJournaledCollection(dir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.Put("doc", []byte("<doc><a/><b/></doc>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Insert("doc", 5, []byte("<c/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.RemoveElementAt("doc", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.Delete("doc"); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []byte
+	cur := &JournalCursor{}
+	for {
+		recs, err := jc.Journal().ReadRecords(cur, 2) // small batches: exercise the cursor
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			streamed = append(streamed, r.Data...)
+		}
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, onDisk) {
+		t.Fatalf("streamed segment records (%d bytes) differ from journal.wal (%d bytes)",
+			len(streamed), len(onDisk))
+	}
+
+	streamed = nil
+	dcur := &JournalCursor{}
+	for {
+		recs, err := jc.ReadDocRecords(dcur, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			streamed = append(streamed, r.Data...)
+		}
+	}
+	onDisk, err = os.ReadFile(filepath.Join(dir, "docs.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, onDisk) {
+		t.Fatalf("streamed name records (%d bytes) differ from docs.wal (%d bytes)",
+			len(streamed), len(onDisk))
+	}
+	jc.Close()
+}
+
+// TestReplApplyMirrors: records tapped off one collection and applied to
+// another reproduce the documents, the query results, and the WAL bytes.
+func TestReplApplyMirrors(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := OpenJournaledCollection(srcDir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := OpenJournaledCollection(dstDir, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type taped struct {
+		doc bool
+		seq int64
+		rec []byte
+	}
+	var tape []taped
+	src.Journal().SetReplTap(func(seq int64, rec []byte) {
+		tape = append(tape, taped{false, seq, append([]byte(nil), rec...)})
+	})
+	src.SetDocReplTap(func(seq int64, rec []byte) {
+		tape = append(tape, taped{true, seq, append([]byte(nil), rec...)})
+	})
+
+	if err := src.Put("inv", []byte("<inv><item/></inv>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Insert("inv", 5, []byte("<item n=\"2\"/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put("tmp", []byte("<tmp/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Delete("tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tape interleaves the two logs in true order (each append fires
+	// its tap synchronously), so applying in tape order is valid.
+	for _, rec := range tape {
+		var seq int64
+		var err error
+		if rec.doc {
+			seq, err = dst.ApplyDocRecord(rec.rec)
+		} else {
+			seq, err = dst.ApplySegmentRecord(rec.rec)
+		}
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if seq != rec.seq {
+			t.Fatalf("record landed at seq %d on the replica, %d on the source", seq, rec.seq)
+		}
+	}
+
+	if err := dst.CheckConsistency(); err != nil {
+		t.Fatalf("replica inconsistent: %v", err)
+	}
+	if got, want := dst.Names(), src.Names(); len(got) != len(want) {
+		t.Fatalf("replica names %v, source %v", got, want)
+	}
+	srcText, _ := src.Text("inv")
+	dstText, err := dst.Text("inv")
+	if err != nil || !bytes.Equal(srcText, dstText) {
+		t.Fatalf("replica text %q (%v), source %q", dstText, err, srcText)
+	}
+	srcN, _ := src.Count("inv//item")
+	dstN, err := dst.Count("inv//item")
+	if err != nil || srcN != dstN {
+		t.Fatalf("replica count %d (%v), source %d", dstN, err, srcN)
+	}
+
+	src.Close()
+	dst.Close()
+	for _, name := range []string{"journal.wal", "docs.wal"} {
+		a, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dstDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between source (%d bytes) and replica (%d bytes)", name, len(a), len(b))
+		}
+	}
+}

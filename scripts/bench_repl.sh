@@ -1,0 +1,92 @@
+#!/bin/sh
+# Compare bulk document ingest over HTTP PUTs vs the binary replication
+# protocol, then demonstrate a live follower and its lag readout
+# (make bench-repl). Tunables via env:
+#   PORT (default 18080)  RPORT repl listener (default 18090)
+#   FPORT follower http (default 18081)
+#   N docs (default 2000)  DOC_BYTES (default 4096)  SHARDS (default 2)
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+RPORT=${RPORT:-18090}
+FPORT=${FPORT:-18081}
+N=${N:-2000}
+DOC_BYTES=${DOC_BYTES:-4096}
+SHARDS=${SHARDS:-2}
+BIN=$(mktemp -d)
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/lazyxmld" ./cmd/lazyxmld
+go build -o "$BIN/lazyload" ./cmd/lazyload
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -s "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# A pure read probe: lazyload seeds documents even at -n 0, which a
+# read-only follower refuses with 403.
+wait_healthy() {
+    port=$1
+    i=0
+    while [ $i -lt 100 ]; do
+        if fetch "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench_repl: daemon on :$port never became healthy" >&2
+    return 1
+}
+
+# Each ingest lane gets a fresh journal so the two runs do identical work.
+run_ingest() {
+    label=$1
+    shift
+    dir="$BIN/journal-$label"
+    "$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -journal "$dir" -shards "$SHARDS" \
+        -repl "127.0.0.1:$RPORT" >/dev/null 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    wait_healthy "$PORT"
+    echo "== bulk ingest [$label]  (n=$N doc-bytes=$DOC_BYTES shards=$SHARDS) =="
+    "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
+        -n "$N" -doc-bytes "$DOC_BYTES" "$@"
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null || true
+    echo
+}
+
+run_ingest http
+run_ingest binary -bin "127.0.0.1:$RPORT"
+
+# Lag demo: a primary and a follower, bulk load through the primary,
+# then the follower's replication block from /stats.
+echo "== replication lag (primary :$PORT -> follower :$FPORT) =="
+"$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -journal "$BIN/journal-primary" \
+    -shards "$SHARDS" -repl "127.0.0.1:$RPORT" >/dev/null 2>&1 &
+ppid=$!
+PIDS="$PIDS $ppid"
+wait_healthy "$PORT"
+"$BIN/lazyxmld" -addr "127.0.0.1:$FPORT" -journal "$BIN/journal-follower" \
+    -shards "$SHARDS" -follow "127.0.0.1:$RPORT" >/dev/null 2>&1 &
+fpid=$!
+PIDS="$PIDS $fpid"
+wait_healthy "$FPORT"
+
+"$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
+    -n "$N" -doc-bytes "$DOC_BYTES" -bin "127.0.0.1:$RPORT"
+sleep 1
+
+echo "follower /stats replication block:"
+fetch "http://127.0.0.1:$FPORT/stats" | tr ',' '\n' | grep -E 'replication|appliedSeq|primarySeq|"lag"|connected' || true
+echo "follower doc count: $(fetch "http://127.0.0.1:$FPORT/docs" | tr ',' '\n' | grep -c bulk || true)"
+
+kill "$ppid" "$fpid" 2>/dev/null || true
+wait "$ppid" "$fpid" 2>/dev/null || true

@@ -431,15 +431,28 @@ func (sc *ShardedCollection) Stats() Stats {
 	return agg
 }
 
-// ShardStats returns each shard's document count and store statistics,
-// gathered in parallel.
+// ShardStats returns each shard's document count, store statistics and
+// journal footprint, gathered in parallel.
 func (sc *ShardedCollection) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(sc.shards))
 	sc.fanOut(func(i int, sh Backend) error {
-		out[i] = ShardStat{Shard: i, Docs: sh.Len(), Stats: sh.Stats()}
+		st := sh.ShardStats()[0]
+		st.Shard = i
+		st.Docs = sh.Len()
+		out[i] = st
 		return nil
 	})
 	return out
+}
+
+// ShardJournal returns shard i's journaled collection, or nil when the
+// collection is in-memory — the per-shard surface the replication
+// subsystem streams from and applies into.
+func (sc *ShardedCollection) ShardJournal(i int) *JournaledCollection {
+	if i < 0 || i >= len(sc.jcs) {
+		return nil
+	}
+	return sc.jcs[i]
 }
 
 // CollapseAll collapses every document on every shard, shard-parallel.
