@@ -30,8 +30,13 @@
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
-//	         [-prefix load] [-reuse] [-keep]
+//	         [-prefix load] [-reuse] [-keep] [-retries 4]
 //	         [-bulk] [-bin addr] [-doc-bytes 4096] [-window 64]
+//
+// Requests refused with 503 (the server's overload shedding) or lost to
+// a transport error are retried up to -retries times with a jittered
+// exponential backoff; a Retry-After header from the server overrides
+// the local backoff base. The summary reports the retry count.
 package main
 
 import (
@@ -46,8 +51,10 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/repl"
@@ -65,7 +72,9 @@ func main() {
 	binAddr := flag.String("bin", "", "bulk over the binary protocol at this address (the primary's -repl listener; empty: HTTP PUTs)")
 	docBytes := flag.Int("doc-bytes", 4096, "approximate size of each bulk document")
 	window := flag.Int("window", 64, "binary bulk pipelining depth (puts in flight before blocking on acks)")
+	retriesFlag := flag.Int("retries", 4, "max retries per request on 503/transport failure (jittered backoff, honors Retry-After)")
 	flag.Parse()
+	maxRetries = *retriesFlag
 
 	// The transport is sized so every worker can hold a warm connection:
 	// with the default MaxIdleConnsPerHost of 2, workers beyond the
@@ -102,7 +111,7 @@ func main() {
 	for w := 0; w < *workers; w++ {
 		names[w] = docName(*prefix, w, shardCount)
 		do(client, "DELETE", *url+"/docs/"+names[w], nil) // ignore 404
-		status, body := do(client, "PUT", *url+"/docs/"+names[w], []byte("<load></load>"))
+		status, body := doRetry(client, "PUT", *url+"/docs/"+names[w], []byte("<load></load>"))
 		if status != http.StatusCreated {
 			log.Fatalf("lazyload: PUT %s: %d %s", names[w], status, body)
 		}
@@ -129,14 +138,14 @@ func main() {
 				t0 := time.Now()
 				var status int
 				if read {
-					status, _ = do(client, "GET", *url+"/docs/"+name+"/count?path=load//item", nil)
+					status, _ = doRetry(client, "GET", *url+"/docs/"+name+"/count?path=load//item", nil)
 				} else {
 					frag := fmt.Sprintf("<item w=\"%d\" n=\"%d\"/>", w, i)
 					// "<load>" is 6 bytes: inserting there keeps the
 					// document well-formed forever.
-					status, _ = do(client, "POST", *url+"/docs/"+name+"/insert?off=6", []byte(frag))
+					status, _ = doRetry(client, "POST", *url+"/docs/"+name+"/insert?off=6", []byte(frag))
 				}
-				samples[w] = append(samples[w], sample{read: read, d: time.Since(t0), err: status >= 400})
+				samples[w] = append(samples[w], sample{read: read, d: time.Since(t0), err: status >= 400 || status == 0})
 			}
 		}(w)
 	}
@@ -160,13 +169,13 @@ func main() {
 		}
 	}
 	ops := reads + writes
-	fmt.Printf("lazyload: %d ops (%d reads, %d writes, %d errors) in %s — %.0f ops/s (writes %.0f/s)\n",
-		ops, reads, writes, errs, elapsed.Round(time.Millisecond),
+	fmt.Printf("lazyload: %d ops (%d reads, %d writes, %d errors, %d retries) in %s — %.0f ops/s (writes %.0f/s)\n",
+		ops, reads, writes, errs, retries.Load(), elapsed.Round(time.Millisecond),
 		float64(ops)/elapsed.Seconds(), float64(writes)/elapsed.Seconds())
 	report("reads ", readLat)
 	report("writes", writeLat)
 
-	status, body := do(client, "GET", *url+"/count?path=load//item", nil)
+	status, body, _ := do(client, "GET", *url+"/count?path=load//item", nil)
 	fmt.Printf("collection count: %d %s", status, body)
 	reportShardSpread(client, *url)
 
@@ -215,7 +224,7 @@ func runBulk(client *http.Client, base, binAddr, prefix string, n, docBytes, win
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < n; i += c {
-					status, body := do(client, "PUT", base+"/docs/"+names[i], doc)
+					status, body := doRetry(client, "PUT", base+"/docs/"+names[i], doc)
 					if status != http.StatusCreated {
 						errs[w] = fmt.Errorf("PUT %s: %d %s", names[i], status, strings.TrimSpace(body))
 						return
@@ -232,9 +241,9 @@ func runBulk(client *http.Client, base, binAddr, prefix string, n, docBytes, win
 	}
 	elapsed := time.Since(start)
 	mb := float64(n*len(doc)) / (1 << 20)
-	fmt.Printf("lazyload bulk [%s]: %d docs × %dB in %s — %.0f docs/s, %.1f MB/s\n",
+	fmt.Printf("lazyload bulk [%s]: %d docs × %dB in %s — %.0f docs/s, %.1f MB/s (%d retries)\n",
 		lane, n, len(doc), elapsed.Round(time.Millisecond),
-		float64(n)/elapsed.Seconds(), mb/elapsed.Seconds())
+		float64(n)/elapsed.Seconds(), mb/elapsed.Seconds(), retries.Load())
 
 	if !keep {
 		for _, name := range names {
@@ -268,7 +277,7 @@ type statsBody struct {
 // serverShardCount asks /stats how many shards the server runs; servers
 // without a shard dimension count as one.
 func serverShardCount(client *http.Client, base string) int {
-	status, body := do(client, "GET", base+"/stats", nil)
+	status, body, _ := do(client, "GET", base+"/stats", nil)
 	if status != http.StatusOK {
 		log.Fatalf("lazyload: GET /stats: %d %s", status, body)
 	}
@@ -305,7 +314,7 @@ func docName(prefix string, w, shards int) string {
 // reportShardSpread prints the per-shard document and insert counts from
 // /stats, the visible proof the load hit every shard.
 func reportShardSpread(client *http.Client, base string) {
-	status, body := do(client, "GET", base+"/stats", nil)
+	status, body, _ := do(client, "GET", base+"/stats", nil)
 	if status != http.StatusOK {
 		fmt.Printf("stats: %d %s", status, body)
 		return
@@ -333,7 +342,18 @@ func report(label string, lat []time.Duration) {
 		q(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 }
 
-func do(client *http.Client, method, url string, body []byte) (int, string) {
+// retries counts requests that were re-issued after a 503 or transport
+// error; the summary reports it so shed-and-retry runs are visible.
+var retries atomic.Int64
+
+// maxRetries is how many times a shed request is retried (flag -retries).
+var maxRetries = 4
+
+// do issues one request. A transport failure reports status 0 with the
+// error as the body — the caller (or doRetry) decides whether to retry;
+// a load driver must not abort the whole run because one request raced a
+// connection close.
+func do(client *http.Client, method, url string, body []byte) (int, string, http.Header) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
@@ -344,9 +364,37 @@ func do(client *http.Client, method, url string, body []byte) (int, string) {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		log.Fatalf("lazyload: %s %s: %v", method, url, err)
+		return 0, err.Error(), nil
 	}
 	defer resp.Body.Close()
 	b, _ := io.ReadAll(resp.Body)
-	return resp.StatusCode, string(b)
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// doRetry issues a request and retries it on 503 (overload shedding) or
+// transport failure, sleeping a jittered exponential backoff between
+// attempts. A Retry-After header from the server overrides the local
+// backoff base — the server knows when its queue will drain.
+func doRetry(client *http.Client, method, url string, body []byte) (int, string) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, respBody, hdr := do(client, method, url, body)
+		if (status != 0 && status != http.StatusServiceUnavailable) || attempt >= maxRetries {
+			return status, respBody
+		}
+		retries.Add(1)
+		wait := backoff
+		if ra := hdr.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		// Full jitter in [wait/2, wait): concurrent shed workers must not
+		// re-arrive in lockstep and saturate the queue again.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		time.Sleep(wait)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
 }

@@ -8,6 +8,7 @@
 //	lazyxmld [-addr :8080] [-journal dir] [-shards 1] [-mode ld|ls]
 //	         [-alg lazy|std|skip|auto] [-attrs] [-values] [-sync]
 //	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
+//	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
 //	         [-compact-on-exit] [-repl addr] [-follow addr]
 //
 // With -shards N documents are routed by name hash across N independent
@@ -27,11 +28,27 @@
 //	              -repl listener is at addr. Writes get 403 plus the
 //	              primary's address; replication lag is exported under
 //	              "replication" in /stats and /metrics. The shard count
-//	              must match the primary's.
+//	              must match the primary's. A follower that fell below
+//	              the primary's compaction horizon re-seeds itself from
+//	              a streamed snapshot automatically.
+//
+// -repl and -follow combine: a follower that also serves the replication
+// protocol can feed its own downstream replicas, and after POST /promote
+// it is a fully-formed primary. Promotion stops the stream, bumps the
+// store's replication epoch (fencing off the deposed primary's records)
+// and makes this server writable, all without a restart.
+//
+// Overload shedding: at most -write-queue writes may wait on one shard's
+// lane, and none waits longer than -shed-after; beyond either bound the
+// daemon answers 503 with a Retry-After header instead of queuing.
+// GET /readyz reports 503 while a re-seed is installing or (with
+// -ready-max-lag > 0) while replication lag exceeds that many records —
+// the signal a load balancer uses to route around a stale replica.
 //
 // Routes (all responses JSON unless noted):
 //
 //	GET    /healthz                     liveness
+//	GET    /readyz                      traffic-worthiness (503 while re-seeding/lagging)
 //	GET    /stats                       engine sizes, update-log footprint
 //	GET    /metrics                     request counters, latency histograms
 //	GET    /docs                        list document names
@@ -48,6 +65,7 @@
 //	POST   /compact                     fold the journal into a snapshot
 //	POST   /rebuild                     collapse every document's segments
 //	POST   /check                       verify index consistency
+//	POST   /promote                     turn this follower into the writable primary
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), then closes the journal.
@@ -64,6 +82,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -85,17 +104,17 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
 	readers := flag.Int("readers", 0, "max concurrent read requests (0 = unlimited)")
+	writeQueue := flag.Int("write-queue", 64, "max writes queued per shard lane before shedding with 503 (-1 = unbounded)")
+	shedAfter := flag.Duration("shed-after", time.Second, "max time a write waits for its shard slot before shedding with 503 (-1 = wait the full deadline)")
+	readyMaxLag := flag.Int64("ready-max-lag", 0, "readyz reports 503 when replication lag exceeds this many records (0 = lag never gates readiness)")
 	maxBody := flag.Int64("max-body", 32<<20, "max upload size in bytes")
 	compactOnExit := flag.Bool("compact-on-exit", false, "fold the journal into a snapshot during shutdown")
 	replAddr := flag.String("repl", "", "serve the binary replication/bulk-load protocol on this address (requires -journal)")
-	follow := flag.String("follow", "", "follow the primary whose -repl listener is at this address (requires -journal; read-only)")
+	follow := flag.String("follow", "", "follow the primary whose -repl listener is at this address (requires -journal; read-only until promoted)")
 	flag.Parse()
 
 	if (*replAddr != "" || *follow != "") && *journalDir == "" {
 		log.Fatalf("lazyxmld: -repl and -follow require -journal: replication ships the write-ahead log")
-	}
-	if *replAddr != "" && *follow != "" {
-		log.Fatalf("lazyxmld: -repl and -follow are mutually exclusive: a node is a primary or a follower")
 	}
 
 	var m lazyxml.Mode
@@ -163,9 +182,13 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Writers:        *writers,
 		Readers:        *readers,
+		WriteQueue:     *writeQueue,
+		ShedAfter:      *shedAfter,
 	}
 
-	// Replication: a primary serves the stream, a follower applies it.
+	// Replication: a primary serves the stream, a follower applies it. A
+	// node may be both — a follower that feeds downstream replicas and
+	// the natural promotion target.
 	var primary *repl.Primary
 	folErr := make(chan error, 1)
 	if *replAddr != "" {
@@ -186,13 +209,58 @@ func main() {
 		log.Printf("lazyxmld: replicating on %s (%d shard(s))", ln.Addr(), sc.ShardCount())
 	}
 	if *follow != "" {
-		f, err := repl.NewFollower(sc, *follow, repl.FollowerConfig{Logf: log.Printf})
+		fcfg := repl.FollowerConfig{Logf: log.Printf}
+		if primary != nil {
+			// Co-located primary: a re-seed replaces a shard's backing
+			// store wholesale, so the primary's replication taps must be
+			// re-wired onto the replacement before it feeds downstream.
+			fcfg.OnReseed = primary.ReattachShard
+		}
+		f, err := repl.NewFollower(sc, *follow, fcfg)
 		if err != nil {
 			log.Fatalf("lazyxmld: %v", err)
 		}
 		srvCfg.PrimaryAddr = *follow
 		srvCfg.ReplStatus = func() any { return f.Status() }
-		go func() { folErr <- f.Run(ctx) }()
+
+		// Readiness: a re-seeding replica serves stale (or partial) data
+		// and a badly lagging one serves old data — readyz pulls both out
+		// of rotation. A promoted node is the primary and always ready.
+		var promoted atomic.Bool
+		srvCfg.Ready = func() (bool, string) {
+			if promoted.Load() {
+				return true, ""
+			}
+			st := f.Status()
+			if st.State == repl.StateReseeding {
+				return false, "re-seeding from the primary's snapshot"
+			}
+			if *readyMaxLag > 0 && st.Lag > *readyMaxLag {
+				return false, fmt.Sprintf("replication lag %d exceeds -ready-max-lag %d", st.Lag, *readyMaxLag)
+			}
+			return true, ""
+		}
+
+		// Promotion: stop the stream, wait for the last applied record,
+		// bump the epoch (persisted; the deposed primary's records are
+		// fenced off from now on), then the HTTP layer turns writable.
+		folCtx, folCancel := context.WithCancel(ctx)
+		folDone := make(chan struct{})
+		srvCfg.Promote = func() (int64, error) {
+			if !promoted.CompareAndSwap(false, true) {
+				return 0, fmt.Errorf("already promoted (epoch %d)", sc.Epoch())
+			}
+			folCancel()
+			<-folDone
+			epoch, err := sc.Promote()
+			if err != nil {
+				promoted.Store(false)
+				return 0, err
+			}
+			log.Printf("lazyxmld: promoted to primary at epoch %d", epoch)
+			return epoch, nil
+		}
+		go func() { folErr <- f.Run(folCtx); close(folDone) }()
 		log.Printf("lazyxmld: following %s (read-only; writes 403 to the primary)", *follow)
 	}
 
@@ -208,17 +276,26 @@ func main() {
 	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s shards=%d writers=%d timeout=%s)",
 		*addr, m, *alg, backend.ShardCount(), *writers, *timeout)
 
-	select {
-	case err := <-errCh:
-		log.Fatalf("lazyxmld: %v", err)
-	case err := <-folErr:
-		// The follower only returns between signal and shutdown (nil) or
-		// on a fatal, non-retryable error (incompatible primary, behind
-		// the compaction horizon, diverged history).
-		if err != nil {
-			log.Fatalf("lazyxmld: follower: %v", err)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			log.Fatalf("lazyxmld: %v", err)
+		case err := <-folErr:
+			// The follower returns nil when its context is cancelled —
+			// either shutdown (exit below) or a promotion (keep serving,
+			// now as the primary) — and non-nil only on a fatal,
+			// non-retryable error (incompatible primary, diverged
+			// history, deposed primary).
+			if err != nil {
+				log.Fatalf("lazyxmld: follower: %v", err)
+			}
+			if ctx.Err() != nil {
+				break loop
+			}
+		case <-ctx.Done():
+			break loop
 		}
-	case <-ctx.Done():
 	}
 	stop()
 	log.Printf("lazyxmld: shutting down, draining for up to %s", *drain)

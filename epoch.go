@@ -1,0 +1,97 @@
+package lazyxml
+
+// Replication epochs fence a failed-over primary. Every durable
+// collection carries a monotonic epoch, persisted in epoch.meta at the
+// journal root. Promoting a follower bumps its epoch; from then on the
+// handshake (internal/repl HELLO) carries the epoch both ways, a
+// follower refuses a primary whose epoch is behind its own, and a
+// primary refuses to feed a subscriber that has seen a newer epoch —
+// so a deposed primary that comes back can no longer spread its
+// records, whichever side of the stream it lands on.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/faultline"
+)
+
+const (
+	epochMetaName  = "epoch.meta"
+	epochMetaMagic = "LXEP1"
+)
+
+// readEpoch loads the collection's replication epoch; absent means zero
+// (a collection from before failover existed, or one never promoted).
+func readEpoch(fs faultline.FS, dir string) (int64, error) {
+	raw, err := fs.ReadFile(filepath.Join(dir, epochMetaName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var e int64
+	if _, err := fmt.Sscanf(string(raw), epochMetaMagic+" %d", &e); err != nil || e < 0 {
+		return 0, fmt.Errorf("lazyxml: corrupt %s: %q", epochMetaName, strings.TrimSpace(string(raw)))
+	}
+	return e, nil
+}
+
+// writeEpoch persists the epoch atomically.
+func writeEpoch(fs faultline.FS, dir string, e int64) error {
+	path := filepath.Join(dir, epochMetaName)
+	tmp := path + ".tmp"
+	if err := fs.WriteFile(tmp, []byte(fmt.Sprintf("%s %d\n", epochMetaMagic, e)), 0o644); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// Epoch returns the collection's current replication epoch.
+func (sc *ShardedCollection) Epoch() int64 {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.epoch
+}
+
+// AdvanceEpoch raises the persisted epoch to e (learned from a primary
+// running a newer regime). Lower or equal values are a no-op: epochs
+// only move forward.
+func (sc *ShardedCollection) AdvanceEpoch(e int64) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if e <= sc.epoch {
+		return nil
+	}
+	if !sc.IsDurable() {
+		sc.epoch = e
+		return nil
+	}
+	if err := writeEpoch(sc.fs, sc.dir, e); err != nil {
+		return err
+	}
+	sc.epoch = e
+	return nil
+}
+
+// Promote bumps the epoch by one — persisted before it takes effect —
+// and returns the new value. The caller (the daemon's -promote
+// endpoint) is responsible for stopping the follower loop first; from
+// the new epoch on, the old primary's stream is refused everywhere this
+// collection's epoch has been seen.
+func (sc *ShardedCollection) Promote() (int64, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	next := sc.epoch + 1
+	if sc.IsDurable() {
+		if err := writeEpoch(sc.fs, sc.dir, next); err != nil {
+			return 0, err
+		}
+	}
+	sc.epoch = next
+	return next, nil
+}

@@ -26,6 +26,20 @@ var (
 	// sequence locally than it had on the primary: the stores do not
 	// share history and the replica must be re-seeded.
 	ErrDiverged = errors.New("repl: replica history diverged from the primary; re-seed this replica")
+	// ErrStalePrimary reports that the primary's replication epoch is
+	// behind this follower's: the primary was deposed by a promotion and
+	// its records must not be applied. Point the follower at the new
+	// primary.
+	ErrStalePrimary = errors.New("repl: primary's epoch is behind this follower's; it was deposed by a promotion")
+)
+
+// Follower states, surfaced in Status.State.
+const (
+	StateConnecting = "connecting" // dialing / handshaking
+	StateStreaming  = "streaming"  // subscribed, applying records
+	StateBackoff    = "backoff"    // waiting to reconnect
+	StateReseeding  = "reseeding"  // installing a snapshot re-seed
+	StateStopped    = "stopped"    // Run returned
 )
 
 // FollowerConfig tunes the follower; zero values pick defaults.
@@ -41,6 +55,14 @@ type FollowerConfig struct {
 	// record, no heartbeat — before the follower declares the connection
 	// dead and reconnects (default 10s).
 	HeartbeatTimeout time.Duration
+	// DisableReseed turns off automatic snapshot re-seeding: a
+	// below-horizon subscribe then surfaces ErrSnapshotRequired as a
+	// fatal error instead, leaving the decision to the operator.
+	DisableReseed bool
+	// OnReseed, when set, is called after each shard's snapshot is
+	// installed — the hook a co-located primary uses to rewire its
+	// replication taps onto the replaced shard.
+	OnReseed func(shard int) error
 	// Logf receives connection-level events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -77,7 +99,10 @@ type ShardLag struct {
 // Status is a point-in-time snapshot of the follower, shaped for direct
 // embedding in the server's /stats response.
 type Status struct {
-	Primary   string `json:"primary"`
+	Primary string `json:"primary"`
+	// State is the follower's lifecycle phase: connecting, streaming,
+	// backoff, reseeding or stopped.
+	State     string `json:"state"`
 	Connected bool   `json:"connected"`
 	// LastHeartbeatUnixMillis is the primary's clock in the most recent
 	// heartbeat; 0 before the first one.
@@ -101,6 +126,7 @@ type Follower struct {
 
 	mu         sync.Mutex
 	connected  bool
+	state      string
 	lastHB     int64     // primary clock, unix millis
 	lastHBSeen time.Time // follower clock
 	primary    []Position
@@ -115,29 +141,62 @@ func NewFollower(sc *lazyxml.ShardedCollection, addr string, cfg FollowerConfig)
 		return nil, errors.New("repl: following requires a journaled store (-journal)")
 	}
 	cfg.fill()
-	return &Follower{sc: sc, addr: addr, cfg: cfg, primary: make([]Position, sc.ShardCount())}, nil
+	return &Follower{sc: sc, addr: addr, cfg: cfg, state: StateConnecting, primary: make([]Position, sc.ShardCount())}, nil
 }
 
 // Run streams from the primary until ctx is cancelled, reconnecting with
-// jittered exponential backoff. It returns nil on cancellation and a
-// fatal error (ErrIncompatible, ErrSnapshotRequired, ErrDiverged) when
+// jittered exponential backoff. A below-horizon subscribe triggers an
+// automatic snapshot re-seed (unless DisableReseed). It returns nil on
+// cancellation and a fatal error (ErrIncompatible, ErrStalePrimary,
+// ErrDiverged — or ErrSnapshotRequired with re-seed disabled) when
 // reconnecting cannot help.
 func (f *Follower) Run(ctx context.Context) error {
+	defer f.setState(StateStopped)
 	backoff := f.cfg.BackoffMin
 	for {
+		f.setState(StateConnecting)
 		streamed, err := f.session(ctx)
 		if ctx.Err() != nil {
 			return nil
 		}
-		if errors.Is(err, ErrIncompatible) || errors.Is(err, ErrSnapshotRequired) || errors.Is(err, ErrDiverged) {
+		if errors.Is(err, ErrSnapshotRequired) && !f.cfg.DisableReseed {
+			f.setState(StateReseeding)
+			f.cfg.Logf("repl: follower below the horizon; re-seeding from %s", f.addr)
+			rerr := f.reseed(ctx)
+			if ctx.Err() != nil {
+				return nil
+			}
+			if rerr == nil {
+				// Fresh base installed: resubscribe immediately. The
+				// re-seed transferred real data, so this is progress,
+				// not a dial loop.
+				backoff = f.cfg.BackoffMin
+				continue
+			}
+			if errors.Is(rerr, ErrIncompatible) || errors.Is(rerr, ErrStalePrimary) || errors.Is(rerr, ErrDiverged) {
+				f.setErr(rerr)
+				return rerr
+			}
+			// Transient re-seed failure (dropped connection, primary
+			// restart): fall through to the normal backoff path and try
+			// again from whatever shards were already installed.
+			err = fmt.Errorf("re-seed from %s: %w", f.addr, rerr)
+		} else if errors.Is(err, ErrIncompatible) || errors.Is(err, ErrSnapshotRequired) ||
+			errors.Is(err, ErrDiverged) || errors.Is(err, ErrStalePrimary) {
 			f.setErr(err)
 			return err
 		}
 		f.setErr(err)
 		f.cfg.Logf("repl: follower: %v (reconnecting in ~%v)", err, backoff)
+		// The backoff only resets after a fully established session
+		// delivered a valid stream frame. A dial that connects but then
+		// fails the handshake (wrong version, bad peer) must keep
+		// backing off, or a broken peer turns the loop into a hot dial
+		// storm.
 		if streamed {
 			backoff = f.cfg.BackoffMin
 		}
+		f.setState(StateBackoff)
 		// Jitter: sleep in [backoff/2, backoff).
 		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
@@ -162,51 +221,93 @@ func (f *Follower) positions() []Position {
 	return out
 }
 
-// session runs one connection: dial, handshake, subscribe, apply frames
-// until something breaks. streamed reports whether any frame arrived
-// (used to reset the reconnect backoff).
-func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
+// handshake dials the primary and exchanges HELLOs: version negotiation
+// (any primary version in [MinVersion, Version] is accepted and answered
+// in kind, so a v1 primary still serves this follower) and epoch fencing
+// (a primary whose epoch is behind this follower's was deposed by a
+// promotion; its records must never be applied). The returned connection
+// is ready for SUBSCRIBE or SNAPREQUEST and is closed on ctx cancel.
+func (f *Follower) handshake(ctx context.Context) (net.Conn, func(), error) {
 	d := net.Dialer{Timeout: f.cfg.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", f.addr)
 	if err != nil {
-		return false, err
+		return nil, nil, err
 	}
-	defer conn.Close()
-	defer f.setConnected(false)
 	// Unblock blocking reads when ctx is cancelled.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
+	cleanup := func() { stop(); conn.Close() }
 
 	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
 	typ, payload, err := ReadFrame(conn)
 	if err != nil {
-		return false, fmt.Errorf("reading primary hello: %w", err)
+		cleanup()
+		return nil, nil, fmt.Errorf("reading primary hello: %w", err)
 	}
 	if typ == TypeError {
-		return false, f.errorFrame(payload)
+		cleanup()
+		return nil, nil, f.errorFrame(payload)
 	}
 	if typ != TypeHello {
-		return false, fmt.Errorf("expected HELLO, got frame type %d", typ)
+		cleanup()
+		return nil, nil, fmt.Errorf("expected HELLO, got frame type %d", typ)
 	}
 	h, err := decodeHello(payload)
 	if err != nil {
-		return false, err
+		cleanup()
+		return nil, nil, err
 	}
-	if h.Version != Version {
-		return false, fmt.Errorf("%w: primary speaks protocol %d, this build speaks %d", ErrIncompatible, h.Version, Version)
+	if h.Version < MinVersion || h.Version > Version {
+		cleanup()
+		return nil, nil, fmt.Errorf("%w: primary speaks protocol %d, this build speaks %d..%d",
+			ErrIncompatible, h.Version, MinVersion, Version)
 	}
 	if h.Shards != f.sc.ShardCount() {
-		return false, fmt.Errorf("%w: primary has %d shards, this store has %d", ErrIncompatible, h.Shards, f.sc.ShardCount())
+		cleanup()
+		return nil, nil, fmt.Errorf("%w: primary has %d shards, this store has %d", ErrIncompatible, h.Shards, f.sc.ShardCount())
 	}
-	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: f.sc.ShardCount()}).encode()); err != nil {
+	if h.Version >= 2 {
+		local := f.sc.Epoch()
+		switch {
+		case h.Epoch < local:
+			cleanup()
+			return nil, nil, fmt.Errorf("%w: primary at epoch %d, follower at %d", ErrStalePrimary, h.Epoch, local)
+		case h.Epoch > local:
+			// The primary moved to a newer epoch (it was itself promoted,
+			// or an operator advanced it); adopt it so a later connection
+			// to a deposed primary is refused.
+			if err := f.sc.AdvanceEpoch(h.Epoch); err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("adopting primary epoch %d: %w", h.Epoch, err)
+			}
+		}
+	}
+	reply := Hello{Version: h.Version, Shards: f.sc.ShardCount(), Epoch: f.sc.Epoch()}
+	if err := WriteFrame(conn, TypeHello, reply.encode()); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return conn, cleanup, nil
+}
+
+// session runs one connection: dial, handshake, subscribe, apply frames
+// until something breaks. streamed reports whether a valid stream frame
+// (RECORD or HEARTBEAT) arrived — only that resets the reconnect
+// backoff; an ERROR or garbage frame after subscribe does not count.
+func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
+	conn, cleanup, err := f.handshake(ctx)
+	if err != nil {
 		return false, err
 	}
+	defer cleanup()
+	defer f.setConnected(false)
+
 	pos := f.positions()
 	if err := WriteFrame(conn, TypeSubscribe, encodeSubscribe(pos)); err != nil {
 		return false, err
 	}
 	f.cfg.Logf("repl: follower subscribed to %s from %v", f.addr, pos)
 	f.setConnected(true)
+	f.setState(StateStreaming)
 
 	for {
 		conn.SetReadDeadline(time.Now().Add(f.cfg.HeartbeatTimeout))
@@ -214,13 +315,13 @@ func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
 		if err != nil {
 			return streamed, fmt.Errorf("stream from %s broke: %w", f.addr, err)
 		}
-		streamed = true
 		switch typ {
 		case TypeRecord:
 			rec, err := decodeRecord(payload)
 			if err != nil {
 				return streamed, err
 			}
+			streamed = true
 			if err := f.apply(rec); err != nil {
 				return streamed, err
 			}
@@ -229,6 +330,7 @@ func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
 			if err != nil {
 				return streamed, err
 			}
+			streamed = true
 			if len(hb.Positions) != f.sc.ShardCount() {
 				return streamed, fmt.Errorf("heartbeat names %d shards, store has %d", len(hb.Positions), f.sc.ShardCount())
 			}
@@ -295,13 +397,133 @@ func (f *Follower) errorFrame(payload []byte) error {
 		return fmt.Errorf("%w: primary says: %s", ErrIncompatible, e.Msg)
 	case ErrCodeSnapshot:
 		return fmt.Errorf("%w: primary says: %s", ErrSnapshotRequired, e.Msg)
+	case ErrCodeEpoch:
+		// The primary refused us because our epoch is newer than its
+		// own — which means the primary is the stale one.
+		return fmt.Errorf("%w: primary says: %s", ErrStalePrimary, e.Msg)
 	}
 	return fmt.Errorf("primary error %d: %s", e.Code, e.Msg)
+}
+
+// reseed opens a fresh connection and transfers full snapshots for every
+// shard that fell below the primary's compaction horizon, installing
+// each one atomically as its SNAPEND arrives. Shards are independent: a
+// connection cut mid-transfer keeps everything already installed, and
+// the retry only re-requests what is still behind (the primary skips
+// shards whose positions are above the horizon).
+func (f *Follower) reseed(ctx context.Context) error {
+	conn, cleanup, err := f.handshake(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	pos := f.positions()
+	if err := WriteFrame(conn, TypeSnapRequest, encodeSubscribe(pos)); err != nil {
+		return err
+	}
+	f.cfg.Logf("repl: follower requesting snapshots from %s at %v", f.addr, pos)
+
+	// Per-shard assembly state for the one transfer in flight. The
+	// primary streams one shard to completion before the next SNAPBEGIN.
+	var (
+		cur       *SnapBegin
+		snap, doc []byte
+		installed int
+	)
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.HeartbeatTimeout))
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("snapshot stream from %s broke: %w", f.addr, err)
+		}
+		switch typ {
+		case TypeSnapBegin:
+			if cur != nil {
+				return fmt.Errorf("SNAPBEGIN for shard %d while shard %d is still in flight", mustDecodeShard(payload), cur.Shard)
+			}
+			b, err := decodeSnapBegin(payload)
+			if err != nil {
+				return err
+			}
+			if b.Shard < 0 || b.Shard >= f.sc.ShardCount() {
+				return fmt.Errorf("snapshot for shard %d, store has %d", b.Shard, f.sc.ShardCount())
+			}
+			cur = &b
+			snap = make([]byte, 0, b.SnapLen)
+			doc = make([]byte, 0, b.DocsLen)
+		case TypeSnapChunk:
+			c, err := decodeSnapChunk(payload)
+			if err != nil {
+				return err
+			}
+			if cur == nil || c.Shard != cur.Shard {
+				return fmt.Errorf("SNAPCHUNK for shard %d outside its transfer", c.Shard)
+			}
+			switch c.Kind {
+			case SnapKindStore:
+				snap = append(snap, c.Data...)
+			case SnapKindDocs:
+				doc = append(doc, c.Data...)
+			default:
+				return fmt.Errorf("unknown snapshot chunk kind %d", c.Kind)
+			}
+		case TypeSnapEnd:
+			e, err := decodeSnapEnd(payload)
+			if err != nil {
+				return err
+			}
+			if cur == nil || e.Shard != cur.Shard {
+				return fmt.Errorf("SNAPEND for shard %d outside its transfer", e.Shard)
+			}
+			if int64(len(snap)) != cur.SnapLen || int64(len(doc)) != cur.DocsLen {
+				return fmt.Errorf("shard %d snapshot truncated: got %d/%d store and %d/%d docs bytes",
+					cur.Shard, len(snap), cur.SnapLen, len(doc), cur.DocsLen)
+			}
+			ss := &lazyxml.ShardSnapshot{Seq: cur.Seq, DocSeq: cur.DocSeq, Snap: snap, Docs: doc}
+			if err := f.sc.InstallReseed(cur.Shard, ss); err != nil {
+				return fmt.Errorf("installing shard %d snapshot: %w", cur.Shard, err)
+			}
+			if f.cfg.OnReseed != nil {
+				if err := f.cfg.OnReseed(cur.Shard); err != nil {
+					return fmt.Errorf("re-seed hook for shard %d: %w", cur.Shard, err)
+				}
+			}
+			f.cfg.Logf("repl: shard %d re-seeded at seq=%d docSeq=%d (%d+%d bytes)",
+				cur.Shard, cur.Seq, cur.DocSeq, len(snap), len(doc))
+			installed++
+			cur, snap, doc = nil, nil, nil
+		case TypeSnapDone:
+			if cur != nil {
+				return fmt.Errorf("SNAPDONE while shard %d is still in flight", cur.Shard)
+			}
+			f.cfg.Logf("repl: re-seed from %s complete (%d shards installed)", f.addr, installed)
+			return nil
+		case TypeError:
+			return f.errorFrame(payload)
+		default:
+			return fmt.Errorf("unexpected frame type %d in snapshot stream", typ)
+		}
+	}
+}
+
+// mustDecodeShard best-effort extracts the shard id for an error message.
+func mustDecodeShard(payload []byte) int {
+	if b, err := decodeSnapBegin(payload); err == nil {
+		return b.Shard
+	}
+	return -1
 }
 
 func (f *Follower) setConnected(v bool) {
 	f.mu.Lock()
 	f.connected = v
+	f.mu.Unlock()
+}
+
+func (f *Follower) setState(s string) {
+	f.mu.Lock()
+	f.state = s
 	f.mu.Unlock()
 }
 
@@ -322,6 +544,7 @@ func (f *Follower) Status() Status {
 	defer f.mu.Unlock()
 	st := Status{
 		Primary:                 f.addr,
+		State:                   f.state,
 		Connected:               f.connected,
 		LastHeartbeatUnixMillis: f.lastHB,
 		SecondsSinceHeartbeat:   -1,

@@ -25,9 +25,15 @@ import (
 	"io"
 )
 
-// Version is the protocol version exchanged in HELLO frames. A primary
-// refuses clients with any other version (ErrCodeVersion).
-const Version = 1
+// Version is the protocol version exchanged in HELLO frames. Version 2
+// added the replication epoch to HELLO and the SNAPSHOT frame family
+// (re-seed below the compaction horizon); a primary still accepts
+// MinVersion clients — a v1 HELLO simply carries no epoch and is
+// treated as epoch 0.
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 // helloMagic leads every HELLO payload so a stray client speaking some
 // other protocol fails fast and explicitly.
@@ -47,6 +53,19 @@ const (
 	TypeError     byte = 5
 	TypePut       byte = 6
 	TypePutOK     byte = 7
+
+	// Snapshot re-seed family (v2). A client below the compaction
+	// horizon opens a fresh connection and sends SNAPREQUEST with its
+	// positions instead of SUBSCRIBE; the primary answers, per shard
+	// still below the horizon, SNAPBEGIN + SNAPCHUNK… + SNAPEND, then
+	// one SNAPDONE, and the client reconnects with SUBSCRIBE at the
+	// snapshot positions. Shards already above the horizon are skipped,
+	// so a re-seed interrupted mid-stream resumes at shard granularity.
+	TypeSnapRequest byte = 8
+	TypeSnapBegin   byte = 9
+	TypeSnapChunk   byte = 10
+	TypeSnapEnd     byte = 11
+	TypeSnapDone    byte = 12
 )
 
 // ERROR frame codes.
@@ -56,6 +75,7 @@ const (
 	ErrCodeSnapshot uint64 = 3 // subscribed below the horizon: re-seed from a snapshot
 	ErrCodeBadFrame uint64 = 4 // malformed or unexpected frame
 	ErrCodeInternal uint64 = 5 // primary-side failure
+	ErrCodeEpoch    uint64 = 6 // peer's replication epoch is ahead: this primary is stale
 )
 
 // Record kinds: which of the shard's two logs a RECORD frame belongs to.
@@ -103,6 +123,12 @@ type Hello struct {
 	// Shards is the sender's shard count. A bulk-load client that has no
 	// store of its own sends 0 ("not applicable").
 	Shards int
+	// Epoch is the sender's replication epoch (v2+; a v1 peer is epoch
+	// 0). A follower refuses a primary whose epoch is behind its own —
+	// that primary was deposed — and a primary refuses to feed a client
+	// whose epoch is ahead of its own, for the same reason seen from
+	// the other side.
+	Epoch int64
 }
 
 // Position is one shard's replication position: the sequences of the
@@ -154,6 +180,9 @@ func (h Hello) encode() []byte {
 	buf := []byte(helloMagic)
 	buf = binary.AppendUvarint(buf, h.Version)
 	buf = binary.AppendUvarint(buf, uint64(h.Shards))
+	if h.Version >= 2 {
+		buf = binary.AppendUvarint(buf, uint64(h.Epoch))
+	}
 	return buf
 }
 
@@ -165,6 +194,9 @@ func decodeHello(p []byte) (Hello, error) {
 	d := newDecoder(p[len(helloMagic):])
 	h.Version = d.uvarint()
 	h.Shards = int(d.uvarint())
+	if h.Version >= 2 {
+		h.Epoch = int64(d.uvarint())
+	}
 	return h, d.finish("hello")
 }
 
@@ -287,6 +319,85 @@ func decodePutOK(b []byte) (PutOK, error) {
 	}
 	a.Msg = string(d.rest())
 	return a, nil
+}
+
+// SnapBegin announces one shard's snapshot stream: the sequences the
+// snapshot covers (the positions the client resumes from) and the byte
+// lengths of the two parts, so the receiver can verify completeness.
+type SnapBegin struct {
+	Shard    int
+	Seq      int64
+	DocSeq   int64
+	SnapLen  int64 // store snapshot bytes to follow (kind 0 chunks)
+	DocsLen  int64 // name-map snapshot bytes to follow (kind 1 chunks)
+}
+
+// SnapChunk carries one length-prefixed slice of a shard's snapshot.
+// Kind 0 chunks are store snapshot bytes, kind 1 name-map bytes; within
+// a kind chunks arrive in order and concatenate to the whole.
+type SnapChunk struct {
+	Shard int
+	Kind  byte
+	Data  []byte
+}
+
+// Snapshot chunk kinds.
+const (
+	SnapKindStore byte = 0 // segment-store snapshot bytes
+	SnapKindDocs  byte = 1 // name-map snapshot bytes
+)
+
+// SnapEnd closes one shard's snapshot stream.
+type SnapEnd struct {
+	Shard int
+}
+
+func (s SnapBegin) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(s.Shard))
+	buf = binary.AppendUvarint(buf, uint64(s.Seq))
+	buf = binary.AppendUvarint(buf, uint64(s.DocSeq))
+	buf = binary.AppendUvarint(buf, uint64(s.SnapLen))
+	return binary.AppendUvarint(buf, uint64(s.DocsLen))
+}
+
+func decodeSnapBegin(p []byte) (SnapBegin, error) {
+	var s SnapBegin
+	d := newDecoder(p)
+	s.Shard = int(d.uvarint())
+	s.Seq = int64(d.uvarint())
+	s.DocSeq = int64(d.uvarint())
+	s.SnapLen = int64(d.uvarint())
+	s.DocsLen = int64(d.uvarint())
+	return s, d.finish("snap-begin")
+}
+
+func (c SnapChunk) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(c.Shard))
+	buf = append(buf, c.Kind)
+	return append(buf, c.Data...)
+}
+
+func decodeSnapChunk(p []byte) (SnapChunk, error) {
+	var c SnapChunk
+	d := newDecoder(p)
+	c.Shard = int(d.uvarint())
+	c.Kind = d.byte()
+	if d.err != nil {
+		return c, fmt.Errorf("repl: corrupt snap-chunk frame: %w", d.err)
+	}
+	c.Data = d.rest()
+	return c, nil
+}
+
+func (s SnapEnd) encode() []byte {
+	return binary.AppendUvarint(nil, uint64(s.Shard))
+}
+
+func decodeSnapEnd(p []byte) (SnapEnd, error) {
+	var s SnapEnd
+	d := newDecoder(p)
+	s.Shard = int(d.uvarint())
+	return s, d.finish("snap-end")
 }
 
 // decoder is a tiny cursor over a payload with sticky errors, so the

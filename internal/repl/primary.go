@@ -25,6 +25,10 @@ type PrimaryConfig struct {
 	// WriteTimeout bounds each frame write to a subscriber, so one stuck
 	// follower cannot pin a sender goroutine forever (default 30s).
 	WriteTimeout time.Duration
+	// SnapChunkBytes is the slice size for SNAPCHUNK frames in a
+	// re-seed stream (default 256 KiB). Small enough that a kill
+	// mid-stream wastes little, large enough to amortize framing.
+	SnapChunkBytes int
 	// Logf receives connection-level events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -42,15 +46,26 @@ func (c *PrimaryConfig) fill() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.SnapChunkBytes <= 0 {
+		c.SnapChunkBytes = 256 << 10
+	}
 }
 
 // feed is one shard's live record source: taps on both of the shard's
-// journals fill two bounded rings.
+// journals fill two bounded rings. The journaled collection is resolved
+// through the sharded collection on every use, never cached: a snapshot
+// re-seed swaps the shard's backend in place, and a feed pinned to the
+// old one would stream from a closed journal.
 type feed struct {
-	jc  *lazyxml.JournaledCollection
-	mu  sync.Mutex
-	seg *ring
-	doc *ring
+	shard int
+	mu    sync.Mutex
+	seg   *ring
+	doc   *ring
+}
+
+// jc returns the shard's current journaled collection.
+func (p *Primary) jc(fd *feed) *lazyxml.JournaledCollection {
+	return p.sc.ShardJournal(fd.shard)
 }
 
 // Primary serves the replication and bulk-load protocol over a sharded,
@@ -85,29 +100,57 @@ func NewPrimary(sc *lazyxml.ShardedCollection, cfg PrimaryConfig) (*Primary, err
 		conns:  make(map[net.Conn]struct{}),
 	}
 	for i := 0; i < sc.ShardCount(); i++ {
-		jc := sc.ShardJournal(i)
-		if jc == nil {
-			return nil, fmt.Errorf("repl: shard %d has no journal", i)
-		}
-		fd := &feed{jc: jc, seg: newRing(cfg.TailRecords), doc: newRing(cfg.TailRecords)}
-		// The taps run under the journal mutexes; they only touch the
-		// ring (feed.mu) and swap the notify channel (p.mu), never call
-		// back into the journal.
-		jc.Journal().SetReplTap(func(seq int64, rec []byte) {
-			fd.mu.Lock()
-			fd.seg.add(seq, rec)
-			fd.mu.Unlock()
-			p.wake()
-		})
-		jc.SetDocReplTap(func(seq int64, rec []byte) {
-			fd.mu.Lock()
-			fd.doc.add(seq, rec)
-			fd.mu.Unlock()
-			p.wake()
-		})
+		fd := &feed{shard: i, seg: newRing(cfg.TailRecords), doc: newRing(cfg.TailRecords)}
 		p.feeds = append(p.feeds, fd)
+		if err := p.attach(fd); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
+}
+
+// attach installs the replication taps on the shard's current journals.
+// The taps run under the journal mutexes; they only touch the ring
+// (feed.mu) and swap the notify channel (p.mu), never call back into
+// the journal.
+func (p *Primary) attach(fd *feed) error {
+	jc := p.jc(fd)
+	if jc == nil {
+		return fmt.Errorf("repl: shard %d has no journal", fd.shard)
+	}
+	jc.Journal().SetReplTap(func(seq int64, rec []byte) {
+		fd.mu.Lock()
+		fd.seg.add(seq, rec)
+		fd.mu.Unlock()
+		p.wake()
+	})
+	jc.SetDocReplTap(func(seq int64, rec []byte) {
+		fd.mu.Lock()
+		fd.doc.add(seq, rec)
+		fd.mu.Unlock()
+		p.wake()
+	})
+	return nil
+}
+
+// ReattachShard rewires shard i's taps onto its current journaled
+// collection and clears the in-memory tails. Call it after a snapshot
+// re-seed replaced the shard: the taps installed at startup belong to
+// the closed journal, and the old tail's records predate the new base.
+func (p *Primary) ReattachShard(i int) error {
+	if i < 0 || i >= len(p.feeds) {
+		return fmt.Errorf("repl: no shard %d", i)
+	}
+	fd := p.feeds[i]
+	fd.mu.Lock()
+	fd.seg = newRing(p.cfg.TailRecords)
+	fd.doc = newRing(p.cfg.TailRecords)
+	fd.mu.Unlock()
+	if err := p.attach(fd); err != nil {
+		return err
+	}
+	p.wake()
+	return nil
 }
 
 func (p *Primary) logf(format string, args ...any) {
@@ -211,7 +254,8 @@ func (p *Primary) sendErr(conn net.Conn, code uint64, format string, args ...any
 func (p *Primary) handleConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(p.cfg.HandshakeTimeout))
 	n := len(p.feeds)
-	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: n}).encode()); err != nil {
+	epoch := p.sc.Epoch()
+	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: n, Epoch: epoch}).encode()); err != nil {
 		return
 	}
 	typ, payload, err := ReadFrame(conn)
@@ -224,8 +268,8 @@ func (p *Primary) handleConn(conn net.Conn) {
 		p.sendErr(conn, ErrCodeBadFrame, "%v", err)
 		return
 	}
-	if h.Version != Version {
-		p.sendErr(conn, ErrCodeVersion, "protocol version %d, want %d", h.Version, Version)
+	if h.Version < MinVersion || h.Version > Version {
+		p.sendErr(conn, ErrCodeVersion, "protocol version %d, want %d–%d", h.Version, MinVersion, Version)
 		return
 	}
 	// Shards 0 means "no store of my own" (a bulk loader); a follower
@@ -233,6 +277,13 @@ func (p *Primary) handleConn(conn net.Conn) {
 	// shards by index.
 	if h.Shards != 0 && h.Shards != n {
 		p.sendErr(conn, ErrCodeShards, "client has %d shards, primary has %d", h.Shards, n)
+		return
+	}
+	// Epoch fencing: a client that has seen a newer epoch knows this
+	// primary was deposed. Refuse to feed it anything — its real
+	// primary is elsewhere.
+	if h.Epoch > epoch {
+		p.sendErr(conn, ErrCodeEpoch, "client is at epoch %d, this primary at %d: primary is stale", h.Epoch, epoch)
 		return
 	}
 
@@ -253,20 +304,85 @@ func (p *Primary) handleConn(conn net.Conn) {
 		}
 		conn.SetDeadline(time.Time{})
 		p.stream(conn, positions)
+	case TypeSnapRequest:
+		positions, err := decodeSubscribe(payload)
+		if err != nil {
+			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
+			return
+		}
+		if len(positions) != n {
+			p.sendErr(conn, ErrCodeShards, "snap-request names %d shards, primary has %d", len(positions), n)
+			return
+		}
+		p.snapshot(conn, positions)
 	case TypePut:
 		conn.SetDeadline(time.Time{})
 		p.bulk(conn, payload)
 	default:
-		p.sendErr(conn, ErrCodeBadFrame, "expected SUBSCRIBE or PUT, got frame type %d", typ)
+		p.sendErr(conn, ErrCodeBadFrame, "expected SUBSCRIBE, SNAPREQUEST or PUT, got frame type %d", typ)
 	}
+}
+
+// snapshot serves a re-seed: for every shard whose requested position is
+// below the horizon, capture a consistent snapshot pair and stream it in
+// bounded chunks. Shards already above the horizon are skipped — that is
+// what makes an interrupted re-seed resumable at shard granularity.
+func (p *Primary) snapshot(conn net.Conn, positions []Position) {
+	p.logf("repl: %s requested snapshots from %v", conn.RemoteAddr(), positions)
+	streamed := 0
+	for i, pos := range positions {
+		jc := p.jc(p.feeds[i])
+		_, horizon := jc.Journal().ReplState()
+		_, docHorizon := jc.DocReplState()
+		if pos.Seq >= horizon && pos.DocSeq >= docHorizon {
+			continue // resumable from the WAL; no snapshot needed
+		}
+		snap, err := jc.CaptureSnapshot()
+		if err != nil {
+			p.sendErr(conn, ErrCodeInternal, "capturing shard %d snapshot: %v", i, err)
+			return
+		}
+		begin := SnapBegin{
+			Shard:   i,
+			Seq:     snap.Seq,
+			DocSeq:  snap.DocSeq,
+			SnapLen: int64(len(snap.Snap)),
+			DocsLen: int64(len(snap.Docs)),
+		}
+		conn.SetDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if err := WriteFrame(conn, TypeSnapBegin, begin.encode()); err != nil {
+			return
+		}
+		for kind, data := range [2][]byte{snap.Snap, snap.Docs} {
+			for off := 0; off < len(data); off += p.cfg.SnapChunkBytes {
+				end := off + p.cfg.SnapChunkBytes
+				if end > len(data) {
+					end = len(data)
+				}
+				conn.SetDeadline(time.Now().Add(p.cfg.WriteTimeout))
+				c := SnapChunk{Shard: i, Kind: byte(kind), Data: data[off:end]}
+				if err := WriteFrame(conn, TypeSnapChunk, c.encode()); err != nil {
+					return
+				}
+			}
+		}
+		conn.SetDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if err := WriteFrame(conn, TypeSnapEnd, (SnapEnd{Shard: i}).encode()); err != nil {
+			return
+		}
+		streamed++
+	}
+	conn.SetDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	_ = WriteFrame(conn, TypeSnapDone, nil)
+	p.logf("repl: %s re-seeded %d shard(s)", conn.RemoteAddr(), streamed)
 }
 
 // checkPositions verifies every requested resume point is above the
 // shard's horizon and at or below its current sequence.
 func (p *Primary) checkPositions(positions []Position) (code uint64, err error) {
 	for i, pos := range positions {
-		seq, horizon := p.feeds[i].jc.Journal().ReplState()
-		docSeq, docHorizon := p.feeds[i].jc.DocReplState()
+		seq, horizon := p.jc(p.feeds[i]).Journal().ReplState()
+		docSeq, docHorizon := p.jc(p.feeds[i]).DocReplState()
 		if pos.Seq < horizon || pos.DocSeq < docHorizon {
 			return ErrCodeSnapshot, fmt.Errorf(
 				"shard %d position (%d,%d) is below the horizon (%d,%d): history was compacted away, re-seed from a snapshot",
@@ -333,8 +449,8 @@ func (p *Primary) stream(conn net.Conn, positions []Position) {
 		wakeup := p.notifyCh()
 		sent := false
 		for i, fd := range p.feeds {
-			docTarget, _ := fd.jc.DocReplState()
-			segTarget, _ := fd.jc.Journal().ReplState()
+			docTarget, _ := p.jc(fd).DocReplState()
+			segTarget, _ := p.jc(fd).Journal().ReplState()
 			for positions[i].Seq < segTarget {
 				recs, err := p.fetch(fd, KindSegment, positions[i].Seq, segTarget, &segCur[i])
 				if err != nil {
@@ -413,16 +529,16 @@ func (p *Primary) fetch(fd *feed, kind byte, from, target int64, cur *lazyxml.Jo
 		*cur = lazyxml.JournalCursor{Seq: from}
 	}
 	if kind == KindSegment {
-		return fd.jc.Journal().ReadRecords(cur, batch)
+		return p.jc(fd).Journal().ReadRecords(cur, batch)
 	}
-	return fd.jc.ReadDocRecords(cur, batch)
+	return p.jc(fd).ReadDocRecords(cur, batch)
 }
 
 func (p *Primary) heartbeat(conn net.Conn) error {
 	hb := Heartbeat{UnixMillis: time.Now().UnixMilli()}
 	for _, fd := range p.feeds {
-		docSeq, _ := fd.jc.DocReplState()
-		seq, _ := fd.jc.Journal().ReplState()
+		docSeq, _ := p.jc(fd).DocReplState()
+		seq, _ := p.jc(fd).Journal().ReplState()
 		hb.Positions = append(hb.Positions, Position{Seq: seq, DocSeq: docSeq})
 	}
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))

@@ -397,13 +397,15 @@ func TestReplSubscribeBelowHorizon(t *testing.T) {
 	}
 	expectError(t, conn, ErrCodeSnapshot)
 
-	// A fresh follower store sees the same as a fatal error from Run.
+	// A fresh follower store with re-seeding disabled sees the same as a
+	// fatal error from Run (with re-seeding on it would self-heal; that
+	// path has its own tests).
 	fsc, err := lazyxml.OpenShardedCollection(t.TempDir(), 2, lazyxml.LD, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fsc.Close()
-	f, err := NewFollower(fsc, addr, FollowerConfig{BackoffMin: 10 * time.Millisecond})
+	f, err := NewFollower(fsc, addr, FollowerConfig{BackoffMin: 10 * time.Millisecond, DisableReseed: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,16 @@
 package server
 
-import "context"
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errShed marks a write refused by overload shedding: the shard's write
+// queue is saturated (or the request waited past the shed deadline), and
+// the client should back off and retry rather than pile onto the queue.
+var errShed = errors.New("write queue saturated")
 
 // gate implements the server's configurable concurrency model. The
 // engine's own locks make every operation safe; the gate adds policy on
@@ -12,19 +22,26 @@ import "context"
 // queued request gives up at its deadline.
 type gate struct {
 	shards  []chan struct{} // one write-slot channel per shard
+	waiting []atomic.Int64  // writers queued (incl. in service of a slot) per lane
+	queue   int             // max writers waiting per lane; <=0 unbounded
 	readers chan struct{}   // nil means unlimited
 }
 
 // newGate builds a gate with writersPerShard slots on each of shards
-// write lanes and an optional reader cap.
-func newGate(shards, writersPerShard, readers int) *gate {
+// write lanes, an optional reader cap, and a per-lane write-queue bound
+// (queue <= 0 leaves the queue unbounded).
+func newGate(shards, writersPerShard, readers, queue int) *gate {
 	if shards <= 0 {
 		shards = 1
 	}
 	if writersPerShard <= 0 {
 		writersPerShard = 1
 	}
-	g := &gate{shards: make([]chan struct{}, shards)}
+	g := &gate{
+		shards:  make([]chan struct{}, shards),
+		waiting: make([]atomic.Int64, shards),
+		queue:   queue,
+	}
 	for i := range g.shards {
 		g.shards[i] = make(chan struct{}, writersPerShard)
 	}
@@ -61,10 +78,39 @@ func (g *gate) clamp(shard int) int {
 	return shard
 }
 
-func (g *gate) acquireWrite(ctx context.Context, shard int) error {
-	return acquire(ctx, g.shards[g.clamp(shard)])
+// acquireWrite queues for a slot on the shard's write lane, bounded two
+// ways: at most g.queue requests may wait on a lane (the next is shed
+// immediately — a saturated queue means the backlog already exceeds what
+// the shard will drain in time), and no request waits longer than
+// shedAfter (0 disables the deadline). Both bounds surface as errShed,
+// which the HTTP layer turns into 503 + Retry-After.
+func (g *gate) acquireWrite(ctx context.Context, shard int, shedAfter time.Duration) error {
+	i := g.clamp(shard)
+	n := g.waiting[i].Add(1)
+	defer g.waiting[i].Add(-1)
+	if g.queue > 0 && n > int64(g.queue) {
+		return errShed
+	}
+	var deadline <-chan time.Time
+	if shedAfter > 0 {
+		t := time.NewTimer(shedAfter)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case g.shards[i] <- struct{}{}:
+		return nil
+	case <-deadline:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 func (g *gate) releaseWrite(shard int) { release(g.shards[g.clamp(shard)]) }
+
+// queued reports how many writers are currently waiting or being
+// admitted on the shard's lane (a load signal for /metrics).
+func (g *gate) queued(shard int) int64 { return g.waiting[g.clamp(shard)].Load() }
 
 // acquireAdmin takes one write slot on every shard in index order (the
 // fixed order makes concurrent admins deadlock-free), so a maintenance

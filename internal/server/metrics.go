@@ -81,6 +81,7 @@ type metrics struct {
 	requests atomic.Int64 // all requests
 	errors   atomic.Int64 // responses with status >= 400
 	timeouts atomic.Int64 // requests that hit the per-request deadline
+	shed     atomic.Int64 // writes refused by overload shedding (503 + Retry-After)
 	inflight atomic.Int64
 
 	queries atomic.Int64 // read-path requests (query/count/text/stats)
@@ -130,6 +131,7 @@ type MetricsSnapshot struct {
 	Requests      int64          `json:"requests"`
 	Errors        int64          `json:"errors"`
 	Timeouts      int64          `json:"timeouts"`
+	Shed          int64          `json:"shed"`
 	Inflight      int64          `json:"inflight"`
 	Queries       int64          `json:"queries"`
 	Updates       int64          `json:"updates"`
@@ -162,6 +164,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Requests:      m.requests.Load(),
 		Errors:        m.errors.Load(),
 		Timeouts:      m.timeouts.Load(),
+		Shed:          m.shed.Load(),
 		Inflight:      m.inflight.Load(),
 		Queries:       m.queries.Load(),
 		Updates:       m.updates.Load(),

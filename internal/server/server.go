@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	lazyxml "repro"
@@ -77,15 +78,34 @@ type Config struct {
 	// MaxMatches caps the matches returned by query endpoints when the
 	// request does not pass an explicit ?limit= (default 10000).
 	MaxMatches int
+	// WriteQueue bounds how many writes may wait on one shard's lane;
+	// the next one is shed with 503 + Retry-After instead of queuing
+	// (default 64; negative = unbounded).
+	WriteQueue int
+	// ShedAfter bounds how long a write may wait for its shard's slot
+	// before being shed with 503 + Retry-After — distinct from
+	// RequestTimeout, which also covers execution (default 1s;
+	// negative = wait the full request deadline).
+	ShedAfter time.Duration
 	// PrimaryAddr, when non-empty, marks this server a read-only
 	// replication follower: every write (and rebuild) is refused with
 	// 403 and the primary's address, so a misdirected client learns
-	// where writes go.
+	// where writes go. A successful POST /promote clears it and the
+	// server becomes writable.
 	PrimaryAddr string
 	// ReplStatus, when non-nil, is called per request and its result
 	// embedded under "replication" in /stats and /metrics — the
 	// follower's lag readout.
 	ReplStatus func() any
+	// Ready, when non-nil, is consulted by GET /readyz: returning
+	// false (with a reason) makes readyz answer 503, pulling the
+	// instance out of a load balancer while it re-seeds or lags.
+	Ready func() (bool, string)
+	// Promote, when non-nil, enables POST /promote: it must turn the
+	// co-located follower into a writable primary (stop following,
+	// bump the store epoch) and return the new epoch. On success the
+	// server drops its read-only stance.
+	Promote func() (int64, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +121,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxMatches <= 0 {
 		c.MaxMatches = 10000
 	}
+	if c.WriteQueue == 0 {
+		c.WriteQueue = 64
+	}
+	if c.ShedAfter == 0 {
+		c.ShedAfter = time.Second
+	}
 	return c
 }
 
@@ -111,6 +137,11 @@ type Server struct {
 	gate    *gate
 	met     *metrics
 	mux     *http.ServeMux
+
+	// primary is the follower's upstream address; "" means writable.
+	// It starts as cfg.PrimaryAddr and is cleared by a promotion, so
+	// the read-only stance is re-evaluated per request.
+	primary atomic.Pointer[string]
 }
 
 // New builds a server over the backend. The write gate and the metrics
@@ -121,11 +152,24 @@ func New(backend Backend, cfg Config) *Server {
 		cfg:     cfg.withDefaults(),
 		met:     newMetrics(backend.ShardCount()),
 	}
-	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, s.cfg.Readers)
+	s.primary.Store(&s.cfg.PrimaryAddr)
+	queue := s.cfg.WriteQueue
+	if queue < 0 {
+		queue = 0 // unbounded
+	}
+	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, s.cfg.Readers, queue)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
+
+// PrimaryAddr reports the current upstream; "" means this server takes
+// writes itself.
+func (s *Server) PrimaryAddr() string { return *s.primary.Load() }
+
+// SetPrimaryAddr replaces the upstream address; pass "" to make the
+// server writable (what a promotion does).
+func (s *Server) SetPrimaryAddr(addr string) { s.primary.Store(&addr) }
 
 // Handler returns the root handler; mount it on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -149,9 +193,22 @@ const (
 )
 
 func (s *Server) routes() {
-	// Health and introspection.
+	// Health and introspection. healthz is liveness (the process serves
+	// HTTP); readyz is traffic-worthiness (not re-seeding, not lagging)
+	// — a load balancer keys on readyz, an orchestrator restart on
+	// healthz. Neither passes through the gate: health probes must
+	// answer even when every lane is saturated.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Ready != nil {
+			if ok, reason := s.cfg.Ready(); !ok {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.ReplStatus != nil {
@@ -186,6 +243,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /compact", s.handle(classAdmin, s.handleCompact))
 	s.mux.Handle("POST /rebuild", s.handle(classAdmin, s.handleRebuild))
 	s.mux.Handle("POST /check", s.handle(classAdmin, s.handleCheck))
+	s.mux.Handle("POST /promote", s.handle(classAdmin, s.handlePromote))
 }
 
 // handlerFunc is an engine handler: it returns a status and a JSON body,
@@ -207,12 +265,14 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		// A follower is read-only: its state is the primary's record
-		// stream, and a local write would fork the two histories.
-		if class == classWrite && s.cfg.PrimaryAddr != "" {
+		// stream, and a local write would fork the two histories. The
+		// address is read per request so a promotion flips the server
+		// writable without a restart.
+		if primary := s.PrimaryAddr(); class == classWrite && primary != "" {
 			s.met.errors.Add(1)
 			writeJSON(w, http.StatusForbidden, map[string]any{
 				"error":   "read-only replication follower: send writes to the primary",
-				"primary": s.cfg.PrimaryAddr,
+				"primary": primary,
 				"status":  http.StatusForbidden,
 			})
 			return
@@ -236,7 +296,7 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 				shard = s.backend.ShardOf(name)
 			}
 			s.met.countUpdate(shard)
-			err = s.gate.acquireWrite(ctx, shard)
+			err = s.gate.acquireWrite(ctx, shard, s.cfg.ShedAfter)
 			defer func(shard int) {
 				if err == nil {
 					s.gate.releaseWrite(shard)
@@ -253,6 +313,17 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 			}()
 		}
 		if err != nil {
+			if errors.Is(err, errShed) {
+				// Overload shedding: tell the client to back off instead
+				// of letting it camp on a saturated queue. Retry-After is
+				// the shed deadline rounded up — by then the lane either
+				// drained or the client should spread its retries.
+				s.met.shed.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.ShedAfter)))
+				s.error(w, http.StatusServiceUnavailable,
+					"write queue for shard %d is saturated (%d queued): retry later", shard, s.gate.queued(shard))
+				return
+			}
 			s.met.timeouts.Add(1)
 			s.error(w, http.StatusServiceUnavailable, "queued past deadline: %v", err)
 			return
@@ -285,6 +356,16 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		}
 		writeJSON(w, status, body)
 	})
+}
+
+// retryAfterSeconds renders a shed deadline as a Retry-After value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // rawBody makes a handler return non-JSON content (document text).
@@ -677,9 +758,9 @@ func (s *Server) handleCompact(r *http.Request) (int, any, error) {
 // the name→segment map stays valid. Durable backends compact afterwards
 // so the collapse survives a restart.
 func (s *Server) handleRebuild(r *http.Request) (int, any, error) {
-	if s.cfg.PrimaryAddr != "" {
+	if primary := s.PrimaryAddr(); primary != "" {
 		return 0, nil, failf(http.StatusForbidden,
-			"read-only replication follower: rebuild on the primary at %s", s.cfg.PrimaryAddr)
+			"read-only replication follower: rebuild on the primary at %s", primary)
 	}
 	if err := s.backend.CollapseAll(); err != nil {
 		return 0, nil, failf(http.StatusInternalServerError, "rebuild: %v", err)
@@ -693,4 +774,21 @@ func (s *Server) handleCheck(r *http.Request) (int, any, error) {
 		return 0, nil, failf(http.StatusConflict, "consistency check failed: %v", err)
 	}
 	return http.StatusOK, map[string]any{"consistent": true}, nil
+}
+
+// handlePromote turns a follower into the writable primary: the wired
+// callback stops the replication stream and bumps the store's epoch (so
+// the deposed primary's records are refused by fencing), then the server
+// drops its read-only stance. Runs under the admin gate — every write
+// lane is quiesced while roles flip.
+func (s *Server) handlePromote(r *http.Request) (int, any, error) {
+	if s.cfg.Promote == nil {
+		return 0, nil, failf(http.StatusNotImplemented, "this server has no promote hook (not a follower)")
+	}
+	epoch, err := s.cfg.Promote()
+	if err != nil {
+		return 0, nil, failf(http.StatusConflict, "promote: %v", err)
+	}
+	s.SetPrimaryAddr("")
+	return http.StatusOK, map[string]any{"promoted": true, "epoch": epoch}, nil
 }

@@ -248,7 +248,7 @@ func TestServerRequestTimeoutOnQueuedWrite(t *testing.T) {
 	// update must give up at its deadline with 503, counted as a timeout.
 	backend := lazyxml.NewCollection(lazyxml.LD)
 	s := New(backend, Config{RequestTimeout: 50 * time.Millisecond})
-	if err := s.gate.acquireWrite(context.Background(), 0); err != nil {
+	if err := s.gate.acquireWrite(context.Background(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	defer s.gate.releaseWrite(0)

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/faultline"
 	"repro/internal/xmltree"
 )
 
@@ -27,7 +28,8 @@ import (
 type JournaledDB struct {
 	*DB
 	dir  string
-	wal  *os.File
+	fs   faultline.FS
+	wal  faultline.File
 	sync bool
 
 	// Replication state. Every append gets the next monotonic sequence
@@ -62,31 +64,46 @@ type JournalOption func(*JournaledDB)
 // decides.
 func WithSync() JournalOption { return func(j *JournaledDB) { j.sync = true } }
 
+// WithFS routes every file operation the journal layer makes — WAL
+// appends, snapshots, seq-meta persistence — through fs instead of the
+// real filesystem. Tests inject faults (failed fsyncs, torn writes,
+// crash-after-N) this way; nil restores the default.
+func WithFS(fs faultline.FS) JournalOption { return func(j *JournaledDB) { j.fs = fs } }
+
 // OpenJournal opens (or creates) a journaled database in dir. The mode
 // and options apply when no snapshot exists yet; afterwards the
 // snapshot's own settings win. Journal records found after the snapshot
 // are replayed.
 func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption) (*JournaledDB, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	j := &JournaledDB{dir: dir}
+	for _, o := range jOpts {
+		o(j)
+	}
+	if j.fs == nil {
+		j.fs = faultline.OS
+	}
+	if err := j.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	var db *DB
 	haveSnap := false
 	snapPath := filepath.Join(dir, snapshotName)
-	if _, err := os.Stat(snapPath); err == nil {
+	if _, err := j.fs.Stat(snapPath); err == nil {
 		haveSnap = true
-		db, err = RestoreFile(snapPath, dbOpts...)
+		f, err := j.fs.Open(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		db, err = Restore(bufio.NewReader(f), dbOpts...)
+		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("lazyxml: restoring %s: %w", snapPath, err)
 		}
 	} else {
 		db = Open(mode, dbOpts...)
 	}
-	j := &JournaledDB{DB: db, dir: dir}
-	for _, o := range jOpts {
-		o(j)
-	}
-	base, haveMeta, err := readSeqMeta(filepath.Join(dir, seqMetaName))
+	j.DB = db
+	base, haveMeta, err := readSeqMeta(j.fs, filepath.Join(dir, seqMetaName))
 	if err != nil {
 		return nil, err
 	}
@@ -106,12 +123,12 @@ func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption)
 	// Cut a torn tail off before appending: otherwise the next append
 	// would land after the garbage and be unreachable by future replays
 	// (and the byte offset of record k would stop matching its encoding).
-	if fi, err := os.Stat(walPath); err == nil && fi.Size() > cleanLen {
-		if err := os.Truncate(walPath, cleanLen); err != nil {
+	if fi, err := j.fs.Stat(walPath); err == nil && fi.Size() > cleanLen {
+		if err := j.fs.Truncate(walPath, cleanLen); err != nil {
 			return nil, err
 		}
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := j.fs.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +140,7 @@ func OpenJournal(dir string, mode Mode, dbOpts []Option, jOpts ...JournalOption)
 // cleanly at a torn tail. It returns how many records it applied and
 // the byte length of the clean prefix they occupy.
 func (j *JournaledDB) replay() (n, cleanLen int64, err error) {
-	f, err := os.Open(filepath.Join(j.dir, journalName))
+	f, err := j.fs.Open(filepath.Join(j.dir, journalName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
 	}
@@ -285,13 +302,13 @@ func (j *JournaledDB) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	tmp := filepath.Join(j.dir, snapshotName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := j.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := j.DB.Snapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
@@ -301,14 +318,14 @@ func (j *JournaledDB) Compact() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
+	if err := j.fs.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
 		return err
 	}
 	if err := j.wal.Truncate(0); err != nil {
 		return err
 	}
 	j.walStart, j.horizon = j.seq, j.seq
-	return writeSeqMeta(filepath.Join(j.dir, seqMetaName), j.walStart)
+	return writeSeqMeta(j.fs, filepath.Join(j.dir, seqMetaName), j.walStart)
 }
 
 // Close flushes and closes the journal; the DB remains usable in memory

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/faultline"
 )
 
 // JournaledCollection is a Collection whose state — the documents' text,
@@ -27,7 +29,12 @@ type JournaledCollection struct {
 	*Collection
 	j    *JournaledDB
 	dir  string
-	dwal *os.File
+	dwal faultline.File
+
+	// cmu serializes whole-collection compaction and re-seed capture:
+	// two Compacts never interleave their two phases, and a
+	// CaptureSnapshot never runs mid-compaction.
+	cmu sync.Mutex
 
 	// Replication state of the name log, mirroring JournaledDB's: every
 	// name record gets the next monotonic sequence number; docWalStart
@@ -68,7 +75,7 @@ func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...Jo
 		j.Close()
 		return nil, err
 	}
-	base, haveMeta, err := readSeqMeta(filepath.Join(dir, docsSeqName))
+	base, haveMeta, err := readSeqMeta(j.fs, filepath.Join(dir, docsSeqName))
 	if err != nil {
 		j.Close()
 		return nil, err
@@ -87,13 +94,13 @@ func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...Jo
 	}
 	jc.dropOrphans()
 	dwalPath := filepath.Join(dir, docsWALName)
-	if fi, err := os.Stat(dwalPath); err == nil && fi.Size() > cleanLen {
-		if err := os.Truncate(dwalPath, cleanLen); err != nil {
+	if fi, err := j.fs.Stat(dwalPath); err == nil && fi.Size() > cleanLen {
+		if err := j.fs.Truncate(dwalPath, cleanLen); err != nil {
 			j.Close()
 			return nil, err
 		}
 	}
-	dwal, err := os.OpenFile(dwalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	dwal, err := j.fs.OpenFile(dwalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		j.Close()
 		return nil, err
@@ -141,25 +148,37 @@ func (jc *JournaledCollection) CollapseAll() error {
 // store snapshot is taken and the database journal truncated. Both
 // replication horizons advance to the current sequences.
 func (jc *JournaledCollection) Compact() error {
+	jc.cmu.Lock()
+	defer jc.cmu.Unlock()
+	// The collection write lock spans the whole docs phase so no name
+	// can slip between the map encode and the log truncation; lock
+	// order everywhere is cmu → mu → dmu → j.mu.
+	jc.mu.Lock()
+	buf := jc.encodeDocsSnapLocked()
 	jc.dmu.Lock()
 	if jc.dwal == nil {
 		jc.dmu.Unlock()
+		jc.mu.Unlock()
 		return fmt.Errorf("lazyxml: journal is closed")
 	}
-	if err := jc.writeDocsSnap(); err != nil {
+	if err := jc.writeDocsSnapBytes(buf); err != nil {
 		jc.dmu.Unlock()
+		jc.mu.Unlock()
 		return err
 	}
 	if err := jc.dwal.Truncate(0); err != nil {
 		jc.dmu.Unlock()
+		jc.mu.Unlock()
 		return err
 	}
 	jc.docWalStart, jc.docHorizon = jc.docSeq, jc.docSeq
-	if err := writeSeqMeta(filepath.Join(jc.dir, docsSeqName), jc.docWalStart); err != nil {
+	if err := writeSeqMeta(jc.j.fs, filepath.Join(jc.dir, docsSeqName), jc.docWalStart); err != nil {
 		jc.dmu.Unlock()
+		jc.mu.Unlock()
 		return err
 	}
 	jc.dmu.Unlock()
+	jc.mu.Unlock()
 	return jc.j.Compact()
 }
 
@@ -260,7 +279,7 @@ func readDocRecord(br *bufio.Reader) (op byte, sid SID, name string, err error) 
 // returns the number of records applied and the byte length of the
 // clean prefix they occupy.
 func (jc *JournaledCollection) replayDocsWAL() (n, cleanLen int64, err error) {
-	f, err := os.Open(filepath.Join(jc.dir, docsWALName))
+	f, err := jc.j.fs.Open(filepath.Join(jc.dir, docsWALName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
 	}
@@ -301,10 +320,10 @@ func (jc *JournaledCollection) dropOrphans() {
 	}
 }
 
-// writeDocsSnap persists the whole name map atomically: magic, entry
-// count, (sid, name) pairs, crc32 of everything before it.
-func (jc *JournaledCollection) writeDocsSnap() error {
-	jc.mu.RLock()
+// encodeDocsSnapLocked renders the whole name map in docs.snap format:
+// magic, entry count, (sid, name) pairs, crc32 of everything before it.
+// The caller holds jc.mu.
+func (jc *JournaledCollection) encodeDocsSnapLocked() []byte {
 	buf := []byte(docsMagic)
 	buf = binary.AppendUvarint(buf, uint64(len(jc.docs)))
 	for _, name := range jc.Collection.names() {
@@ -312,20 +331,23 @@ func (jc *JournaledCollection) writeDocsSnap() error {
 		buf = binary.AppendUvarint(buf, uint64(len(name)))
 		buf = append(buf, name...)
 	}
-	jc.mu.RUnlock()
 	sum := crc32.ChecksumIEEE(buf)
-	buf = binary.AppendUvarint(buf, uint64(sum))
+	return binary.AppendUvarint(buf, uint64(sum))
+}
+
+// writeDocsSnapBytes persists an encoded name map atomically.
+func (jc *JournaledCollection) writeDocsSnapBytes(buf []byte) error {
 	tmp := filepath.Join(jc.dir, docsSnapName+".tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := jc.j.fs.WriteFile(tmp, buf, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(jc.dir, docsSnapName))
+	return jc.j.fs.Rename(tmp, filepath.Join(jc.dir, docsSnapName))
 }
 
 // loadDocsSnap restores the name map from docs.snap; the bool reports
 // whether a snapshot file existed.
 func (jc *JournaledCollection) loadDocsSnap() (bool, error) {
-	raw, err := os.ReadFile(filepath.Join(jc.dir, docsSnapName))
+	raw, err := jc.j.fs.ReadFile(filepath.Join(jc.dir, docsSnapName))
 	if errors.Is(err, os.ErrNotExist) {
 		return false, nil
 	}

@@ -31,6 +31,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/faultline"
 )
 
 // ErrCompacted reports a replication read below the journal's horizon:
@@ -59,18 +61,18 @@ type JournalCursor struct {
 }
 
 // writeSeqMeta persists a journal's base sequence atomically.
-func writeSeqMeta(path string, base int64) error {
+func writeSeqMeta(fs faultline.FS, path string, base int64) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%s %d\n", seqMetaMagic, base)), 0o644); err != nil {
+	if err := fs.WriteFile(tmp, []byte(fmt.Sprintf("%s %d\n", seqMetaMagic, base)), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fs.Rename(tmp, path)
 }
 
 // readSeqMeta loads a journal's base sequence; absent means zero (a
 // journal from before sequence numbers, or one that never compacted).
-func readSeqMeta(path string) (base int64, ok bool, err error) {
-	raw, err := os.ReadFile(path)
+func readSeqMeta(fs faultline.FS, path string) (base int64, ok bool, err error) {
+	raw, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, false, nil
 	}
@@ -116,7 +118,7 @@ func (j *JournaledDB) ReadRecords(cur *JournalCursor, max int) ([]ReplRecord, er
 	if cur.Seq >= j.seq || max <= 0 {
 		return nil, nil
 	}
-	f, err := os.Open(filepath.Join(j.dir, journalName))
+	f, err := j.fs.Open(filepath.Join(j.dir, journalName))
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +150,7 @@ func (j *JournaledDB) ReadRecords(cur *JournalCursor, max int) ([]ReplRecord, er
 // positionCursor seeks (or, after a compaction or on a fresh cursor,
 // rescans) the WAL so the next record read is cur.Seq+1. skip parses
 // one record and reports its encoded length.
-func positionCursor(f *os.File, cur *JournalCursor, walStart int64, skip func(*bufio.Reader) (int, error)) (*bufio.Reader, error) {
+func positionCursor(f faultline.File, cur *JournalCursor, walStart int64, skip func(*bufio.Reader) (int, error)) (*bufio.Reader, error) {
 	if cur.init && cur.epoch == walStart {
 		if _, err := f.Seek(cur.off, io.SeekStart); err != nil {
 			return nil, err
@@ -196,7 +198,7 @@ func (jc *JournaledCollection) ReadDocRecords(cur *JournalCursor, max int) ([]Re
 	if cur.Seq >= jc.docSeq || max <= 0 {
 		return nil, nil
 	}
-	f, err := os.Open(filepath.Join(jc.dir, docsWALName))
+	f, err := jc.j.fs.Open(filepath.Join(jc.dir, docsWALName))
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +241,10 @@ func (jc *JournaledCollection) ApplySegmentRecord(data []byte) (int64, error) {
 	if _, err := br.ReadByte(); err != io.EOF {
 		return 0, fmt.Errorf("lazyxml: trailing bytes after replicated record")
 	}
+	// The collection read lock puts the engine apply on the same side
+	// of CaptureSnapshot's write lock as every other mutation, so a
+	// re-seed capture on a cascading follower is still a consistent cut.
+	jc.mu.RLock()
 	switch rec.op {
 	case opInsert:
 		_, err = jc.j.Insert(rec.gp, rec.frag)
@@ -247,6 +253,7 @@ func (jc *JournaledCollection) ApplySegmentRecord(data []byte) (int64, error) {
 	default:
 		err = fmt.Errorf("lazyxml: unknown replicated op %d", rec.op)
 	}
+	jc.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -273,19 +280,21 @@ func (jc *JournaledCollection) applyDocRecord(data []byte) (seq int64, op byte, 
 	if _, err := br.ReadByte(); err != io.EOF {
 		return 0, 0, "", fmt.Errorf("lazyxml: trailing bytes after replicated name record")
 	}
+	// Map update and log append happen under one collection write lock
+	// so a concurrent CaptureSnapshot sees either both or neither.
+	jc.mu.Lock()
 	switch op {
 	case dopPut:
-		jc.mu.Lock()
 		jc.docs[name] = sid
-		jc.mu.Unlock()
 	case dopDel:
-		jc.mu.Lock()
 		delete(jc.docs, name)
-		jc.mu.Unlock()
 	default:
+		jc.mu.Unlock()
 		return 0, 0, "", fmt.Errorf("lazyxml: unknown replicated name op %d", op)
 	}
-	if err := jc.appendDoc(op, sid, name); err != nil {
+	err = jc.appendDoc(op, sid, name)
+	jc.mu.Unlock()
+	if err != nil {
 		return 0, 0, "", err
 	}
 	seq, _ = jc.DocReplState()
@@ -336,7 +345,7 @@ func (jc *JournaledCollection) JournalFootprint() (records, bytes int64) {
 	records += jc.docSeq - jc.docWalStart
 	jc.dmu.Unlock()
 	for _, name := range []string{journalName, docsWALName} {
-		if fi, err := os.Stat(filepath.Join(jc.dir, name)); err == nil {
+		if fi, err := jc.j.fs.Stat(filepath.Join(jc.dir, name)); err == nil {
 			bytes += fi.Size()
 		}
 	}

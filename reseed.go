@@ -1,0 +1,226 @@
+package lazyxml
+
+// Snapshot re-seed: how a follower that fell below the compaction
+// horizon gets a new base. The records it needs were folded into the
+// primary's snapshot and no longer exist as log records, so the primary
+// serves the snapshot itself — a consistent (store state, name map)
+// pair captured at known sequences — and the follower installs it
+// atomically in place of the stale shard, then resumes the record
+// stream from the capture's sequences.
+//
+// Capture happens from the live in-memory state under the collection's
+// write lock, never from the on-disk snapshot files: the files are only
+// rewritten by Compact and a crash between its two phases can leave a
+// docs.snap newer than snapshot.lxml — safe for local replay (the WAL
+// fills the gap) but fatal to stream from, since the re-seeded follower
+// has no WAL to fill anything with. A live capture is self-consistent
+// by construction and costs one buffered snapshot encode.
+//
+// Install is a staged directory swap. The follower writes the incoming
+// snapshot pair plus seq metas into <shard>.reseed/, marks it complete
+// (reseed.ready), and only then swaps: shard → <shard>.reseed-old,
+// staging → shard, marker removed, old removed. recoverReseed replays
+// that sequence on open, so a kill at any step either rolls the swap
+// forward (marker present: staging was complete) or discards the
+// partial staging — never a half-installed shard.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/faultline"
+)
+
+const (
+	reseedStagingSuffix = ".reseed"
+	reseedOldSuffix     = ".reseed-old"
+	reseedMarkerName    = "reseed.ready"
+)
+
+// ShardSnapshot is one shard's re-seed payload: the full store snapshot
+// and name-map snapshot, and the journal sequences they cover — the
+// position the follower resumes the record stream from.
+type ShardSnapshot struct {
+	Seq    int64
+	DocSeq int64
+	Snap   []byte // store snapshot (snapshot.lxml encoding)
+	Docs   []byte // name map snapshot (docs.snap encoding)
+}
+
+// CaptureSnapshot renders the collection's current state as a re-seed
+// payload. It holds the collection write lock, so the pair is a single
+// consistent cut: every name in Docs refers to a segment in Snap, and
+// streaming records after (Seq, DocSeq) reconstructs the primary
+// exactly.
+func (jc *JournaledCollection) CaptureSnapshot() (*ShardSnapshot, error) {
+	jc.cmu.Lock()
+	defer jc.cmu.Unlock()
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	jc.dmu.Lock()
+	docSeq := jc.docSeq
+	jc.dmu.Unlock()
+	jc.j.mu.Lock()
+	seq := jc.j.seq
+	jc.j.mu.Unlock()
+	var snap bytes.Buffer
+	if err := jc.db.Snapshot(&snap); err != nil {
+		return nil, err
+	}
+	return &ShardSnapshot{
+		Seq:    seq,
+		DocSeq: docSeq,
+		Snap:   snap.Bytes(),
+		Docs:   jc.encodeDocsSnapLocked(),
+	}, nil
+}
+
+// CaptureShardSnapshot captures shard i's re-seed payload.
+func (sc *ShardedCollection) CaptureShardSnapshot(i int) (*ShardSnapshot, error) {
+	jc := sc.ShardJournal(i)
+	if jc == nil {
+		return nil, fmt.Errorf("lazyxml: no journaled shard %d", i)
+	}
+	return jc.CaptureSnapshot()
+}
+
+// InstallReseed replaces shard i's on-disk state with the snapshot pair
+// and reopens it. The old shard directory is gone afterwards — the
+// follower's own journal history below the snapshot is exactly what the
+// horizon already made unreachable. Safe against a kill at any point:
+// the swap is staged and recoverReseed finishes or discards it on the
+// next open.
+func (sc *ShardedCollection) InstallReseed(i int, snap *ShardSnapshot) error {
+	if !sc.IsDurable() {
+		return fmt.Errorf("lazyxml: re-seed requires a durable collection")
+	}
+	if i < 0 || i >= len(sc.shards) {
+		return fmt.Errorf("lazyxml: no shard %d", i)
+	}
+	sdir := sc.shardDir(i)
+	staging := sdir + reseedStagingSuffix
+	old := sdir + reseedOldSuffix
+	fs := sc.fs
+
+	// Stage: a complete shard directory next to the real one. The
+	// marker is written last, so its presence certifies every data file
+	// before it landed in full.
+	if err := fs.RemoveAll(staging); err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(staging, 0o755); err != nil {
+		return err
+	}
+	if err := fs.WriteFile(filepath.Join(staging, snapshotName), snap.Snap, 0o644); err != nil {
+		return err
+	}
+	if err := fs.WriteFile(filepath.Join(staging, docsSnapName), snap.Docs, 0o644); err != nil {
+		return err
+	}
+	if err := writeSeqMeta(fs, filepath.Join(staging, seqMetaName), snap.Seq); err != nil {
+		return err
+	}
+	if err := writeSeqMeta(fs, filepath.Join(staging, docsSeqName), snap.DocSeq); err != nil {
+		return err
+	}
+	if sdir == sc.dir {
+		// Single-shard layout: the shard directory is the collection
+		// root, so the epoch rides along or the swap would lose it.
+		if err := writeEpoch(fs, staging, sc.Epoch()); err != nil {
+			return err
+		}
+	}
+	if err := fs.WriteFile(filepath.Join(staging, reseedMarkerName), []byte("ok\n"), 0o644); err != nil {
+		return err
+	}
+
+	// Swap. The old shard's journals are closed first; a kill between
+	// any two steps is recovered on the next open.
+	sc.mu.Lock()
+	oldJC := sc.jcs[i]
+	sc.mu.Unlock()
+	if oldJC != nil {
+		if err := oldJC.Close(); err != nil {
+			return err
+		}
+	}
+	if err := fs.RemoveAll(old); err != nil {
+		return err
+	}
+	if err := fs.Rename(sdir, old); err != nil {
+		return err
+	}
+	if err := fs.Rename(staging, sdir); err != nil {
+		return err
+	}
+	if err := fs.Remove(filepath.Join(sdir, reseedMarkerName)); err != nil {
+		return err
+	}
+	if err := fs.RemoveAll(old); err != nil {
+		return err
+	}
+
+	jc, err := OpenJournaledCollection(sdir, sc.mode, sc.dbOpts, sc.jOpts...)
+	if err != nil {
+		return fmt.Errorf("lazyxml: reopening re-seeded shard %d: %w", i, err)
+	}
+	sc.mu.Lock()
+	sc.shards[i] = jc
+	sc.jcs[i] = jc
+	for name, si := range sc.route {
+		if si == i {
+			delete(sc.route, name)
+		}
+	}
+	for _, name := range jc.Names() {
+		sc.route[name] = i
+	}
+	sc.mu.Unlock()
+	return nil
+}
+
+// recoverReseed finishes or discards an interrupted re-seed swap before
+// a shard directory is opened. The marker file is the commit point:
+// staging with a marker rolls forward, staging without one is torn and
+// discarded, a renamed-away shard with no complete staging rolls back.
+func recoverReseed(fs faultline.FS, sdir string) error {
+	staging := sdir + reseedStagingSuffix
+	old := sdir + reseedOldSuffix
+	exists := func(p string) bool { _, err := fs.Stat(p); return err == nil }
+
+	if exists(filepath.Join(sdir, reseedMarkerName)) {
+		// Killed after the staging dir became the shard: finish up.
+		if err := fs.Remove(filepath.Join(sdir, reseedMarkerName)); err != nil {
+			return err
+		}
+		return fs.RemoveAll(old)
+	}
+	if exists(filepath.Join(staging, reseedMarkerName)) {
+		if !exists(sdir) {
+			// Killed mid-swap with a complete staging: roll forward.
+			if err := fs.Rename(staging, sdir); err != nil {
+				return err
+			}
+			if err := fs.Remove(filepath.Join(sdir, reseedMarkerName)); err != nil {
+				return err
+			}
+			return fs.RemoveAll(old)
+		}
+		// Complete staging but the swap never started: discard it; the
+		// follower will request a fresh re-seed if it still needs one.
+		return fs.RemoveAll(staging)
+	}
+	if exists(staging) {
+		// Torn staging (no marker): discard.
+		if err := fs.RemoveAll(staging); err != nil {
+			return err
+		}
+	}
+	if !exists(sdir) && exists(old) {
+		// Shard renamed away but nothing complete to replace it: the
+		// old state is still the real state.
+		return fs.Rename(old, sdir)
+	}
+	return fs.RemoveAll(old)
+}

@@ -56,8 +56,13 @@ run_ingest() {
     PIDS="$PIDS $pid"
     wait_healthy "$PORT"
     echo "== bulk ingest [$label]  (n=$N doc-bytes=$DOC_BYTES shards=$SHARDS) =="
-    "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
-        -n "$N" -doc-bytes "$DOC_BYTES" "$@"
+    # A lane that fails (daemon died, loader errored) fails the whole
+    # bench: CI treats this script as a gate, not a demo.
+    if ! "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
+        -n "$N" -doc-bytes "$DOC_BYTES" "$@"; then
+        echo "bench_repl: $label ingest lane FAILED" >&2
+        exit 1
+    fi
     kill "$pid" 2>/dev/null
     wait "$pid" 2>/dev/null || true
     echo
@@ -80,8 +85,11 @@ fpid=$!
 PIDS="$PIDS $fpid"
 wait_healthy "$FPORT"
 
-"$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
-    -n "$N" -doc-bytes "$DOC_BYTES" -bin "127.0.0.1:$RPORT"
+if ! "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -bulk -keep \
+    -n "$N" -doc-bytes "$DOC_BYTES" -bin "127.0.0.1:$RPORT"; then
+    echo "bench_repl: lag-demo ingest FAILED" >&2
+    exit 1
+fi
 sleep 1
 
 echo "follower /stats replication block:"

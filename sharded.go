@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/faultline"
 )
 
 // ShardedCollection routes named documents across N independent stores.
@@ -37,6 +39,15 @@ type ShardedCollection struct {
 	route  map[string]int         // name → shard index
 	dir    string                 // journal root ("" when in-memory)
 	fanout int                    // max concurrent shards in whole-collection ops
+
+	// Open parameters, kept so a shard can be reopened in place after a
+	// snapshot re-seed swap, and the filesystem every shard runs on.
+	mode   Mode
+	dbOpts []Option
+	jOpts  []JournalOption
+	fs     faultline.FS
+
+	epoch int64 // replication epoch (see epoch.go); guarded by mu
 }
 
 const (
@@ -77,7 +88,8 @@ func OpenShardedCollection(dir string, n int, mode Mode, dbOpts []Option, jOpts 
 	if n < 1 {
 		n = 1
 	}
-	n, err := resolveShardCount(dir, n)
+	fs := journalFS(jOpts)
+	n, err := resolveShardCount(fs, dir, n)
 	if err != nil {
 		return nil, err
 	}
@@ -87,11 +99,19 @@ func OpenShardedCollection(dir string, n int, mode Mode, dbOpts []Option, jOpts 
 		route:  map[string]int{},
 		dir:    dir,
 		fanout: defaultFanout(n),
+		mode:   mode,
+		dbOpts: dbOpts,
+		jOpts:  jOpts,
+		fs:     fs,
+	}
+	if sc.epoch, err = readEpoch(fs, dir); err != nil {
+		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		sdir := dir
-		if n > 1 {
-			sdir = filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
+		sdir := sc.shardDir(i)
+		if err := recoverReseed(fs, sdir); err != nil {
+			sc.closeShards()
+			return nil, fmt.Errorf("lazyxml: shard %d re-seed recovery: %w", i, err)
 		}
 		jc, err := OpenJournaledCollection(sdir, mode, dbOpts, jOpts...)
 		if err != nil {
@@ -113,12 +133,35 @@ func OpenShardedCollection(dir string, n int, mode Mode, dbOpts []Option, jOpts 
 	return sc, nil
 }
 
+// journalFS discovers which filesystem a set of journal options selects
+// by applying them to a probe, so directory-level operations (shard
+// meta, epoch, re-seed staging) run on the same FS as the journals.
+func journalFS(jOpts []JournalOption) faultline.FS {
+	probe := &JournaledDB{}
+	for _, o := range jOpts {
+		o(probe)
+	}
+	if probe.fs == nil {
+		return faultline.OS
+	}
+	return probe.fs
+}
+
+// shardDir returns shard i's journal directory (the root itself for a
+// single-shard collection).
+func (sc *ShardedCollection) shardDir(i int) string {
+	if len(sc.shards) == 1 {
+		return sc.dir
+	}
+	return filepath.Join(sc.dir, fmt.Sprintf(shardDirFormat, i))
+}
+
 // resolveShardCount reconciles the requested shard count with the
 // directory's persisted one. The persisted count wins; a fresh multi-
 // shard directory records its count; a legacy single-store directory is
 // only openable as one shard.
-func resolveShardCount(dir string, requested int) (int, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, shardsMetaName))
+func resolveShardCount(fs faultline.FS, dir string, requested int) (int, error) {
+	raw, err := fs.ReadFile(filepath.Join(dir, shardsMetaName))
 	if err == nil {
 		var n int
 		if _, serr := fmt.Sscanf(string(raw), shardsMetaMagic+" %d", &n); serr != nil || n < 1 {
@@ -135,16 +178,16 @@ func resolveShardCount(dir string, requested int) (int, error) {
 		return 1, nil
 	}
 	for _, f := range []string{journalName, snapshotName, docsWALName, docsSnapName} {
-		if _, err := os.Stat(filepath.Join(dir, f)); err == nil {
+		if _, err := fs.Stat(filepath.Join(dir, f)); err == nil {
 			return 0, fmt.Errorf("lazyxml: %s holds a legacy single-store journal; open it with 1 shard (or move its files into %s)",
 				dir, fmt.Sprintf(shardDirFormat, 0))
 		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
 	meta := fmt.Sprintf("%s %d\n", shardsMetaMagic, requested)
-	if err := os.WriteFile(filepath.Join(dir, shardsMetaName), []byte(meta), 0o644); err != nil {
+	if err := fs.WriteFile(filepath.Join(dir, shardsMetaName), []byte(meta), 0o644); err != nil {
 		return 0, err
 	}
 	return requested, nil
@@ -192,14 +235,24 @@ func (sc *ShardedCollection) ShardOf(name string) int {
 }
 
 // shardFor resolves a name to its shard for document-scoped operations.
+// The backend is fetched under the same lock as the route entry: a
+// re-seed can swap a shard's backend in place, so sc.shards elements
+// are only read locked.
 func (sc *ShardedCollection) shardFor(name string) (Backend, error) {
 	sc.mu.RLock()
+	defer sc.mu.RUnlock()
 	si, ok := sc.route[name]
-	sc.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
 	}
 	return sc.shards[si], nil
+}
+
+// shardAt returns shard i's current backend under the lock.
+func (sc *ShardedCollection) shardAt(i int) Backend {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.shards[i]
 }
 
 // Put routes a new document to its shard and adds it there. The route
@@ -214,8 +267,9 @@ func (sc *ShardedCollection) Put(name string, text []byte) error {
 	}
 	si := sc.hashShard(name)
 	sc.route[name] = si
+	sh := sc.shards[si]
 	sc.mu.Unlock()
-	if err := sc.shards[si].Put(name, text); err != nil {
+	if err := sh.Put(name, text); err != nil {
 		sc.mu.Lock()
 		delete(sc.route, name)
 		sc.mu.Unlock()
@@ -322,13 +376,17 @@ func (sc *ShardedCollection) Collapse(name string) (SID, error) {
 // fanOut runs fn once per shard with bounded concurrency and returns the
 // first error (by shard index) once every shard has finished.
 func (sc *ShardedCollection) fanOut(fn func(i int, sh Backend) error) error {
-	if len(sc.shards) == 1 {
-		return fn(0, sc.shards[0])
+	sc.mu.RLock()
+	shards := make([]Backend, len(sc.shards))
+	copy(shards, sc.shards)
+	sc.mu.RUnlock()
+	if len(shards) == 1 {
+		return fn(0, shards[0])
 	}
-	errs := make([]error, len(sc.shards))
+	errs := make([]error, len(shards))
 	sem := make(chan struct{}, sc.fanout)
 	var wg sync.WaitGroup
-	for i, sh := range sc.shards {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh Backend) {
 			defer wg.Done()
@@ -452,6 +510,8 @@ func (sc *ShardedCollection) ShardJournal(i int) *JournaledCollection {
 	if i < 0 || i >= len(sc.jcs) {
 		return nil
 	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
 	return sc.jcs[i]
 }
 
@@ -475,7 +535,7 @@ func (sc *ShardedCollection) Compact() error {
 	if !sc.IsDurable() {
 		return fmt.Errorf("lazyxml: collection is not durable")
 	}
-	return sc.fanOut(func(i int, sh Backend) error { return sc.jcs[i].Compact() })
+	return sc.fanOut(func(i int, sh Backend) error { return sc.ShardJournal(i).Compact() })
 }
 
 // Close closes every shard's journal. In-memory collections close to a
