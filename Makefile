@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-shards bench-repl
+.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -29,3 +29,8 @@ bench-shards:
 # replication lag readout.
 bench-repl:
 	./scripts/bench_repl.sh
+
+# Query p99 with the maintenance controller off vs on under a sustained
+# write mix; records BENCH_compact.json.
+bench-compact:
+	./scripts/bench_compact.sh

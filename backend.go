@@ -29,9 +29,14 @@ type Backend interface {
 	QueryDoc(name, path string) ([]Match, error)
 	CountDoc(name, path string) (int, error)
 
-	// Maintenance and introspection.
+	// Maintenance and introspection. Collapse packs one named document's
+	// segment subtree into a single fresh segment (§5.3); DocSegments is
+	// the cheap per-document segment census the maintenance policy polls
+	// to decide which documents earn one.
 	Stats() Stats
+	Collapse(name string) (SID, error)
 	CollapseAll() error
+	DocSegments() []DocSegStat
 	CheckConsistency() error
 
 	// Shard topology. A single-store backend reports one shard and
@@ -60,6 +65,17 @@ type ShardStat struct {
 	JournalBytes   int64
 	Seq            int64
 	DocSeq         int64
+}
+
+// DocSegStat is one document's slice of the segment census: how many
+// segments its ER-subtree currently holds, and which shard it lives on.
+// The count is the direct §5.3 signal — a document whose subtree has
+// fragmented into many small segments pays for it on every Lazy-Join,
+// and a Collapse folds it back to one.
+type DocSegStat struct {
+	Name     string
+	Shard    int
+	Segments int
 }
 
 var (

@@ -10,6 +10,8 @@
 //	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
 //	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
 //	         [-compact-on-exit] [-repl addr] [-follow addr]
+//	         [-auto-compact] [-compact-segments 64] [-compact-log-bytes N]
+//	         [-compact-interval 5s]
 //
 // With -shards N documents are routed by name hash across N independent
 // stores, each with its own journal directory (shard-0000, …) and its
@@ -37,6 +39,17 @@
 // it is a fully-formed primary. Promotion stops the stream, bumps the
 // store's replication epoch (fencing off the deposed primary's records)
 // and makes this server writable, all without a restart.
+//
+// Auto-compaction (-auto-compact): a background controller polls each
+// shard's segment count and WAL footprint and applies the paper's §5.3
+// remedy on its own — collapsing the worst-fragmented documents once
+// the count crosses -compact-segments (with hysteresis, releasing at
+// half the watermark) and folding a shard's journal once it exceeds
+// -compact-log-bytes, every -compact-interval at most. Maintenance
+// takes the same per-shard write slots as client writes, runs only
+// while this node is the writable primary, and defers horizon-moving
+// compacts (bounded) while a live follower still lags. Its counters
+// appear under "maintenance" in /stats and /metrics.
 //
 // Overload shedding: at most -write-queue writes may wait on one shard's
 // lane, and none waits longer than -shed-after; beyond either bound the
@@ -87,6 +100,7 @@ import (
 	"time"
 
 	lazyxml "repro"
+	"repro/internal/maintain"
 	"repro/internal/repl"
 	"repro/internal/server"
 )
@@ -111,6 +125,10 @@ func main() {
 	compactOnExit := flag.Bool("compact-on-exit", false, "fold the journal into a snapshot during shutdown")
 	replAddr := flag.String("repl", "", "serve the binary replication/bulk-load protocol on this address (requires -journal)")
 	follow := flag.String("follow", "", "follow the primary whose -repl listener is at this address (requires -journal; read-only until promoted)")
+	autoCompact := flag.Bool("auto-compact", false, "run the background maintenance controller (collapse/compact from §5.3 thresholds)")
+	compactSegments := flag.Int("compact-segments", maintain.DefaultSegmentsHigh, "auto-compact: per-shard segment-count high watermark")
+	compactLogBytes := flag.Int64("compact-log-bytes", maintain.DefaultLogBytesHigh, "auto-compact: per-shard journal bytes that trigger a compact")
+	compactInterval := flag.Duration("compact-interval", 5*time.Second, "auto-compact: polling interval")
 	flag.Parse()
 
 	if (*replAddr != "" || *follow != "") && *journalDir == "" {
@@ -264,7 +282,33 @@ func main() {
 		log.Printf("lazyxmld: following %s (read-only; writes 403 to the primary)", *follow)
 	}
 
+	// The controller is created after the server (it schedules through
+	// the server's write gate) but before the listener goroutine starts,
+	// so the MaintStatus closure never observes a half-built controller.
+	var ctl *maintain.Controller
+	if *autoCompact {
+		srvCfg.MaintStatus = func() any { return ctl.Snapshot() }
+	}
 	srv := server.New(backend, srvCfg)
+	if *autoCompact {
+		mcfg := maintain.Config{
+			Interval: *compactInterval,
+			Policy: maintain.Policy{
+				SegmentsHigh: *compactSegments,
+				LogBytesHigh: *compactLogBytes,
+			},
+			IsPrimary: func() bool { return srv.PrimaryAddr() == "" },
+			GateShard: srv.ExclusiveShard,
+			Logf:      log.Printf,
+		}
+		if primary != nil {
+			mcfg.SubscriberLag = primary.SubscriberLag
+		}
+		ctl = maintain.New(backend, mcfg)
+		go ctl.Run(ctx)
+		log.Printf("lazyxmld: auto-compaction on (segments ≥ %d, journal ≥ %dB, every %s)",
+			*compactSegments, *compactLogBytes, *compactInterval)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

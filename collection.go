@@ -69,11 +69,11 @@ func (c *Collection) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("lazyxml: unknown document %q", name)
 	}
-	seg, ok := c.db.store.SegmentTree().Lookup(sid)
+	gp, end, ok := c.db.store.SegmentSpan(sid)
 	if !ok {
 		return fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
 	}
-	if err := c.eng.Remove(seg.GP, seg.L); err != nil {
+	if err := c.eng.Remove(gp, end-gp); err != nil {
 		return err
 	}
 	delete(c.docs, name)
@@ -99,32 +99,38 @@ func (c *Collection) Len() int {
 	return len(c.docs)
 }
 
-// span returns the current global span of a named document.
+// span returns the current global span of a named document, read under
+// the store lock so it is safe against a concurrent same-shard writer.
 func (c *Collection) span(name string) (lo, hi int, err error) {
 	sid, ok := c.docs[name]
 	if !ok {
 		return 0, 0, fmt.Errorf("lazyxml: unknown document %q", name)
 	}
-	seg, ok := c.db.store.SegmentTree().Lookup(sid)
+	lo, hi, ok = c.db.store.SegmentSpan(sid)
 	if !ok {
 		return 0, 0, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
 	}
-	return seg.GP, seg.End(), nil
+	return lo, hi, nil
 }
 
-// Text returns the current text of a named document.
+// Text returns the current text of a named document. Span lookup and
+// text copy happen under one store lock, so a concurrent writer shifting
+// the document can never tear the slice.
 func (c *Collection) Text(name string) ([]byte, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	lo, hi, err := c.span(name)
+	sid, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	text, ok, err := c.db.store.SegmentText(sid)
 	if err != nil {
 		return nil, err
 	}
-	whole, err := c.db.Text()
-	if err != nil {
-		return nil, err
+	if !ok {
+		return nil, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
 	}
-	return whole[lo:hi], nil
+	return text, nil
 }
 
 // Insert inserts a fragment at an offset relative to the named document.
@@ -187,17 +193,51 @@ func (c *Collection) RemoveElementAt(name string, off int) error {
 // segment (the paper's §5.3 remedy when the update log grows too large
 // for query performance) and returns the document's new segment id.
 func (c *Collection) Collapse(name string) (SID, error) {
+	return c.collapseVia(name, nil)
+}
+
+// collapseVia is the collapse algorithm, expressed as engine operations
+// so a journaled engine records it in the WAL and replay reproduces it —
+// an unjournaled collapse would desynchronize the persisted name→SID map
+// from what replay rebuilds. The copy of the document is inserted at the
+// document's start (a boundary insert shifts the original right and
+// creates a sibling, never a nested child), then the name is re-pointed
+// via repoint, then the original is removed. Each prefix of that record
+// sequence recovers to a consistent old-or-new state: after the insert
+// alone the original still owns the name; once the name moves, the
+// original is the unreferenced copy.
+func (c *Collection) collapseVia(name string, repoint func(nsid SID) error) (SID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sid, ok := c.docs[name]
 	if !ok {
 		return 0, fmt.Errorf("lazyxml: unknown document %q", name)
 	}
-	nsid, err := c.db.Collapse(sid)
+	gp, end, ok := c.db.store.SegmentSpan(sid)
+	if !ok {
+		return 0, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
+	}
+	l := end - gp
+	region, ok, err := c.db.store.SegmentText(sid)
 	if err != nil {
 		return 0, err
 	}
+	if !ok {
+		return 0, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
+	}
+	nsid, err := c.eng.Insert(gp, region)
+	if err != nil {
+		return 0, err
+	}
+	if repoint != nil {
+		if err := repoint(nsid); err != nil {
+			return 0, err
+		}
+	}
 	c.docs[name] = nsid
+	if err := c.eng.Remove(gp+l, l); err != nil {
+		return nsid, err
+	}
 	return nsid, nil
 }
 
@@ -210,6 +250,29 @@ func (c *Collection) CollapseAll() error {
 		}
 	}
 	return nil
+}
+
+// DocSegments reports the current segment count of every document's
+// subtree, sorted by name. Each count is taken under the store lock but
+// the walk over documents is not atomic as a whole — the census is a
+// maintenance signal, not a snapshot.
+func (c *Collection) DocSegments() []DocSegStat {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.docs))
+	sids := make([]SID, 0, len(c.docs))
+	for name, sid := range c.docs {
+		names = append(names, name)
+		sids = append(sids, sid)
+	}
+	c.mu.RUnlock()
+	out := make([]DocSegStat, 0, len(names))
+	for i, name := range names {
+		if n, ok := c.db.store.SubtreeSegments(sids[i]); ok {
+			out = append(out, DocSegStat{Name: name, Segments: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // SID returns the segment id of a named document.

@@ -539,6 +539,46 @@ func (s *Store) SegmentDistribution() map[segment.SID]int {
 	return out
 }
 
+// SubtreeSegments returns the number of segments in the ER-subtree
+// rooted at sid, taken under the store lock so it is safe against
+// concurrent updates — the per-document signal the maintenance policy
+// polls to decide which documents earn a Collapse.
+func (s *Store) SubtreeSegments(sid segment.SID) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sb.SubtreeSize(sid)
+}
+
+// SegmentSpan returns the global span [gp, end) of segment sid, the
+// pair taken under one store lock so a concurrent update can never tear
+// it.
+func (s *Store) SegmentSpan(sid segment.SID) (gp, end int, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seg, ok := s.sb.Lookup(sid)
+	if !ok {
+		return 0, 0, false
+	}
+	return seg.GP, seg.End(), true
+}
+
+// SegmentText returns a copy of the text spanned by segment sid — span
+// lookup and copy under one store lock, so the slice bounds are always
+// consistent with the text they index. The boolean reports whether the
+// segment exists; requires retained text.
+func (s *Store) SegmentText(sid segment.SID) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.keepText {
+		return nil, false, ErrNoText
+	}
+	seg, ok := s.sb.Lookup(sid)
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), s.text[seg.GP:seg.End()]...), true, nil
+}
+
 // UpdateLogBytes returns SB-tree + tag-list footprint (the update log of
 // Figure 11; the element index exists in every approach and is excluded).
 func (s *Store) UpdateLogBytes() (sbtree, taglistBytes int) {

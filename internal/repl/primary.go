@@ -80,9 +80,25 @@ type Primary struct {
 	mu     sync.Mutex
 	notify chan struct{} // closed and replaced whenever a record lands
 	conns  map[net.Conn]struct{}
+	subs   map[*subscriber]struct{}
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// subscriber is the shared view of one replication stream's shipped
+// positions, updated by the sender after every record and read by
+// SubscriberLag — the signal the maintenance controller consults before
+// moving the compaction horizon under a live follower.
+type subscriber struct {
+	mu  sync.Mutex
+	pos []Position
+}
+
+func (s *subscriber) set(shard int, p Position) {
+	s.mu.Lock()
+	s.pos[shard] = p
+	s.mu.Unlock()
 }
 
 // NewPrimary wires a primary over sc, which must be durable (journaled):
@@ -98,6 +114,7 @@ func NewPrimary(sc *lazyxml.ShardedCollection, cfg PrimaryConfig) (*Primary, err
 		cfg:    cfg,
 		notify: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
+		subs:   make(map[*subscriber]struct{}),
 	}
 	for i := 0; i < sc.ShardCount(); i++ {
 		fd := &feed{shard: i, seg: newRing(cfg.TailRecords), doc: newRing(cfg.TailRecords)}
@@ -409,6 +426,16 @@ func (p *Primary) stream(conn net.Conn, positions []Position) {
 	}
 	p.logf("repl: %s subscribed from %v", conn.RemoteAddr(), positions)
 
+	sub := &subscriber{pos: append([]Position(nil), positions...)}
+	p.mu.Lock()
+	p.subs[sub] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.subs, sub)
+		p.mu.Unlock()
+	}()
+
 	// Drain (and ignore) anything the follower sends; its only purpose
 	// is to detect a dead peer and unblock the sender via conn.Close.
 	readerGone := make(chan struct{})
@@ -440,6 +467,7 @@ func (p *Primary) stream(conn net.Conn, positions []Position) {
 			} else {
 				positions[shard].DocSeq = r.Seq
 			}
+			sub.set(shard, positions[shard])
 		}
 		return nil
 	}
@@ -532,6 +560,47 @@ func (p *Primary) fetch(fd *feed, kind byte, from, target int64, cur *lazyxml.Jo
 		return p.jc(fd).Journal().ReadRecords(cur, batch)
 	}
 	return p.jc(fd).ReadDocRecords(cur, batch)
+}
+
+// SubscriberLag returns the worst live subscriber's record deficit:
+// the largest, over connected replication streams, of the total
+// (current sequence − shipped position) across every shard and both
+// logs. 0 means every subscriber is caught up — or none is connected,
+// in which case nothing can be stranded by moving the horizon.
+func (p *Primary) SubscriberLag() int64 {
+	targets := make([]Position, len(p.feeds))
+	for i, fd := range p.feeds {
+		seq, _ := p.jc(fd).Journal().ReplState()
+		docSeq, _ := p.jc(fd).DocReplState()
+		targets[i] = Position{Seq: seq, DocSeq: docSeq}
+	}
+	p.mu.Lock()
+	subs := make([]*subscriber, 0, len(p.subs))
+	for s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	var worst int64
+	for _, s := range subs {
+		var lag int64
+		s.mu.Lock()
+		for i, pos := range s.pos {
+			if i >= len(targets) {
+				break
+			}
+			if d := targets[i].Seq - pos.Seq; d > 0 {
+				lag += d
+			}
+			if d := targets[i].DocSeq - pos.DocSeq; d > 0 {
+				lag += d
+			}
+		}
+		s.mu.Unlock()
+		if lag > worst {
+			worst = lag
+		}
+	}
+	return worst
 }
 
 func (p *Primary) heartbeat(conn net.Conn) error {

@@ -136,3 +136,34 @@ func (g *gate) releaseAdmin() {
 
 func (g *gate) acquireRead(ctx context.Context) error { return acquire(ctx, g.readers) }
 func (g *gate) releaseRead()                          { release(g.readers) }
+
+// ExclusiveShard runs fn holding one write slot on the shard's lane —
+// the same discipline a doc-scoped write request follows. It is the
+// hook the background maintenance controller schedules through, so an
+// auto-triggered collapse or compact queues behind in-flight writes to
+// that shard (and they behind it) instead of interleaving, while writes
+// to every other shard proceed untouched. No shed deadline applies:
+// maintenance is patient, bounded only by its context.
+func (s *Server) ExclusiveShard(ctx context.Context, shard int, fn func() error) error {
+	if err := acquire(ctx, s.gate.shards[s.gate.clamp(shard)]); err != nil {
+		return err
+	}
+	defer s.gate.releaseWrite(shard)
+	s.met.admin.Add(1)
+	start := time.Now()
+	defer func() { s.met.writeLatency.observe(time.Since(start)) }()
+	return fn()
+}
+
+// ExclusiveAll runs fn holding one write slot on every lane, exactly as
+// an admin request (POST /compact) does.
+func (s *Server) ExclusiveAll(ctx context.Context, fn func() error) error {
+	if err := s.gate.acquireAdmin(ctx); err != nil {
+		return err
+	}
+	defer s.gate.releaseAdmin()
+	s.met.admin.Add(1)
+	start := time.Now()
+	defer func() { s.met.writeLatency.observe(time.Since(start)) }()
+	return fn()
+}

@@ -106,6 +106,10 @@ type Config struct {
 	// bump the store epoch) and return the new epoch. On success the
 	// server drops its read-only stance.
 	Promote func() (int64, error)
+	// MaintStatus, when non-nil, is called per request and its result
+	// embedded under "maintenance" in /stats and /metrics — the
+	// auto-compaction controller's counters and per-shard machine state.
+	MaintStatus func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -211,14 +215,18 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		body := struct {
+			MetricsSnapshot
+			Replication any `json:"replication,omitempty"`
+			Maintenance any `json:"maintenance,omitempty"`
+		}{MetricsSnapshot: s.met.snapshot()}
 		if s.cfg.ReplStatus != nil {
-			writeJSON(w, http.StatusOK, struct {
-				MetricsSnapshot
-				Replication any `json:"replication"`
-			}{s.met.snapshot(), s.cfg.ReplStatus()})
-			return
+			body.Replication = s.cfg.ReplStatus()
 		}
-		writeJSON(w, http.StatusOK, s.met.snapshot())
+		if s.cfg.MaintStatus != nil {
+			body.Maintenance = s.cfg.MaintStatus()
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	s.mux.Handle("GET /stats", s.handle(classRead, s.handleStats))
 
@@ -539,6 +547,9 @@ type StatsResponse struct {
 	// Replication is the follower's lag readout (repl.Status); absent on
 	// a primary or standalone server.
 	Replication any `json:"replication,omitempty"`
+	// Maintenance is the auto-compaction controller's snapshot
+	// (maintain.Snapshot); absent when no controller runs.
+	Maintenance any `json:"maintenance,omitempty"`
 }
 
 // ShardStatsJSON is one shard's slice of the statistics. The journal
@@ -582,9 +593,12 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 			DocSeq:         ss.DocSeq,
 		}
 	}
-	var replication any
+	var replication, maintenance any
 	if s.cfg.ReplStatus != nil {
 		replication = s.cfg.ReplStatus()
+	}
+	if s.cfg.MaintStatus != nil {
+		maintenance = s.cfg.MaintStatus()
 	}
 	return http.StatusOK, StatsResponse{
 		Mode:           st.Mode.String(),
@@ -603,6 +617,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		ShardCount:     s.backend.ShardCount(),
 		Shards:         shards,
 		Replication:    replication,
+		Maintenance:    maintenance,
 	}, nil
 }
 

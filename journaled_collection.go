@@ -133,12 +133,26 @@ func (jc *JournaledCollection) Delete(name string) error {
 	return jc.appendDoc(dopDel, sid, name)
 }
 
+// Collapse packs a named document into one fresh segment, durably: the
+// copy insert and the original's removal go through the WAL via the
+// engine, and the name re-points between the two, so a crash at any
+// record boundary replays to either the old document or the collapsed
+// one — never a dangling name. (A crash exactly between the insert and
+// the name record leaves the copy as an anonymous segment; the document
+// itself stays intact under its old segment.)
+func (jc *JournaledCollection) Collapse(name string) (SID, error) {
+	return jc.collapseVia(name, func(nsid SID) error {
+		return jc.appendDoc(dopPut, nsid, name)
+	})
+}
+
 // CollapseAll collapses every document's segment subtree and then
-// compacts, because a collapse rewrites the update log in memory without
-// going through the WAL — the fresh snapshot is what makes it durable.
+// compacts, folding the collapse records into fresh snapshots.
 func (jc *JournaledCollection) CollapseAll() error {
-	if err := jc.Collection.CollapseAll(); err != nil {
-		return err
+	for _, name := range jc.Names() {
+		if _, err := jc.Collapse(name); err != nil {
+			return err
+		}
 	}
 	return jc.Compact()
 }
@@ -180,6 +194,16 @@ func (jc *JournaledCollection) Compact() error {
 	jc.dmu.Unlock()
 	jc.mu.Unlock()
 	return jc.j.Compact()
+}
+
+// CompactShard folds shard i's journals — a single-store collection has
+// exactly one shard, so only index 0 is valid. It exists so durable
+// backends expose one uniform per-shard compaction surface.
+func (jc *JournaledCollection) CompactShard(i int) error {
+	if i != 0 {
+		return fmt.Errorf("lazyxml: shard %d out of range [0,1)", i)
+	}
+	return jc.Compact()
 }
 
 // Close flushes and closes both journals; the collection remains usable
@@ -314,7 +338,7 @@ func (jc *JournaledCollection) replayDocsWAL() (n, cleanLen int64, err error) {
 // journal record.
 func (jc *JournaledCollection) dropOrphans() {
 	for name, sid := range jc.docs {
-		if _, ok := jc.db.store.SegmentTree().Lookup(sid); !ok {
+		if _, _, ok := jc.db.store.SegmentSpan(sid); !ok {
 			delete(jc.docs, name)
 		}
 	}

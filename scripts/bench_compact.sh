@@ -1,0 +1,97 @@
+#!/bin/sh
+# Measure what auto-compaction buys the read path: the same sustained
+# mixed read/write load against a durable daemon, once with the
+# maintenance controller off (segments accumulate for the whole run) and
+# once with it on (collapse/compact keeps each document near one
+# segment). Records both query latency profiles in BENCH_compact.json
+# (make bench-compact). Tunables via env:
+#   PORT (default 18080)  N ops (default 12000)  C workers (default 8)
+#   READ fraction (default 0.5)  SHARDS (default 2)
+#   OUT json path (default BENCH_compact.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+N=${N:-12000}
+C=${C:-8}
+READ=${READ:-0.5}
+SHARDS=${SHARDS:-2}
+OUT=${OUT:-BENCH_compact.json}
+BIN=$(mktemp -d)
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/lazyxmld" ./cmd/lazyxmld
+go build -o "$BIN/lazyload" ./cmd/lazyload
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -s "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+wait_healthy() {
+    i=0
+    while [ $i -lt 100 ]; do
+        if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench_compact: daemon on :$PORT never became healthy" >&2
+    return 1
+}
+
+# p99_of <lazyload-output-file> <label>: pull one percentile out of the
+# "  reads  p50=... p95=... p99=... max=..." summary line.
+p99_of() {
+    sed -n "s/^  $2.*p99=\([^ ]*\).*/\1/p" "$1" | head -1
+}
+
+# Each lane gets a fresh journal so both runs do identical work; the
+# only variable is the maintenance controller.
+run_lane() {
+    label=$1
+    shift
+    dir="$BIN/journal-$label"
+    "$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -journal "$dir" -shards "$SHARDS" \
+        "$@" >/dev/null 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    wait_healthy
+    echo "== auto-compact $label  (c=$C n=$N read=$READ shards=$SHARDS) =="
+    # A lane that fails (daemon died, loader saw errors) fails the whole
+    # bench: CI treats this script as a gate, not a demo.
+    if ! "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -c "$C" -n "$N" -read "$READ" \
+        | tee "$BIN/out-$label"; then
+        echo "bench_compact: $label lane FAILED" >&2
+        exit 1
+    fi
+    fetch "http://127.0.0.1:$PORT/stats" | tr ',' '\n' \
+        | grep -E 'maintenance|collapsedDocs|compacts|"segments"' || true
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    echo
+}
+
+run_lane off
+run_lane on -auto-compact -compact-interval 250ms -compact-segments 16 -compact-log-bytes 262144
+
+READS_OFF=$(p99_of "$BIN/out-off" "reads ")
+READS_ON=$(p99_of "$BIN/out-on" "reads ")
+WRITES_OFF=$(p99_of "$BIN/out-off" "writes")
+WRITES_ON=$(p99_of "$BIN/out-on" "writes")
+cat >"$OUT" <<EOF
+{
+  "bench": "auto-compaction query latency",
+  "workload": {"ops": $N, "workers": $C, "readFraction": $READ, "shards": $SHARDS},
+  "autoCompactOff": {"readsP99": "$READS_OFF", "writesP99": "$WRITES_OFF"},
+  "autoCompactOn": {"readsP99": "$READS_ON", "writesP99": "$WRITES_ON",
+                    "flags": "-auto-compact -compact-interval 250ms -compact-segments 16 -compact-log-bytes 262144"}
+}
+EOF
+echo "recorded $OUT:"
+cat "$OUT"

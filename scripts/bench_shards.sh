@@ -12,7 +12,8 @@ C=${C:-8}
 READ=${READ:-0.7}
 SHARDS=${SHARDS:-4}
 BIN=$(mktemp -d)
-trap 'rm -rf "$BIN"' EXIT
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 go build -o "$BIN/lazyxmld" ./cmd/lazyxmld
 go build -o "$BIN/lazyload" ./cmd/lazyload
@@ -34,10 +35,16 @@ run_one() {
     shards=$1
     "$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -shards "$shards" &
     pid=$!
+    PIDS="$PIDS $pid"
     wait_healthy
     echo "== shards=$shards  (c=$C n=$N read=$READ) =="
-    "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -c "$C" -n "$N" -read "$READ"
-    kill "$pid" 2>/dev/null
+    # A lane that fails (daemon died, loader saw errors) fails the whole
+    # bench: CI treats this script as a gate, not a demo.
+    if ! "$BIN/lazyload" -url "http://127.0.0.1:$PORT" -c "$C" -n "$N" -read "$READ"; then
+        echo "bench_shards: shards=$shards lane FAILED" >&2
+        exit 1
+    fi
+    kill "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
     echo
 }

@@ -503,6 +503,31 @@ func (sc *ShardedCollection) ShardStats() []ShardStat {
 	return out
 }
 
+// DocSegments gathers the per-document segment census from every shard
+// in parallel, tagging each entry with its shard index. Within a shard
+// entries stay name-sorted; across shards they are concatenated in shard
+// order.
+func (sc *ShardedCollection) DocSegments() []DocSegStat {
+	per := make([][]DocSegStat, len(sc.shards))
+	sc.fanOut(func(i int, sh Backend) error {
+		ds := sh.DocSegments()
+		for k := range ds {
+			ds[k].Shard = i
+		}
+		per[i] = ds
+		return nil
+	})
+	var total int
+	for _, ds := range per {
+		total += len(ds)
+	}
+	out := make([]DocSegStat, 0, total)
+	for _, ds := range per {
+		out = append(out, ds...)
+	}
+	return out
+}
+
 // ShardJournal returns shard i's journaled collection, or nil when the
 // collection is in-memory — the per-shard surface the replication
 // subsystem streams from and applies into.
@@ -536,6 +561,19 @@ func (sc *ShardedCollection) Compact() error {
 		return fmt.Errorf("lazyxml: collection is not durable")
 	}
 	return sc.fanOut(func(i int, sh Backend) error { return sc.ShardJournal(i).Compact() })
+}
+
+// CompactShard folds a single shard's journals into snapshots — the
+// per-shard granule the maintenance controller compacts with, so one
+// shard's WAL growth never forces a whole-store pause.
+func (sc *ShardedCollection) CompactShard(i int) error {
+	if !sc.IsDurable() {
+		return fmt.Errorf("lazyxml: collection is not durable")
+	}
+	if i < 0 || i >= len(sc.shards) {
+		return fmt.Errorf("lazyxml: shard %d out of range [0,%d)", i, len(sc.shards))
+	}
+	return sc.ShardJournal(i).Compact()
 }
 
 // Close closes every shard's journal. In-memory collections close to a

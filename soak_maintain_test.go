@@ -1,0 +1,221 @@
+package lazyxml_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/maintain"
+)
+
+// TestSoakAutoCompaction runs a long mixed workload on a durable 2-shard
+// store with the maintenance controller ticking in the loop, and checks
+// three things the short tests cannot: the controller fires repeatedly
+// (not just once) over a realistic op stream, per-shard segment counts
+// stay under the high watermark at every post-tick checkpoint, and the
+// store's query results keep matching a fresh-parse oracle built from
+// the expected document texts. Skipped with -short.
+func TestSoakAutoCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		shards       = 2
+		docCount     = 10
+		ops          = 1200
+		tickEvery    = 40
+		oracleEvery  = 150
+		segmentsHigh = 24
+	)
+	r := rand.New(rand.NewSource(20050614)) // the paper's conference date
+	dir := t.TempDir()
+	sc, err := lazyxml.OpenShardedCollection(dir, shards, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := maintain.New(sc, maintain.Config{
+		Policy: maintain.Policy{
+			SegmentsHigh: segmentsHigh,
+			SegmentsLow:  docCount, // collapsed floor: one segment per doc
+			LogBytesHigh: 32 << 10,
+			MinActionGap: time.Nanosecond,
+		},
+		IsPrimary: func() bool { return true },
+	})
+	ctx := context.Background()
+
+	// model mirrors what each document's text must be; the store is
+	// compared against it (and against a fresh parse of it) throughout.
+	model := map[string][]byte{}
+	names := make([]string, docCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("soak-%02d", i)
+		seed := []byte("<r><i/></r>")
+		if err := sc.Put(names[i], seed); err != nil {
+			t.Fatal(err)
+		}
+		model[names[i]] = append([]byte(nil), seed...)
+	}
+
+	frags := [][]byte{
+		[]byte("<i/>"),
+		[]byte("<x><i/></x>"),
+		[]byte("<y><i/></y>"),
+		[]byte("<x><y><i/></y></x>"),
+	}
+	paths := []string{"r//i", "r//x", "r//y", "x//i", "y//i"}
+
+	// insertPoints lists the element-boundary offsets where a fragment
+	// can go: right after the root's start tag, before the root's end
+	// tag, and before any existing element start.
+	insertPoints := func(text []byte) []int {
+		pts := []int{len("<r>"), bytes.LastIndex(text, []byte("</r>"))}
+		for _, tag := range []string{"<i", "<x", "<y"} {
+			for from := 0; ; {
+				k := bytes.Index(text[from:], []byte(tag))
+				if k < 0 {
+					break
+				}
+				pts = append(pts, from+k)
+				from += k + 1
+			}
+		}
+		return pts
+	}
+
+	checkOracle := func(stage string) {
+		t.Helper()
+		oracle := lazyxml.NewCollection(lazyxml.LD)
+		for _, name := range names {
+			got, err := sc.Text(name)
+			if err != nil {
+				t.Fatalf("%s: text %s: %v", stage, name, err)
+			}
+			if !bytes.Equal(got, model[name]) {
+				t.Fatalf("%s: doc %s diverged from model:\nstore: %s\nmodel: %s", stage, name, got, model[name])
+			}
+			if err := oracle.Put(name, model[name]); err != nil {
+				t.Fatalf("%s: oracle put %s: %v", stage, name, err)
+			}
+		}
+		for _, path := range paths {
+			want, err := oracle.Count(path)
+			if err != nil {
+				t.Fatalf("%s: oracle count %s: %v", stage, path, err)
+			}
+			got, err := sc.Count(path)
+			if err != nil {
+				t.Fatalf("%s: count %s: %v", stage, path, err)
+			}
+			if got != want {
+				t.Fatalf("%s: count %s: store %d, fresh-parse oracle %d", stage, path, got, want)
+			}
+			for _, name := range names {
+				wantDoc, err := oracle.CountDoc(name, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotDoc, err := sc.CountDoc(name, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotDoc != wantDoc {
+					t.Fatalf("%s: countDoc %s %s: store %d, oracle %d", stage, name, path, gotDoc, wantDoc)
+				}
+			}
+		}
+		if err := sc.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+
+	for op := 1; op <= ops; op++ {
+		name := names[r.Intn(len(names))]
+		text := model[name]
+		if r.Intn(10) < 7 { // insert a fragment at a random boundary
+			frag := frags[r.Intn(len(frags))]
+			pts := insertPoints(text)
+			off := pts[r.Intn(len(pts))]
+			if _, err := sc.Insert(name, off, frag); err != nil {
+				t.Fatalf("op %d: insert %s@%d: %v", op, name, off, err)
+			}
+			next := make([]byte, 0, len(text)+len(frag))
+			next = append(next, text[:off]...)
+			next = append(next, frag...)
+			next = append(next, text[off:]...)
+			model[name] = next
+		} else { // remove one leaf element, if the doc still has spares
+			var leaves []int
+			for from := 0; ; {
+				k := bytes.Index(text[from:], []byte("<i/>"))
+				if k < 0 {
+					break
+				}
+				leaves = append(leaves, from+k)
+				from += k + 1
+			}
+			if len(leaves) > 1 {
+				off := leaves[r.Intn(len(leaves))]
+				if err := sc.RemoveElementAt(name, off); err != nil {
+					t.Fatalf("op %d: remove %s@%d: %v", op, name, off, err)
+				}
+				model[name] = append(append([]byte(nil), text[:off]...), text[off+len("<i/>"):]...)
+			}
+		}
+
+		if op%tickEvery == 0 {
+			if err := ctl.RunOnce(ctx); err != nil {
+				t.Fatalf("op %d: maintenance cycle: %v", op, err)
+			}
+			// Post-tick checkpoint: the controller must be holding every
+			// shard under the high watermark.
+			for _, st := range sc.ShardStats() {
+				if st.Stats.Segments >= segmentsHigh {
+					t.Fatalf("op %d: shard %d at %d segments, high watermark %d (controller not keeping up: %+v)",
+						op, st.Shard, st.Stats.Segments, segmentsHigh, ctl.Snapshot())
+				}
+			}
+		}
+		if op%oracleEvery == 0 {
+			checkOracle(fmt.Sprintf("op %d", op))
+		}
+	}
+
+	checkOracle("final")
+	snap := ctl.Snapshot()
+	if snap.CollapseRuns+snap.CollapseAlls < 2 {
+		t.Fatalf("auto-compaction fired fewer than twice over %d ops: %+v", ops, snap)
+	}
+	if snap.Compacts < 2 {
+		t.Fatalf("journal never compacted twice on a durable store: %+v", snap)
+	}
+	if snap.Errors != 0 {
+		t.Fatalf("maintenance errors during soak: %d, last %q", snap.Errors, snap.LastError)
+	}
+
+	// The compacted journals must reproduce the final state on reopen.
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := lazyxml.OpenShardedCollection(dir, shards, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatalf("reopen after soak: %v", err)
+	}
+	defer sc2.Close()
+	for _, name := range names {
+		got, err := sc2.Text(name)
+		if err != nil {
+			t.Fatalf("reopen: text %s: %v", name, err)
+		}
+		if !bytes.Equal(got, model[name]) {
+			t.Fatalf("reopen: doc %s diverged:\nstore: %s\nmodel: %s", name, got, model[name])
+		}
+	}
+	if err := sc2.CheckConsistency(); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+}
