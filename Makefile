@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact
+.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact bench-plan
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -34,3 +34,8 @@ bench-repl:
 # write mix; records BENCH_compact.json.
 bench-compact:
 	./scripts/bench_compact.sh
+
+# Zipf-skewed query mix with the cost-based planner + result cache vs
+# fixed-algorithm lanes; records BENCH_plan.json.
+bench-plan:
+	./scripts/bench_plan.sh

@@ -29,6 +29,17 @@ type Backend interface {
 	QueryDoc(name, path string) ([]Match, error)
 	CountDoc(name, path string) (int, error)
 
+	// Planned queries: cost-based (or ?algo=-forced) algorithm selection
+	// with an explainable plan per shard touched, served from the
+	// generation-keyed result cache when a planner is attached.
+	// EnablePlanner attaches the shared planner state (one QueryPlanner
+	// serves every shard — cache keys embed each shard's store identity);
+	// TagCardinality sums a tag's indexed-element count across shards.
+	QueryPlanned(path string, opt PlanOpt) ([]Match, []PlanInfo, error)
+	QueryDocPlanned(name, path string, opt PlanOpt) ([]Match, []PlanInfo, error)
+	TagCardinality(tag string) int
+	EnablePlanner(qp *QueryPlanner)
+
 	// Maintenance and introspection. Collapse packs one named document's
 	// segment subtree into a single fresh segment (§5.3); DocSegments is
 	// the cheap per-document segment census the maintenance policy polls

@@ -27,11 +27,23 @@
 // trip per document. scripts/bench_repl.sh runs both lanes back to
 // back.
 //
+// Query-mix mode (-query-mix) measures the read path under a skewed
+// query population — the workload the planner's result cache is built
+// for. Each document is seeded with -query-paths tag groups; reads pick
+// a path by a zipf law (-zipf-s), so a few paths are hot and most are
+// cold, and the remaining (1 - -read) fraction are inserts that
+// invalidate the written shard's cache entries by generation bump.
+// -algo appends ?algo= to every query for planned-vs-fixed A/B runs;
+// the summary prints latency percentiles plus the server's cache hit
+// ratio and per-algorithm picks. scripts/bench_plan.sh runs the lanes
+// back to back and records BENCH_plan.json.
+//
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
 //	         [-prefix load] [-reuse] [-keep] [-retries 4]
 //	         [-bulk] [-bin addr] [-doc-bytes 4096] [-window 64]
+//	         [-query-mix] [-query-paths 64] [-zipf-s 1.2] [-algo name]
 //
 // Requests refused with 503 (the server's overload shedding) or lost to
 // a transport error are retried up to -retries times with a jittered
@@ -73,6 +85,10 @@ func main() {
 	docBytes := flag.Int("doc-bytes", 4096, "approximate size of each bulk document")
 	window := flag.Int("window", 64, "binary bulk pipelining depth (puts in flight before blocking on acks)")
 	retriesFlag := flag.Int("retries", 4, "max retries per request on 503/transport failure (jittered backoff, honors Retry-After)")
+	queryMix := flag.Bool("query-mix", false, "query-mix mode: zipf-skewed structural queries with a write fraction (the planner/cache workload)")
+	queryPaths := flag.Int("query-paths", 64, "query-mix: distinct query paths (one tag group each)")
+	zipfS := flag.Float64("zipf-s", 1.2, "query-mix: zipf skew of path popularity (> 1; higher = hotter head)")
+	algo := flag.String("algo", "", "query-mix: force this join algorithm on every query via ?algo= (empty: server default)")
 	flag.Parse()
 	maxRetries = *retriesFlag
 
@@ -93,6 +109,10 @@ func main() {
 
 	if *bulk {
 		runBulk(client, *url, *binAddr, *prefix, *total, *docBytes, *window, *workers, *keep)
+		return
+	}
+	if *queryMix {
+		runQueryMix(client, *url, *prefix, *algo, *workers, *total, *queryPaths, *readFrac, *zipfS, *keep)
 		return
 	}
 
@@ -252,6 +272,158 @@ func runBulk(client *http.Client, base, binAddr, prefix string, n, docBytes, win
 	}
 }
 
+// runQueryMix drives the zipf-skewed query workload the planner's
+// result cache is built for. Each worker owns one document seeded with
+// every tag group g0..g{paths-1}, so a read — GET /query over
+// load//g<k>//item — is a genuine collection-wide structural join; k is
+// drawn from a zipf law so a few paths dominate. Writes insert a fresh
+// group subtree right after the root open tag, bumping the written
+// shard's generation and invalidating exactly that shard's cache
+// entries. The summary adds the server's cache hit ratio and planner
+// picks to the usual latency percentiles.
+func runQueryMix(client *http.Client, base, prefix, algo string, c, n, paths int, readFrac, zipfS float64, keep bool) {
+	if paths < 1 {
+		log.Fatal("lazyload: -query-paths must be >= 1")
+	}
+	if zipfS <= 1 {
+		log.Fatal("lazyload: -zipf-s must be > 1")
+	}
+	shardCount := serverShardCount(client, base)
+	lane := "server default"
+	if algo != "" {
+		lane = "algo=" + algo
+	}
+	fmt.Printf("lazyload query-mix [%s]: %d workers, %d ops, %.0f%% reads, %d paths, zipf s=%.2f, server shards=%d\n",
+		lane, c, n, readFrac*100, paths, zipfS, shardCount)
+
+	var seed bytes.Buffer
+	seed.WriteString("<load>")
+	for k := 0; k < paths; k++ {
+		fmt.Fprintf(&seed, "<g%d><item/><item/></g%d>", k, k)
+	}
+	seed.WriteString("</load>")
+	names := make([]string, c)
+	for w := 0; w < c; w++ {
+		names[w] = docName(prefix+"-qm", w, shardCount)
+		do(client, "DELETE", base+"/docs/"+names[w], nil) // ignore 404
+		status, body := doRetry(client, "PUT", base+"/docs/"+names[w], seed.Bytes())
+		if status != http.StatusCreated {
+			log.Fatalf("lazyload: PUT %s: %d %s", names[w], status, body)
+		}
+	}
+
+	type sample struct {
+		read bool
+		d    time.Duration
+		err  bool
+	}
+	perWorker := n / c
+	samples := make([][]sample, c)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(paths-1))
+			name := names[w]
+			samples[w] = make([]sample, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := int(zipf.Uint64())
+				read := rng.Float64() < readFrac
+				t0 := time.Now()
+				var status int
+				if read {
+					u := fmt.Sprintf("%s/query?path=load//g%d//item", base, k)
+					if algo != "" {
+						u += "&algo=" + algo
+					}
+					status, _ = doRetry(client, "GET", u, nil)
+				} else {
+					// "<load>" is 6 bytes: a fresh group subtree there keeps
+					// the document well-formed and adds a match for path k.
+					frag := fmt.Sprintf("<g%d><item w=\"%d\" n=\"%d\"/></g%d>", k, w, i, k)
+					status, _ = doRetry(client, "POST", base+"/docs/"+name+"/insert?off=6", []byte(frag))
+				}
+				samples[w] = append(samples[w], sample{read: read, d: time.Since(t0), err: status >= 400 || status == 0})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var reads, writes, errs int
+	var readLat, writeLat []time.Duration
+	for _, ss := range samples {
+		for _, s := range ss {
+			if s.err {
+				errs++
+			}
+			if s.read {
+				reads++
+				readLat = append(readLat, s.d)
+			} else {
+				writes++
+				writeLat = append(writeLat, s.d)
+			}
+		}
+	}
+	ops := reads + writes
+	fmt.Printf("lazyload query-mix: %d ops (%d reads, %d writes, %d errors, %d retries) in %s — %.0f ops/s\n",
+		ops, reads, writes, errs, retries.Load(), elapsed.Round(time.Millisecond),
+		float64(ops)/elapsed.Seconds())
+	report("reads ", readLat)
+	report("writes", writeLat)
+	reportPlanner(client, base)
+
+	if !keep {
+		for w := 0; w < c; w++ {
+			do(client, "DELETE", base+"/docs/"+names[w], nil)
+		}
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// reportPlanner prints the server's result-cache counters and planner
+// picks from /stats — the hit ratio is the headline number of a
+// query-mix run. The key=value form is what scripts/bench_plan.sh
+// parses into BENCH_plan.json.
+func reportPlanner(client *http.Client, base string) {
+	status, body, _ := do(client, "GET", base+"/stats", nil)
+	if status != http.StatusOK {
+		fmt.Printf("stats: %d %s", status, body)
+		return
+	}
+	var st statsBody
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Planner == nil {
+		fmt.Println("planner: server runs without -plan (no cache counters)")
+		return
+	}
+	cs := st.Planner.Cache
+	lookups := cs.Hits + cs.Misses
+	ratio := 0.0
+	if lookups > 0 {
+		ratio = float64(cs.Hits) / float64(lookups)
+	}
+	fmt.Printf("planner cache: hits=%d misses=%d hit_ratio=%.3f entries=%d bytes=%d evictions=%d\n",
+		cs.Hits, cs.Misses, ratio, cs.Entries, cs.Bytes, cs.Evictions)
+	if len(st.Planner.Picks) > 0 {
+		keys := make([]string, 0, len(st.Planner.Picks))
+		for k := range st.Planner.Picks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("planner picks:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, st.Planner.Picks[k])
+		}
+		fmt.Println()
+	}
+}
+
 // makeBulkDoc builds a well-formed document of roughly size bytes.
 func makeBulkDoc(size int) []byte {
 	var b bytes.Buffer
@@ -272,6 +444,16 @@ type statsBody struct {
 		Inserts        int `json:"inserts"`
 		UpdateLogBytes int `json:"updateLogBytes"`
 	} `json:"shards"`
+	Planner *struct {
+		Cache struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Entries   int   `json:"entries"`
+			Bytes     int64 `json:"bytes"`
+			Evictions int64 `json:"evictions"`
+		} `json:"cache"`
+		Picks map[string]int64 `json:"picks"`
+	} `json:"planner"`
 }
 
 // serverShardCount asks /stats how many shards the server runs; servers

@@ -7,11 +7,26 @@
 //
 //	lazyxmld [-addr :8080] [-journal dir] [-shards 1] [-mode ld|ls]
 //	         [-alg lazy|std|skip|auto] [-attrs] [-values] [-sync]
+//	         [-plan] [-cache-bytes 67108864]
 //	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
 //	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
 //	         [-compact-on-exit] [-repl addr] [-follow addr]
 //	         [-auto-compact] [-compact-segments 64] [-compact-log-bytes N]
 //	         [-compact-interval 5s]
+//
+// Query planning (-plan): every query runs through the cost-based
+// planner, which prices the whole join arsenal (Lazy-Join, parallel
+// Lazy-Join, Stack-Tree-Desc/Anc, SkipJoin, XB-tree, PathStack twig)
+// against per-tag update-log statistics and picks the cheapest, and
+// results are cached in a byte-bounded LRU keyed by each shard's
+// (store, generation) pair — any write to a shard invalidates exactly
+// that shard's entries, for free. ?algo=lazy|parallel|std|skip|sta|xb|
+// twig forces a strategy per request (works without -plan too),
+// ?explain=1 returns the chosen plan with per-operator cost estimates,
+// ?nocache=1 bypasses the cache. Cache counters and per-algorithm picks
+// appear under "planner" in /stats and /metrics. On a follower the same
+// cache keys on the follower's own applied generation, so cached reads
+// stay exactly as fresh as replication has made the store.
 //
 // With -shards N documents are routed by name hash across N independent
 // stores, each with its own journal directory (shard-0000, …) and its
@@ -72,8 +87,9 @@
 //	DELETE /docs/{name}/range?off=N&len=L   remove a byte range
 //	DELETE /docs/{name}/element?off=N   remove one element
 //	GET    /query?path=a//b             whole-collection structural query
+//	                                    (&algo= force, &explain=1 plan, &nocache=1)
 //	GET    /count?path=a//b             cardinality only
-//	GET    /docs/{name}/query?path=...  document-scoped query
+//	GET    /docs/{name}/query?path=...  document-scoped query (same planner params)
 //	GET    /docs/{name}/count?path=...  document-scoped cardinality
 //	POST   /compact                     fold the journal into a snapshot
 //	POST   /rebuild                     collapse every document's segments
@@ -114,6 +130,8 @@ func main() {
 	alg := flag.String("alg", "lazy", "join algorithm: lazy, std, skip or auto")
 	attrs := flag.Bool("attrs", false, "index attributes as @name pseudo-elements")
 	values := flag.Bool("values", false, "index element/attribute values for equality predicates")
+	plan := flag.Bool("plan", false, "cost-based query planning + generation-keyed result cache on every query")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache budget in bytes (with -plan; <= 0 disables caching)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
@@ -202,6 +220,14 @@ func main() {
 		Readers:        *readers,
 		WriteQueue:     *writeQueue,
 		ShedAfter:      *shedAfter,
+	}
+
+	if *plan {
+		qp := lazyxml.NewQueryPlanner(*cacheBytes)
+		backend.EnablePlanner(qp)
+		srvCfg.Planned = true
+		srvCfg.PlanStatus = func() any { return qp.Stats() }
+		log.Printf("lazyxmld: query planner on (result cache %dB, generation-keyed)", *cacheBytes)
 	}
 
 	// Replication: a primary serves the stream, a follower applies it. A

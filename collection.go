@@ -33,6 +33,7 @@ type Collection struct {
 	db   *DB
 	eng  engine
 	docs map[string]SID
+	qp   *QueryPlanner // planned-query state; nil until EnablePlanner
 }
 
 // NewCollection returns an empty collection backed by a fresh database.

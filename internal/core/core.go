@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/elemindex"
 	"repro/internal/join"
 	"repro/internal/segment"
 	"repro/internal/taglist"
+	"repro/internal/xbtree"
 	"repro/internal/xmltree"
 )
 
@@ -52,6 +54,13 @@ const (
 	// "traditional structural join algorithms can still be used"; Auto
 	// encodes that decision.
 	Auto
+	// STA is the ancestor-ordered Stack-Tree-Anc merge over reconstructed
+	// global positions (output grouped by ancestor instead of descendant).
+	STA
+	// XB runs the structural join through transient XB-trees built over
+	// the reconstructed global lists, skipping whole dead regions via the
+	// summary hierarchy (Bruno et al., reference [2]).
+	XB
 )
 
 func (a Algorithm) String() string {
@@ -62,6 +71,10 @@ func (a Algorithm) String() string {
 		return "Skip-STD"
 	case Auto:
 		return "Auto"
+	case STA:
+		return "STA"
+	case XB:
+		return "XB-tree"
 	default:
 		return "Lazy-Join"
 	}
@@ -100,7 +113,20 @@ type Store struct {
 	text []byte // the super document, maintained iff keepText
 
 	inserts, removes int
+
+	// id is a process-unique store identity and gen a monotonic update
+	// counter: together they key planner statistics and cached query
+	// results. gen bumps on every insert, remove and rebuild (a collapse
+	// is remove+insert, so it bumps twice); id changes whenever a fresh
+	// Store object appears (open, restore, re-seed swap), so a cache
+	// entry can never outlive the store it was computed on. Both are read
+	// with atomics so cache lookups never take the store lock.
+	id  uint64
+	gen atomic.Uint64
 }
+
+// storeSerial hands out process-unique store ids.
+var storeSerial atomic.Uint64
 
 // Option configures a Store.
 type Option func(*Store)
@@ -128,7 +154,7 @@ func WithValues() Option { return func(s *Store) { s.vix = newValueIndex() } }
 
 // NewStore returns an empty super document (just the dummy root).
 func NewStore(mode Mode, opts ...Option) *Store {
-	s := &Store{mode: mode, keepText: true}
+	s := &Store{mode: mode, keepText: true, id: storeSerial.Add(1)}
 	s.sb = segment.NewTree()
 	s.dict = taglist.NewDict()
 	s.tags = taglist.New(s.sb, mode)
@@ -228,6 +254,7 @@ func (s *Store) insertLocked(gp int, fragment []byte, doc *xmltree.Document) (se
 		s.text = next
 	}
 	s.inserts++
+	s.gen.Add(1)
 	return seg.SID, nil
 }
 
@@ -279,6 +306,7 @@ func (s *Store) removeLocked(gp, l int) error {
 		s.text = append(s.text[:gp], s.text[gp+l:]...)
 	}
 	s.removes++
+	s.gen.Add(1)
 	return nil
 }
 
@@ -326,6 +354,13 @@ func (s *Store) Query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match
 	case SkipSTD:
 		pairs = join.SkipJoin(
 			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+	case STA:
+		pairs = join.StackTreeAnc(
+			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+	case XB:
+		aT := xbtree.Build(s.globalListLocked(atid), 0)
+		dT := xbtree.Build(s.globalListLocked(dtid), 0)
+		pairs = xbtree.JoinDesc(aT, dT, axis)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 	}
@@ -525,6 +560,58 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// StoreID returns the store's process-unique identity. A fresh Store —
+// opened, restored from a snapshot, or swapped in by a re-seed — always
+// gets a new id, so (StoreID, Generation) pairs never collide across
+// store lifetimes.
+func (s *Store) StoreID() uint64 { return s.id }
+
+// Generation returns the store's monotonic update counter. It bumps on
+// every segment insert and remove (and therefore twice per collapse) and
+// on Rebuild; it never goes backwards. Read without the store lock.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// BumpGeneration advances the update counter without a content change —
+// the hook journal compaction uses so cached plans keyed on the
+// pre-compact statistics are retired along with the old WAL.
+func (s *Store) BumpGeneration() { s.gen.Add(1) }
+
+// TagCardinality returns the number of indexed elements with the given
+// tag, summed from the tag-list entry counts — O(|SL_tag|), no scan of
+// the element index.
+func (s *Store) TagCardinality(tag string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tid, ok := s.dict.Lookup(tag)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, e := range s.tags.Segments(tid) {
+		n += e.Count
+	}
+	return n
+}
+
+// TagPlanStat returns the planner's per-tag statistics in one lock
+// acquisition: element cardinality, the number of tag-list entries
+// (segments holding the tag), and the total sid-path length across those
+// entries — the cost drivers of Lazy-Join's segment-level work.
+func (s *Store) TagPlanStat(tag string) (card, segs, pathLen int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tid, ok := s.dict.Lookup(tag)
+	if !ok {
+		return 0, 0, 0
+	}
+	for _, e := range s.tags.Segments(tid) {
+		card += e.Count
+		segs++
+		pathLen += len(e.Path)
+	}
+	return card, segs, pathLen
+}
+
 // SegmentDistribution returns the number of element records per segment,
 // keyed by segment id — the statistic behind the Auto decision and the
 // §5.3 "too many tiny segments" diagnosis.
@@ -657,6 +744,7 @@ func (s *Store) Rebuild() error {
 	s.spans = fresh.spans
 	s.vix = fresh.vix
 	s.text = text
+	s.gen.Add(1)
 	return nil
 }
 

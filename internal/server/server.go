@@ -110,6 +110,14 @@ type Config struct {
 	// embedded under "maintenance" in /stats and /metrics — the
 	// auto-compaction controller's counters and per-shard machine state.
 	MaintStatus func() any
+	// Planned routes every query endpoint request through the cost-based
+	// planner and the generation-keyed result cache by default. Even when
+	// false, a request can opt in per call with ?algo= or ?explain=1.
+	Planned bool
+	// PlanStatus, when non-nil, is called per request and its result
+	// embedded under "planner" in /stats and /metrics — the result-cache
+	// counters and per-algorithm pick counts.
+	PlanStatus func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -219,12 +227,16 @@ func (s *Server) routes() {
 			MetricsSnapshot
 			Replication any `json:"replication,omitempty"`
 			Maintenance any `json:"maintenance,omitempty"`
+			Planner     any `json:"planner,omitempty"`
 		}{MetricsSnapshot: s.met.snapshot()}
 		if s.cfg.ReplStatus != nil {
 			body.Replication = s.cfg.ReplStatus()
 		}
 		if s.cfg.MaintStatus != nil {
 			body.Maintenance = s.cfg.MaintStatus()
+		}
+		if s.cfg.PlanStatus != nil {
+			body.Planner = s.cfg.PlanStatus()
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
@@ -487,22 +499,34 @@ type MatchJSON struct {
 	Desc      ElemJSON `json:"desc"`
 }
 
-// QueryResponse is the body of the query endpoints.
+// QueryResponse is the body of the query endpoints. Plans appears only
+// when the request asked for ?explain=1: one plan per shard the query
+// touched, each with the chosen algorithm, per-operator cost estimates
+// and whether the shard's partial result came from the cache.
 type QueryResponse struct {
-	Count     int         `json:"count"`
-	Truncated bool        `json:"truncated"`
-	Matches   []MatchJSON `json:"matches"`
+	Count     int                `json:"count"`
+	Truncated bool               `json:"truncated"`
+	Matches   []MatchJSON        `json:"matches"`
+	Plans     []lazyxml.PlanInfo `json:"plans,omitempty"`
 }
 
-func (s *Server) queryResponse(ms []lazyxml.Match, r *http.Request) (QueryResponse, error) {
+// limitParam resolves the serialization limit. It is parsed before the
+// query runs, so a malformed limit fails fast and a cached result set —
+// stored unsliced so every limit can be served from one entry — is capped
+// by MaxMatches exactly like a freshly computed one.
+func (s *Server) limitParam(r *http.Request) (int, error) {
 	limit := s.cfg.MaxMatches
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			return QueryResponse{}, failf(http.StatusBadRequest, "parameter \"limit\": must be a non-negative integer")
+			return 0, failf(http.StatusBadRequest, "parameter \"limit\": must be a non-negative integer")
 		}
 		limit = v
 	}
+	return limit, nil
+}
+
+func queryResponse(ms []lazyxml.Match, limit int) QueryResponse {
 	resp := QueryResponse{Count: len(ms)}
 	n := len(ms)
 	if n > limit {
@@ -518,7 +542,40 @@ func (s *Server) queryResponse(ms []lazyxml.Match, r *http.Request) (QueryRespon
 			Desc: ElemJSON{SID: int(m.Desc.SID), Start: m.Desc.Start, End: m.Desc.End, Level: m.Desc.Level},
 		}
 	}
-	return resp, nil
+	return resp
+}
+
+// planParams decides whether the request takes the planned path and with
+// what options. ?algo= forces an algorithm (and implies the planned
+// path), ?explain=1 requests the plan in the response, ?nocache=1
+// bypasses the result cache for A/B timing.
+func (s *Server) planParams(r *http.Request) (planned bool, opt lazyxml.PlanOpt, explain bool, err error) {
+	q := r.URL.Query()
+	planned = s.cfg.Planned
+	if raw := q.Get("algo"); raw != "" {
+		force, perr := lazyxml.ParsePlanAlgo(raw)
+		if perr != nil {
+			return false, opt, false, failf(http.StatusBadRequest, "parameter \"algo\": %v", perr)
+		}
+		opt.Force = force
+		planned = true
+	}
+	switch q.Get("explain") {
+	case "", "0", "false":
+	case "1", "true":
+		explain = true
+		planned = true
+	default:
+		return false, opt, false, failf(http.StatusBadRequest, "parameter \"explain\": want 0 or 1")
+	}
+	switch q.Get("nocache") {
+	case "", "0", "false":
+	case "1", "true":
+		opt.NoCache = true
+	default:
+		return false, opt, false, failf(http.StatusBadRequest, "parameter \"nocache\": want 0 or 1")
+	}
+	return planned, opt, explain, nil
 }
 
 // ---- handlers ----
@@ -550,6 +607,13 @@ type StatsResponse struct {
 	// Maintenance is the auto-compaction controller's snapshot
 	// (maintain.Snapshot); absent when no controller runs.
 	Maintenance any `json:"maintenance,omitempty"`
+	// Planner is the query planner's cache counters and per-algorithm
+	// picks; absent when no planner is attached.
+	Planner any `json:"planner,omitempty"`
+	// TagCardinality maps each tag named in ?tags=a,b,... to its
+	// indexed-element count summed across shards — the planner's own
+	// statistics surface, exposed for inspection.
+	TagCardinality map[string]int `json:"tagCardinality,omitempty"`
 }
 
 // ShardStatsJSON is one shard's slice of the statistics. The journal
@@ -593,12 +657,24 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 			DocSeq:         ss.DocSeq,
 		}
 	}
-	var replication, maintenance any
+	var replication, maintenance, planner any
 	if s.cfg.ReplStatus != nil {
 		replication = s.cfg.ReplStatus()
 	}
 	if s.cfg.MaintStatus != nil {
 		maintenance = s.cfg.MaintStatus()
+	}
+	if s.cfg.PlanStatus != nil {
+		planner = s.cfg.PlanStatus()
+	}
+	var tagCards map[string]int
+	if raw := r.URL.Query().Get("tags"); raw != "" {
+		tagCards = map[string]int{}
+		for _, tag := range strings.Split(raw, ",") {
+			if tag = strings.TrimSpace(tag); tag != "" {
+				tagCards[tag] = s.backend.TagCardinality(tag)
+			}
+		}
 	}
 	return http.StatusOK, StatsResponse{
 		Mode:           st.Mode.String(),
@@ -618,6 +694,8 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Shards:         shards,
 		Replication:    replication,
 		Maintenance:    maintenance,
+		Planner:        planner,
+		TagCardinality: tagCards,
 	}, nil
 }
 
@@ -705,13 +783,27 @@ func (s *Server) handleQuery(r *http.Request) (int, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	ms, err := s.backend.Query(path)
+	limit, err := s.limitParam(r)
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := s.queryResponse(ms, r)
+	planned, opt, explain, err := s.planParams(r)
 	if err != nil {
 		return 0, nil, err
+	}
+	var ms []lazyxml.Match
+	var plans []lazyxml.PlanInfo
+	if planned {
+		ms, plans, err = s.backend.QueryPlanned(path, opt)
+	} else {
+		ms, err = s.backend.Query(path)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	resp := queryResponse(ms, limit)
+	if explain {
+		resp.Plans = plans
 	}
 	return http.StatusOK, resp, nil
 }
@@ -733,13 +825,28 @@ func (s *Server) handleQueryDoc(r *http.Request) (int, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	ms, err := s.backend.QueryDoc(r.PathValue("name"), path)
+	limit, err := s.limitParam(r)
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := s.queryResponse(ms, r)
+	planned, opt, explain, err := s.planParams(r)
 	if err != nil {
 		return 0, nil, err
+	}
+	name := r.PathValue("name")
+	var ms []lazyxml.Match
+	var plans []lazyxml.PlanInfo
+	if planned {
+		ms, plans, err = s.backend.QueryDocPlanned(name, path, opt)
+	} else {
+		ms, err = s.backend.QueryDoc(name, path)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	resp := queryResponse(ms, limit)
+	if explain {
+		resp.Plans = plans
 	}
 	return http.StatusOK, resp, nil
 }

@@ -193,7 +193,15 @@ func (jc *JournaledCollection) Compact() error {
 	}
 	jc.dmu.Unlock()
 	jc.mu.Unlock()
-	return jc.j.Compact()
+	if err := jc.j.Compact(); err != nil {
+		return err
+	}
+	// Compaction leaves query results unchanged, but it rewrites the
+	// snapshot the store would be rebuilt from; bumping the generation
+	// keeps planner statistics and cached results conservatively fresh
+	// across the maintenance event.
+	jc.db.store.BumpGeneration()
+	return nil
 }
 
 // CompactShard folds shard i's journals — a single-store collection has

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/plan"
 	"repro/internal/segment"
 	"repro/internal/xmltree"
 )
@@ -91,6 +92,10 @@ type DB struct {
 	store    *core.Store
 	alg      Algorithm
 	coreOpts []core.Option
+	// planc memoizes planner statistics against the store generation; it
+	// exists on every DB (planning is always available, caching is opt-in
+	// at the collection layer via EnablePlanner).
+	planc *plan.Collector
 }
 
 // Option configures Open.
@@ -131,6 +136,7 @@ func Open(mode Mode, opts ...Option) *DB {
 		o(db)
 	}
 	db.store = core.NewStore(mode, db.coreOpts...)
+	db.planc = plan.NewCollector(db.store, nil, 0)
 	return db
 }
 
@@ -325,6 +331,7 @@ func Restore(r io.Reader, opts ...Option) (*DB, error) {
 	// Whatever the options did, the restored engine wins: WithoutText is
 	// a property of the snapshot, not of the restore call.
 	db.store = store
+	db.planc = plan.NewCollector(db.store, nil, 0)
 	return db, nil
 }
 

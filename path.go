@@ -120,24 +120,28 @@ func (db *DB) evalPath(p Path) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Subsequent steps: deduplicate the descendant frontier and join it
-	// against the next tag's global element list with Stack-Tree-Desc.
-	for _, step := range p.Steps[1:] {
+	return db.continuePipeline(ms, p.Steps[1:]), nil
+}
+
+// continuePipeline runs the later steps of a path over the first join's
+// matches: each step deduplicates the descendant frontier and joins it
+// against the next tag's global element list with Stack-Tree-Desc. The
+// planned executor reuses it after running the first join with whatever
+// algorithm the plan chose.
+func (db *DB) continuePipeline(ms []Match, steps []PathStep) []Match {
+	for _, step := range steps {
 		frontier := dedupeDescendants(ms)
 		dlist := db.store.GlobalElements(step.Tag)
 		pairs := join.StackTreeDesc(frontier, dlist, step.Axis)
 		ms = make([]Match, len(pairs))
 		for i, pr := range pairs {
-			m := Match{Anc: pr.Anc, Desc: pr.Desc}
-			// Global positions of both sides are already known: the
-			// frontier nodes carried them in Start/End, and dlist too;
-			// recover them from the pair refs via the frontier index.
-			ms[i] = m
+			// Global positions of both sides are re-resolved below from
+			// the node lists that produced the pairs.
+			ms[i] = Match{Anc: pr.Anc, Desc: pr.Desc}
 		}
-		// Re-resolve global positions for the new pairs.
 		ms = db.resolveGlobals(ms, frontier, dlist)
 	}
-	return ms, nil
+	return ms
 }
 
 // dedupeDescendants turns the descendant side of the matches into a

@@ -1,0 +1,396 @@
+package lazyxml
+
+// Cost-based query planning and generation-keyed result caching: the
+// lazyxml-side wiring of internal/plan. Every DB carries a statistics
+// collector; a QueryPlanner (shared result cache + pick counters) is
+// attached per process with EnablePlanner and survives shard re-seeds.
+//
+// The staleness argument for the cache, in one paragraph: a result is
+// cached under the (store id, generation) pair read *before* the query
+// executed. A later reader only receives that entry when its own
+// generation read returns the same pair — and generations are monotonic,
+// so that can only happen while no write has intervened since the key
+// was read. If a write lands between the key read and the query's
+// execution, the entry holds post-write results under a pre-write key;
+// but every reader that still observes the pre-write generation is, by
+// definition, concurrent with that write, and returning the post-write
+// state to a read concurrent with the write is linearizable. The moment
+// the write's generation bump is visible, the old key is unreachable
+// forever. No stale result can ever be served, with no invalidation
+// hooks anywhere.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/plan"
+	"repro/internal/twig"
+)
+
+// PlanAlgo selects a planned-query strategy; PlanAuto lets the cost
+// model decide.
+type PlanAlgo = plan.Algo
+
+// PlanInfo is one explainable plan (per shard, for fanned-out queries).
+type PlanInfo = plan.Plan
+
+// PlanGen is a (store id, generation) pair — one shard's cache epoch.
+type PlanGen = plan.Gen
+
+// PlanAuto requests cost-based selection (the zero PlanOpt).
+const PlanAuto = plan.Auto
+
+// ParsePlanAlgo parses an algorithm override name ("lazy", "parallel",
+// "std", "skip", "sta", "xb", "twig"; ""/"auto"/"planned" = cost-based).
+func ParsePlanAlgo(s string) (PlanAlgo, error) { return plan.ParseAlgo(s) }
+
+// PlanOpt controls one planned query.
+type PlanOpt struct {
+	// Force pins the algorithm (the ?algo= A/B override); PlanAuto
+	// lets the cost model pick.
+	Force PlanAlgo
+	// NoCache bypasses the result cache for this query (both lookup and
+	// fill).
+	NoCache bool
+}
+
+// QueryPlanner is the process-wide planning state: the generation-keyed
+// result cache and the per-algorithm pick counters. One QueryPlanner is
+// shared by every shard of a backend (keys embed the per-shard store id
+// and generation, so shards never collide), attached with
+// Backend.EnablePlanner.
+type QueryPlanner struct {
+	cache *plan.Cache
+	picks *plan.Picks
+}
+
+// NewQueryPlanner returns a planner whose result cache holds at most
+// cacheBytes of match data (<= 0 disables caching; planning and explain
+// still work).
+func NewQueryPlanner(cacheBytes int64) *QueryPlanner {
+	return &QueryPlanner{cache: plan.NewCache(cacheBytes), picks: plan.NewPicks()}
+}
+
+// PlannerStats is the /stats and /metrics readout of a QueryPlanner.
+type PlannerStats struct {
+	Cache plan.CacheStats  `json:"cache"`
+	Picks map[string]int64 `json:"picks"`
+}
+
+// Stats snapshots the cache counters and algorithm picks.
+func (qp *QueryPlanner) Stats() PlannerStats {
+	if qp == nil {
+		return PlannerStats{}
+	}
+	return PlannerStats{Cache: qp.cache.Stats(), Picks: qp.picks.Snapshot()}
+}
+
+// matchBytes is the cache accounting size of one Match (two ElemRefs
+// plus four global positions, plus slice overhead amortized).
+const matchBytes = 96
+
+// planQuery parses a path into both the executor's and the planner's
+// representation.
+func planQuery(path string) (Path, plan.Query, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return Path{}, plan.Query{}, err
+	}
+	steps := make([]plan.Step, 0, 1+len(p.Steps))
+	steps = append(steps, plan.Step{Tag: p.First})
+	for _, st := range p.Steps {
+		steps = append(steps, plan.Step{Tag: st.Tag, Desc: st.Axis == Descendant})
+	}
+	return p, plan.Query{Path: p.String(), Steps: steps}, nil
+}
+
+// coreAlgorithm maps a planned binary-join choice onto the engine's
+// Algorithm enum.
+func coreAlgorithm(a string) (Algorithm, error) {
+	switch a {
+	case plan.Lazy.String():
+		return core.LazyJoin, nil
+	case plan.STD.String():
+		return core.STD, nil
+	case plan.Skip.String():
+		return core.SkipSTD, nil
+	case plan.STA.String():
+		return core.STA, nil
+	case plan.XBTree.String():
+		return core.XB, nil
+	default:
+		return 0, fmt.Errorf("lazyxml: plan chose unexecutable algorithm %q", a)
+	}
+}
+
+// PlanGeneration reads the database's current cache epoch without taking
+// the store lock.
+func (db *DB) PlanGeneration() PlanGen { return db.planc.Gen() }
+
+// TagCardinality returns the number of indexed elements with the given
+// tag, from the tag-list statistics (no scan).
+func (db *DB) TagCardinality(tag string) int { return db.store.TagCardinality(tag) }
+
+// QueryPlanned evaluates a path with cost-based (or forced) algorithm
+// selection and returns the matches together with the explainable plan.
+// The DB layer never caches — the result cache lives at the collection
+// layer, where document scoping and the QueryPlanner are known.
+func (db *DB) QueryPlanned(path string, opt PlanOpt) ([]Match, PlanInfo, error) {
+	p, pq, err := planQuery(path)
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	v := db.planc.View(pq.Tags())
+	pl := plan.Forced(pq, opt.Force, v)
+	ms, err := db.execPlanned(p, pl, v.Workers)
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	return ms, pl, nil
+}
+
+// execPlanned runs the parsed path with the plan's chosen strategy.
+func (db *DB) execPlanned(p Path, pl PlanInfo, workers int) ([]Match, error) {
+	if len(p.Steps) == 0 {
+		// Scan: one tag list, no join — same as the unplanned path.
+		return db.evalPath(p)
+	}
+	if pl.Algo == plan.PathStack.String() {
+		tuples, err := db.QueryTwig(p.String())
+		if err != nil {
+			return nil, err
+		}
+		return tuplesToMatches(tuples), nil
+	}
+	var ms []Match
+	var err error
+	if pl.Algo == plan.LazyParallel.String() {
+		ms, err = db.store.QueryParallel(p.First, p.Steps[0].Tag, p.Steps[0].Axis, workers)
+	} else {
+		alg, aerr := coreAlgorithm(pl.Algo)
+		if aerr != nil {
+			return nil, aerr
+		}
+		ms, err = db.store.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return db.continuePipeline(ms, p.Steps[1:]), nil
+}
+
+// EnablePlanner attaches the planner (result cache + pick counters) and
+// wires the collection's document count into the statistics collector as
+// the fragmentation denominator.
+func (c *Collection) EnablePlanner(qp *QueryPlanner) {
+	c.mu.Lock()
+	c.qp = qp
+	c.mu.Unlock()
+	c.db.planc.SetDocs(c.Len)
+}
+
+// plannerRef reads the attached planner (nil when planning runs without
+// a cache).
+func (c *Collection) plannerRef() *QueryPlanner {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.qp
+}
+
+// TagCardinality returns the number of indexed elements with the tag.
+func (c *Collection) TagCardinality(tag string) int { return c.db.TagCardinality(tag) }
+
+// QueryPlanned evaluates a path over the whole collection with
+// cost-based (or forced) algorithm selection, serving repeat queries from
+// the generation-keyed cache when a planner is attached.
+func (c *Collection) QueryPlanned(path string, opt PlanOpt) ([]Match, []PlanInfo, error) {
+	ms, pl, err := c.queryPlanned("", path, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ms, []PlanInfo{pl}, nil
+}
+
+// QueryDocPlanned is QueryPlanned scoped to one named document.
+func (c *Collection) QueryDocPlanned(name, path string, opt PlanOpt) ([]Match, []PlanInfo, error) {
+	ms, pl, err := c.queryPlanned(name, path, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ms, []PlanInfo{pl}, nil
+}
+
+// queryPlanned is the cached planned-query path. The cache key's
+// generation pair is read BEFORE the query executes — the ordering the
+// staleness argument at the top of this file depends on.
+func (c *Collection) queryPlanned(doc, path string, opt PlanOpt) ([]Match, PlanInfo, error) {
+	qp := c.plannerRef()
+	var key plan.Key
+	useCache := qp != nil && !opt.NoCache
+	if useCache {
+		key = plan.Key{Gen: c.db.planc.Gen(), Doc: doc, Path: path, Algo: opt.Force}
+		if v, pl, ok := qp.cache.Get(key); ok {
+			return v.([]Match), pl, nil
+		}
+	}
+	var ms []Match
+	var pl PlanInfo
+	var err error
+	if doc == "" {
+		ms, pl, err = c.db.QueryPlanned(path, opt)
+	} else {
+		ms, pl, err = c.queryDocPlannedUncached(doc, path, opt)
+	}
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	if qp != nil && !pl.Forced {
+		qp.picks.Count(pl.Algo)
+	}
+	if useCache {
+		qp.cache.Put(key, ms, int64(len(ms)+1)*matchBytes, pl)
+	}
+	return ms, pl, nil
+}
+
+// queryDocPlannedUncached captures the document span, releases the
+// collection lock, then runs the planned query and filters to the span.
+// The lock must not be held across the query: the statistics collector's
+// document counter re-enters c.mu, and a recursive RLock deadlocks
+// against a waiting writer.
+func (c *Collection) queryDocPlannedUncached(name, path string, opt PlanOpt) ([]Match, PlanInfo, error) {
+	c.mu.RLock()
+	lo, hi, err := c.span(name)
+	c.mu.RUnlock()
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	ms, pl, err := c.db.QueryPlanned(path, opt)
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	out := ms[:0:0]
+	for _, m := range ms {
+		// Same scoping rule as QueryDoc: a match is inside the document
+		// iff its descendant is.
+		if m.DescStart >= lo && m.DescEnd <= hi {
+			out = append(out, m)
+		}
+	}
+	return out, pl, nil
+}
+
+// EnablePlanner attaches one shared planner to every shard: cache keys
+// embed each shard's store identity, so per-shard partial results never
+// collide in the shared cache. A shard re-seeded later is re-attached by
+// InstallReseed.
+func (sc *ShardedCollection) EnablePlanner(qp *QueryPlanner) {
+	sc.mu.Lock()
+	sc.planner = qp
+	shards := make([]Backend, len(sc.shards))
+	copy(shards, sc.shards)
+	sc.mu.Unlock()
+	for _, sh := range shards {
+		sh.EnablePlanner(qp)
+	}
+}
+
+// TagCardinality sums the tag's indexed-element count across shards.
+func (sc *ShardedCollection) TagCardinality(tag string) int {
+	per := make([]int, len(sc.shards))
+	sc.fanOut(func(i int, sh Backend) error {
+		per[i] = sh.TagCardinality(tag)
+		return nil
+	})
+	total := 0
+	for _, n := range per {
+		total += n
+	}
+	return total
+}
+
+// QueryPlanned fans the planned query out across shards: each shard
+// plans against its own statistics and caches its own partial result
+// under its own generation, so a write to one shard never invalidates
+// another shard's cache entry. Matches merge in shard order; the
+// returned plans carry one entry per shard.
+func (sc *ShardedCollection) QueryPlanned(path string, opt PlanOpt) ([]Match, []PlanInfo, error) {
+	perM := make([][]Match, len(sc.shards))
+	perP := make([][]PlanInfo, len(sc.shards))
+	err := sc.fanOut(func(i int, sh Backend) error {
+		ms, pls, err := sh.QueryPlanned(path, opt)
+		if err != nil {
+			return err
+		}
+		for k := range pls {
+			pls[k].Shard = i
+		}
+		perM[i], perP[i] = ms, pls
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var total int
+	for _, ms := range perM {
+		total += len(ms)
+	}
+	out := make([]Match, 0, total)
+	plans := make([]PlanInfo, 0, len(sc.shards))
+	for i := range perM {
+		out = append(out, perM[i]...)
+		plans = append(plans, perP[i]...)
+	}
+	return out, plans, nil
+}
+
+// QueryDocPlanned routes the planned document-scoped query to the
+// document's shard.
+func (sc *ShardedCollection) QueryDocPlanned(name, path string, opt PlanOpt) ([]Match, []PlanInfo, error) {
+	sc.mu.RLock()
+	si, ok := sc.route[name]
+	var sh Backend
+	if ok {
+		sh = sc.shards[si]
+	}
+	sc.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	ms, pls, err := sh.QueryDocPlanned(name, path, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k := range pls {
+		pls[k].Shard = si
+	}
+	return ms, pls, nil
+}
+
+// tuplesToMatches projects full twig tuples onto the binary-pipeline
+// result shape: the (last-step, previous-step) element pairs, deduped —
+// several tuples may share their last two bindings through different
+// upper chains.
+func tuplesToMatches(tuples []twig.Tuple) []Match {
+	type pairKey struct{ a, d join.ElemRef }
+	seen := map[pairKey]bool{}
+	out := make([]Match, 0, len(tuples))
+	for _, t := range tuples {
+		if len(t) < 2 {
+			continue
+		}
+		a, d := t[len(t)-2], t[len(t)-1]
+		k := pairKey{a: a.Ref, d: d.Ref}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Match{
+			Anc: a.Ref, Desc: d.Ref,
+			AncStart: a.Start, AncEnd: a.End,
+			DescStart: d.Start, DescEnd: d.End,
+		})
+	}
+	return out
+}

@@ -176,7 +176,13 @@ func (sc *ShardedCollection) InstallReseed(i int, snap *ShardSnapshot) error {
 	for _, name := range jc.Names() {
 		sc.route[name] = i
 	}
+	qp := sc.planner
 	sc.mu.Unlock()
+	if qp != nil {
+		// The re-seeded shard is a fresh store with a fresh identity; the
+		// old shard's cache entries are unreachable by key and age out.
+		jc.EnablePlanner(qp)
+	}
 	return nil
 }
 

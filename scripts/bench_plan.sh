@@ -1,0 +1,113 @@
+#!/bin/sh
+# Measure what the cost-based planner and its generation-keyed result
+# cache buy the read path: the same zipf-skewed query mix against a
+# daemon running with -plan (planner picks the algorithm, hot paths are
+# served from the cache) and against fixed-algorithm lanes where every
+# query forces one join via ?algo= with no caching. Records planned vs
+# fixed p50/p99 and the cache hit ratio in BENCH_plan.json
+# (make bench-plan). Tunables via env:
+#   PORT (default 18080)  N ops (default 12000)  C workers (default 8)
+#   READ fraction (default 0.97)  SHARDS (default 2)
+#   PATHS query paths (default 64)  ZIPF skew (default 2.0)
+#   OUT json path (default BENCH_plan.json)
+# The default mix is a hot-query regime: 97% reads with a steep zipf
+# head, the shape result caching is for. Every write still invalidates
+# its whole shard by generation bump, so the hit ratio is an honest
+# measure of generation churn, not of a cache that never invalidates.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+N=${N:-12000}
+C=${C:-8}
+READ=${READ:-0.97}
+SHARDS=${SHARDS:-2}
+PATHS=${PATHS:-64}
+ZIPF=${ZIPF:-2.0}
+OUT=${OUT:-BENCH_plan.json}
+BIN=$(mktemp -d)
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/lazyxmld" ./cmd/lazyxmld
+go build -o "$BIN/lazyload" ./cmd/lazyload
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -s "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+wait_healthy() {
+    i=0
+    while [ $i -lt 100 ]; do
+        if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench_plan: daemon on :$PORT never became healthy" >&2
+    return 1
+}
+
+# pctl_of <lazyload-output-file> <label> <pN>: pull one percentile out
+# of the "  reads  p50=... p95=... p99=... max=..." summary line.
+pctl_of() {
+    sed -n "s/^  $2.*$3=\([^ ]*\).*/\1/p" "$1" | head -1
+}
+
+# run_lane <label> <lazyload -algo value or "">: in-memory daemon, the
+# planned lane gets -plan, fixed lanes force one algorithm per query.
+run_lane() {
+    label=$1
+    algo=$2
+    shift 2
+    "$BIN/lazyxmld" -addr "127.0.0.1:$PORT" -shards "$SHARDS" "$@" >/dev/null 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    wait_healthy
+    echo "== plan lane $label  (c=$C n=$N read=$READ shards=$SHARDS paths=$PATHS zipf=$ZIPF) =="
+    # A lane that fails (daemon died, loader saw errors) fails the whole
+    # bench: CI treats this script as a gate, not a demo.
+    set -- -url "http://127.0.0.1:$PORT" -c "$C" -n "$N" -read "$READ" \
+        -query-mix -query-paths "$PATHS" -zipf-s "$ZIPF"
+    if [ -n "$algo" ]; then
+        set -- "$@" -algo "$algo"
+    fi
+    if ! "$BIN/lazyload" "$@" | tee "$BIN/out-$label"; then
+        echo "bench_plan: $label lane FAILED" >&2
+        exit 1
+    fi
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    echo
+}
+
+run_lane planned "" -plan
+run_lane lazy lazy
+run_lane std std
+
+P50_PLAN=$(pctl_of "$BIN/out-planned" "reads " p50)
+P99_PLAN=$(pctl_of "$BIN/out-planned" "reads " p99)
+P50_LAZY=$(pctl_of "$BIN/out-lazy" "reads " p50)
+P99_LAZY=$(pctl_of "$BIN/out-lazy" "reads " p99)
+P50_STD=$(pctl_of "$BIN/out-std" "reads " p50)
+P99_STD=$(pctl_of "$BIN/out-std" "reads " p99)
+HIT_RATIO=$(sed -n 's/.*hit_ratio=\([0-9.]*\).*/\1/p' "$BIN/out-planned" | head -1)
+PICKS=$(sed -n 's/^planner picks: *//p' "$BIN/out-planned" | head -1)
+cat >"$OUT" <<EOF
+{
+  "bench": "cost-based planner + generation-keyed result cache",
+  "workload": {"ops": $N, "workers": $C, "readFraction": $READ,
+               "shards": $SHARDS, "queryPaths": $PATHS, "zipfS": $ZIPF},
+  "planned": {"readsP50": "$P50_PLAN", "readsP99": "$P99_PLAN",
+              "cacheHitRatio": $HIT_RATIO, "picks": "$PICKS"},
+  "fixedLazy": {"readsP50": "$P50_LAZY", "readsP99": "$P99_LAZY"},
+  "fixedStd": {"readsP50": "$P50_STD", "readsP99": "$P99_STD"}
+}
+EOF
+echo "recorded $OUT:"
+cat "$OUT"

@@ -47,7 +47,8 @@ type ShardedCollection struct {
 	jOpts  []JournalOption
 	fs     faultline.FS
 
-	epoch int64 // replication epoch (see epoch.go); guarded by mu
+	epoch   int64         // replication epoch (see epoch.go); guarded by mu
+	planner *QueryPlanner // shared planned-query state; nil until EnablePlanner
 }
 
 const (
