@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact bench-plan
+.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact bench-plan bench-mvcc
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -39,3 +39,8 @@ bench-compact:
 # fixed-algorithm lanes; records BENCH_plan.json.
 bench-plan:
 	./scripts/bench_plan.sh
+
+# Read p50/p99 under a compact storm: lock-free MVCC snapshot views vs
+# the pre-MVCC gated baseline; records BENCH_mvcc.json.
+bench-mvcc:
+	./scripts/bench_mvcc.sh

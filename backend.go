@@ -56,6 +56,16 @@ type Backend interface {
 	ShardCount() int
 	ShardOf(name string) int
 	ShardStats() []ShardStat
+
+	// MVCC snapshot reads (DESIGN.md §12). View pins one document at one
+	// generation; ViewAll pins the whole backend, one view per shard.
+	// Queries on a view handle never take a store lock and never block
+	// behind writers or maintenance; the handle must be Released exactly
+	// once. ViewStats reports the per-shard view lifecycle counters
+	// (live handles, oldest retained generation, reclamations).
+	View(name string) (*DocView, error)
+	ViewAll() (*CollectionView, error)
+	ViewStats() []ShardViewStats
 }
 
 // ShardStat is one shard's slice of a backend's statistics: the signal

@@ -1,0 +1,168 @@
+// Command benchmvcc measures what MVCC snapshot reads buy the query
+// path under a compact storm. It runs read workers against one durable
+// journaled collection for a fixed duration while (optionally) a storm
+// goroutine alternates small writes with full Compact cycles, and
+// reports read latency percentiles.
+//
+// Two read disciplines are compared:
+//
+//   - view (the engine's own path): every query runs lock-free against
+//     a generation-stamped immutable snapshot view, so a compact in
+//     flight costs a reader at most one view rebuild.
+//   - gated (the pre-MVCC discipline, reproduced for the baseline):
+//     every query first takes the read side of a lock whose write side
+//     the storm holds across each durable insert and each compact —
+//     exactly what the collection lock used to impose, where reads
+//     queued behind every WAL fsync and every snapshot rewrite.
+//
+// scripts/bench_mvcc.sh runs the lanes back to back and records
+// BENCH_mvcc.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	lazyxml "repro"
+)
+
+// frag builds one fragment: a small indexed structure plus pad bytes of
+// inert text. The padding is the lever that separates the two costs
+// under comparison — a compact must encode and fsync every text byte,
+// while a view rebuild clones only the index structures and shares the
+// text zero-copy.
+func frag(n, pad int) []byte {
+	return []byte(fmt.Sprintf("<person><phone>%04d</phone><note>%s</note></person>",
+		n%10000, strings.Repeat("x", pad)))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchmvcc: ")
+	var (
+		docs     = flag.Int("docs", 16, "documents to seed")
+		frags    = flag.Int("frags", 8, "fragments per seeded document")
+		workers  = flag.Int("c", 1, "concurrent read workers")
+		duration = flag.Duration("d", 3*time.Second, "measurement duration")
+		mode     = flag.String("mode", "view", "read discipline: view | gated")
+		storm    = flag.Bool("storm", true, "run the write+compact storm")
+		pace     = flag.Duration("storm-interval", 2*time.Millisecond, "pause between storm compact cycles")
+		pad      = flag.Int("pad", 32768, "inert text bytes per fragment")
+	)
+	flag.Parse()
+	if *mode != "view" && *mode != "gated" {
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	dir, err := os.MkdirTemp("", "benchmvcc-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	jc, err := lazyxml.OpenJournaledCollection(dir, lazyxml.LD, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jc.Close()
+	for i := 0; i < *docs; i++ {
+		text := []byte("<people>")
+		for j := 0; j < *frags; j++ {
+			text = append(text, frag(*frags*i+j, *pad)...)
+		}
+		text = append(text, "</people>"...)
+		if err := jc.Put(fmt.Sprintf("doc-%d", i), text); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// In gated mode readers and the compactor share this lock, exactly
+	// as they shared the store lock before snapshot views existed. In
+	// view mode it is never touched.
+	var gate sync.RWMutex
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var compacts int
+	if *storm {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				case <-time.After(*pace):
+				}
+				if *mode == "gated" {
+					gate.Lock()
+				}
+				if _, err := jc.Insert("doc-0", len("<people>"), frag(n, *pad)); err != nil {
+					log.Fatal(err)
+				}
+				if err := jc.Compact(); err != nil {
+					log.Fatal(err)
+				}
+				if *mode == "gated" {
+					gate.Unlock()
+				}
+				compacts++
+			}
+		}()
+	}
+
+	// Each read op is a scan: a doc-scoped structural count over every
+	// document except the storm's target. Heavy enough that storm cycles
+	// make up well over 1% of ops — a stall moves p99, not just max. A
+	// view rebuild after a generation bump is paid once by the first
+	// count and shared by the rest of the scan and all ops that follow.
+	lats := make([][]time.Duration, *workers)
+	var rwg sync.WaitGroup
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *workers; w++ {
+		w := w
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				for d := 1; d < *docs; d++ {
+					name := fmt.Sprintf("doc-%d", d)
+					if *mode == "gated" {
+						gate.RLock()
+					}
+					_, err := jc.CountDoc(name, "person/phone")
+					if *mode == "gated" {
+						gate.RUnlock()
+					}
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+				lats[w] = append(lats[w], time.Since(start))
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		log.Fatal("no reads completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p int) time.Duration { return all[len(all)*p/100] }
+	fmt.Printf("mode=%s storm=%v docs=%d workers=%d pad=%d duration=%v\n",
+		*mode, *storm, *docs, *workers, *pad, *duration)
+	fmt.Printf("  reads  n=%d p50=%v p95=%v p99=%v max=%v compacts=%d\n",
+		len(all), pct(50), pct(95), pct(99), all[len(all)-1], compacts)
+}

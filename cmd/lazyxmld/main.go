@@ -12,7 +12,7 @@
 //	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
 //	         [-compact-on-exit] [-repl addr] [-follow addr]
 //	         [-auto-compact] [-compact-segments 64] [-compact-log-bytes N]
-//	         [-compact-interval 5s]
+//	         [-compact-interval 5s] [-compact-view-age 30s]
 //
 // Query planning (-plan): every query runs through the cost-based
 // planner, which prices the whole join arsenal (Lazy-Join, parallel
@@ -63,8 +63,10 @@
 // -compact-log-bytes, every -compact-interval at most. Maintenance
 // takes the same per-shard write slots as client writes, runs only
 // while this node is the writable primary, and defers horizon-moving
-// compacts (bounded) while a live follower still lags. Its counters
-// appear under "maintenance" in /stats and /metrics.
+// compacts (bounded) while a live follower still lags or a reader
+// still holds an MVCC snapshot view of an older generation past
+// -compact-view-age. Its counters appear under "maintenance" in
+// /stats and /metrics.
 //
 // Overload shedding: at most -write-queue writes may wait on one shard's
 // lane, and none waits longer than -shed-after; beyond either bound the
@@ -135,7 +137,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
-	readers := flag.Int("readers", 0, "max concurrent read requests (0 = unlimited)")
+	readers := flag.Int("readers", 0, "accepted for compatibility and ignored: reads run lock-free against MVCC snapshot views")
 	writeQueue := flag.Int("write-queue", 64, "max writes queued per shard lane before shedding with 503 (-1 = unbounded)")
 	shedAfter := flag.Duration("shed-after", time.Second, "max time a write waits for its shard slot before shedding with 503 (-1 = wait the full deadline)")
 	readyMaxLag := flag.Int64("ready-max-lag", 0, "readyz reports 503 when replication lag exceeds this many records (0 = lag never gates readiness)")
@@ -147,6 +149,7 @@ func main() {
 	compactSegments := flag.Int("compact-segments", maintain.DefaultSegmentsHigh, "auto-compact: per-shard segment-count high watermark")
 	compactLogBytes := flag.Int64("compact-log-bytes", maintain.DefaultLogBytesHigh, "auto-compact: per-shard journal bytes that trigger a compact")
 	compactInterval := flag.Duration("compact-interval", 5*time.Second, "auto-compact: polling interval")
+	compactViewAge := flag.Duration("compact-view-age", maintain.DefaultMaxViewAge, "auto-compact: defer generation-bumping work while a stale snapshot view at least this old is retained (negative disables)")
 	flag.Parse()
 
 	if (*replAddr != "" || *follow != "") && *journalDir == "" {
@@ -320,8 +323,9 @@ func main() {
 		mcfg := maintain.Config{
 			Interval: *compactInterval,
 			Policy: maintain.Policy{
-				SegmentsHigh: *compactSegments,
-				LogBytesHigh: *compactLogBytes,
+				SegmentsHigh:       *compactSegments,
+				LogBytesHigh:       *compactLogBytes,
+				MaxRetainedViewAge: *compactViewAge,
 			},
 			IsPrimary: func() bool { return srv.PrimaryAddr() == "" },
 			GateShard: srv.ExclusiveShard,

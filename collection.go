@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // engine is the mutation surface a Collection drives. Both *DB and
@@ -34,6 +35,12 @@ type Collection struct {
 	eng  engine
 	docs map[string]SID
 	qp   *QueryPlanner // planned-query state; nil until EnablePlanner
+
+	// cut is the atomically published immutable copy of docs that MVCC
+	// snapshot readers resolve names through without taking mu (see
+	// view.go). Rename-class mutations (Put, Delete, Collapse re-point)
+	// invalidate it under the write lock; readers rebuild it lazily.
+	cut atomic.Pointer[docsCut]
 }
 
 // NewCollection returns an empty collection backed by a fresh database.
@@ -59,6 +66,7 @@ func (c *Collection) Put(name string, text []byte) error {
 		return err
 	}
 	c.docs[name] = sid
+	c.invalidateCut()
 	return nil
 }
 
@@ -78,6 +86,7 @@ func (c *Collection) Delete(name string) error {
 		return err
 	}
 	delete(c.docs, name)
+	c.invalidateCut()
 	return nil
 }
 
@@ -114,24 +123,17 @@ func (c *Collection) span(name string) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
-// Text returns the current text of a named document. Span lookup and
-// text copy happen under one store lock, so a concurrent writer shifting
-// the document can never tear the slice.
+// Text returns the current text of a named document, read from an MVCC
+// snapshot view: span lookup and text copy come from one immutable
+// generation, so a concurrent writer shifting the document can never
+// tear the slice — and is never blocked by the read.
 func (c *Collection) Text(name string) ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	sid, ok := c.docs[name]
-	if !ok {
-		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
-	}
-	text, ok, err := c.db.store.SegmentText(sid)
+	dv, err := c.View(name)
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
-		return nil, fmt.Errorf("lazyxml: document %q segment %d vanished", name, sid)
-	}
-	return text, nil
+	defer dv.Release()
+	return dv.Text()
 }
 
 // Insert inserts a fragment at an offset relative to the named document.
@@ -236,6 +238,7 @@ func (c *Collection) collapseVia(name string, repoint func(nsid SID) error) (SID
 		}
 	}
 	c.docs[name] = nsid
+	c.invalidateCut()
 	if err := c.eng.Remove(gp+l, l); err != nil {
 		return nsid, err
 	}
@@ -311,28 +314,16 @@ func (c *Collection) Query(path string) ([]Match, error) { return c.db.Query(pat
 
 // QueryDoc evaluates a path expression scoped to one named document:
 // only matches whose elements lie inside the document's span qualify.
-// Positions in the returned matches remain global.
+// Positions in the returned matches remain global. Span resolution and
+// query run against one MVCC snapshot view, so the result is a
+// consistent cut even under concurrent writers and maintenance.
 func (c *Collection) QueryDoc(name, path string) ([]Match, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	lo, hi, err := c.span(name)
+	dv, err := c.View(name)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := c.db.Query(path)
-	if err != nil {
-		return nil, err
-	}
-	out := ms[:0:0]
-	for _, m := range ms {
-		// A structural match is inside the document iff its descendant
-		// is (the ancestor contains the descendant, and documents are
-		// top-level disjoint spans). Single-step paths have only Desc.
-		if m.DescStart >= lo && m.DescEnd <= hi {
-			out = append(out, m)
-		}
-	}
-	return out, nil
+	defer dv.Release()
+	return dv.Query(path)
 }
 
 // CountDoc returns the number of matches of path inside one document.

@@ -230,6 +230,56 @@ func (t *Tree[K, V]) Ceiling(k K) (K, V, bool) {
 	return zk, zv, false
 }
 
+// Clone returns a structurally independent copy of the tree in O(n).
+// Keys and values are copied shallowly: value types that point at shared
+// mutable state must be deep-copied by the caller (via Ascend over the
+// clone). The original may be mutated freely afterwards without
+// affecting the clone, and vice versa — the copy is what makes the
+// store's immutable read views cheap to publish.
+func (t *Tree[K, V]) Clone() *Tree[K, V] {
+	nt := &Tree[K, V]{cmp: t.cmp, degree: t.degree, length: t.length}
+	var prev *leaf[K, V]
+	nt.root = cloneNode(t.root, &prev)
+	n := nt.root
+	for {
+		in, ok := n.(*interior[K, V])
+		if !ok {
+			break
+		}
+		n = in.children[0]
+	}
+	nt.firstLeaf = n.(*leaf[K, V])
+	return nt
+}
+
+// cloneNode copies the subtree rooted at n, threading prev through the
+// recursion so the leaf chain is relinked in a single pass.
+func cloneNode[K, V any](n node[K, V], prev **leaf[K, V]) node[K, V] {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		nl := &leaf[K, V]{
+			keys: append([]K(nil), x.keys...),
+			vals: append([]V(nil), x.vals...),
+			prev: *prev,
+		}
+		if *prev != nil {
+			(*prev).next = nl
+		}
+		*prev = nl
+		return nl
+	case *interior[K, V]:
+		ni := &interior[K, V]{
+			keys:     append([]K(nil), x.keys...),
+			children: make([]node[K, V], len(x.children)),
+		}
+		for i, c := range x.children {
+			ni.children[i] = cloneNode(c, prev)
+		}
+		return ni
+	}
+	return nil
+}
+
 // Clear removes all entries.
 func (t *Tree[K, V]) Clear() {
 	lf := &leaf[K, V]{}

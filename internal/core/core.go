@@ -96,21 +96,35 @@ type Match struct {
 	DescStart, DescEnd int // global
 }
 
-// Store is the lazy XML database.
-type Store struct {
-	mu         sync.RWMutex
+// viewData is the queryable state of the store: every structure a
+// read-only consumer touches, with no locks and no write-path
+// bookkeeping. Store embeds one (guarded by Store.mu); View holds a
+// structurally independent deep copy of one, frozen at a generation,
+// which is what makes lock-free snapshot queries possible. All methods
+// on viewData assume the data is stable for the duration of the call —
+// either the caller holds the store lock, or the data is a published
+// immutable view.
+type viewData struct {
 	mode       Mode
 	keepText   bool
 	indexAttrs bool
 	vix        *valueIndex // non-nil iff WithValues
 
-	sb    *segment.Tree
-	dict  *taglist.Dict
-	tags  *taglist.List
-	ix    *elemindex.Index
-	spans map[segment.SID]*spanIndex
+	sb   *segment.Tree
+	dict *taglist.Dict
+	tags *taglist.List
+	ix   *elemindex.Index
 
 	text []byte // the super document, maintained iff keepText
+}
+
+// Store is the lazy XML database.
+type Store struct {
+	mu sync.RWMutex
+	viewData
+	// spans is write-path-only state (insertion depths), never copied
+	// into views.
+	spans map[segment.SID]*spanIndex
 
 	inserts, removes int
 
@@ -123,6 +137,19 @@ type Store struct {
 	// with atomics so cache lookups never take the store lock.
 	id  uint64
 	gen atomic.Uint64
+
+	// View publication state (view.go): the latest published immutable
+	// view, the single-flight build lock, and the retained-view registry
+	// behind reclamation accounting.
+	published atomic.Pointer[View]
+	buildMu   sync.Mutex
+	vmu       sync.Mutex // guards retained + viewSeq
+	retained  map[uint64]*View
+	viewSeq   uint64
+
+	viewBuilds    atomic.Uint64
+	viewShared    atomic.Uint64
+	viewReclaimed atomic.Uint64
 }
 
 // storeSerial hands out process-unique store ids.
@@ -154,7 +181,8 @@ func WithValues() Option { return func(s *Store) { s.vix = newValueIndex() } }
 
 // NewStore returns an empty super document (just the dummy root).
 func NewStore(mode Mode, opts ...Option) *Store {
-	s := &Store{mode: mode, keepText: true, id: storeSerial.Add(1)}
+	s := &Store{viewData: viewData{mode: mode, keepText: true}, id: storeSerial.Add(1)}
+	s.retained = map[uint64]*View{}
 	s.sb = segment.NewTree()
 	s.dict = taglist.NewDict()
 	s.tags = taglist.New(s.sb, mode)
@@ -303,7 +331,12 @@ func (s *Store) removeLocked(gp, l int) error {
 		}
 	}
 	if s.keepText {
-		s.text = append(s.text[:gp], s.text[gp+l:]...)
+		// Copy instead of splicing in place: published views share the
+		// old text slice zero-copy, so it must never be mutated.
+		next := make([]byte, 0, len(s.text)-l)
+		next = append(next, s.text[:gp]...)
+		next = append(next, s.text[gp+l:]...)
+		s.text = next
 	}
 	s.removes++
 	s.gen.Add(1)
@@ -318,55 +351,65 @@ func (s *Store) allTIDsLocked() []taglist.TID {
 	return tids
 }
 
+// lockForQuery takes the lock a query needs and returns the unlock. In
+// LS mode the tag-list is only sorted now, "just before querying the XML
+// database" (Section 5.1); sorting mutates the log, so LS queries take
+// the write lock. Views never pass through here: their tag-list was
+// sorted once at build time and is immutable afterwards.
+func (s *Store) lockForQuery() func() {
+	if s.mode == LS {
+		s.mu.Lock()
+		s.tags.SortAll()
+		return s.mu.Unlock
+	}
+	s.mu.RLock()
+	return s.mu.RUnlock
+}
+
 // Query computes the structural join aTag(axis)dTag — e.g. Query("A",
 // "D", join.Descendant, LazyJoin) answers A//D — returning matches with
 // reconstructed global positions, ordered by the algorithm's natural
 // output order (descendant-major).
 func (s *Store) Query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match, error) {
-	if s.mode == LS {
-		// Lazy static: the tag-list is only sorted now, "just before
-		// querying the XML database" (Section 5.1). Sorting mutates the
-		// log, so LS queries take the write lock.
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.tags.SortAll()
-	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-	}
+	defer s.lockForQuery()()
+	return s.viewData.query(aTag, dTag, axis, alg)
+}
 
-	atid, aok := s.dict.Lookup(aTag)
-	dtid, dok := s.dict.Lookup(dTag)
+// query is the structural-join body, shared between Store (lock held)
+// and View (immutable data).
+func (d *viewData) query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match, error) {
+	atid, aok := d.dict.Lookup(aTag)
+	dtid, dok := d.dict.Lookup(dTag)
 	if !aok || !dok {
 		return nil, nil // a tag that never occurred joins with nothing
 	}
 	if alg == Auto {
-		alg = s.chooseAlgorithmLocked(atid, dtid)
+		alg = d.chooseAlgorithm(atid, dtid)
 	}
 	var pairs []join.Pair
 	switch alg {
 	case LazyJoin:
-		pairs = join.Lazy(s.sb, s.ix, atid, dtid,
-			s.tags.Segments(atid), s.tags.Segments(dtid), axis, join.DefaultOptions())
+		pairs = join.Lazy(d.sb, d.ix, atid, dtid,
+			d.tags.Segments(atid), d.tags.Segments(dtid), axis, join.DefaultOptions())
 	case STD:
 		pairs = join.StackTreeDesc(
-			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+			d.globalList(atid), d.globalList(dtid), axis)
 	case SkipSTD:
 		pairs = join.SkipJoin(
-			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+			d.globalList(atid), d.globalList(dtid), axis)
 	case STA:
 		pairs = join.StackTreeAnc(
-			s.globalListLocked(atid), s.globalListLocked(dtid), axis)
+			d.globalList(atid), d.globalList(dtid), axis)
 	case XB:
-		aT := xbtree.Build(s.globalListLocked(atid), 0)
-		dT := xbtree.Build(s.globalListLocked(dtid), 0)
+		aT := xbtree.Build(d.globalList(atid), 0)
+		dT := xbtree.Build(d.globalList(dtid), 0)
 		pairs = xbtree.JoinDesc(aT, dT, axis)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
-		out[i] = s.toMatchLocked(p)
+		out[i] = d.toMatch(p)
 	}
 	return out, nil
 }
@@ -376,40 +419,37 @@ func (s *Store) Query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match
 // opportunity the paper's introduction attributes to segments). Results
 // match Query(..., LazyJoin) exactly, including order.
 func (s *Store) QueryParallel(aTag, dTag string, axis join.Axis, workers int) ([]Match, error) {
-	if s.mode == LS {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.tags.SortAll()
-	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-	}
-	atid, aok := s.dict.Lookup(aTag)
-	dtid, dok := s.dict.Lookup(dTag)
+	defer s.lockForQuery()()
+	return s.viewData.queryParallel(aTag, dTag, axis, workers)
+}
+
+func (d *viewData) queryParallel(aTag, dTag string, axis join.Axis, workers int) ([]Match, error) {
+	atid, aok := d.dict.Lookup(aTag)
+	dtid, dok := d.dict.Lookup(dTag)
 	if !aok || !dok {
 		return nil, nil
 	}
-	pairs := join.LazyParallel(s.sb, s.ix, atid, dtid,
-		s.tags.Segments(atid), s.tags.Segments(dtid), axis, join.DefaultOptions(), workers)
+	pairs := join.LazyParallel(d.sb, d.ix, atid, dtid,
+		d.tags.Segments(atid), d.tags.Segments(dtid), axis, join.DefaultOptions(), workers)
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
-		out[i] = s.toMatchLocked(p)
+		out[i] = d.toMatch(p)
 	}
 	return out, nil
 }
 
-// chooseAlgorithmLocked implements the Auto decision: compare the total
+// chooseAlgorithm implements the Auto decision: compare the total
 // elements the query touches against the number of segment-list entries
 // to merge; fall back to STD below the amortization threshold. The
 // statistics are already in the tag-list (entry counts), so the decision
 // is O(|SL_A| + |SL_D|).
-func (s *Store) chooseAlgorithmLocked(atid, dtid taglist.TID) Algorithm {
+func (d *viewData) chooseAlgorithm(atid, dtid taglist.TID) Algorithm {
 	segs, elems := 0, 0
-	for _, e := range s.tags.Segments(atid) {
+	for _, e := range d.tags.Segments(atid) {
 		segs++
 		elems += e.Count
 	}
-	for _, e := range s.tags.Segments(dtid) {
+	for _, e := range d.tags.Segments(dtid) {
 		segs++
 		elems += e.Count
 	}
@@ -427,35 +467,36 @@ func (s *Store) chooseAlgorithmLocked(atid, dtid taglist.TID) Algorithm {
 func (s *Store) ChooseAlgorithm(aTag, dTag string) Algorithm {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	atid, aok := s.dict.Lookup(aTag)
-	dtid, dok := s.dict.Lookup(dTag)
+	return s.viewData.chooseAlgorithmByName(aTag, dTag)
+}
+
+func (d *viewData) chooseAlgorithmByName(aTag, dTag string) Algorithm {
+	atid, aok := d.dict.Lookup(aTag)
+	dtid, dok := d.dict.Lookup(dTag)
 	if !aok || !dok {
 		return LazyJoin
 	}
-	return s.chooseAlgorithmLocked(atid, dtid)
+	return d.chooseAlgorithm(atid, dtid)
 }
 
 // QueryLazyOpts runs Lazy-Join with explicit optimization options (used
 // by the ablation benchmarks; Query uses join.DefaultOptions).
 func (s *Store) QueryLazyOpts(aTag, dTag string, axis join.Axis, opt join.Options) ([]Match, error) {
-	if s.mode == LS {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.tags.SortAll()
-	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-	}
-	atid, aok := s.dict.Lookup(aTag)
-	dtid, dok := s.dict.Lookup(dTag)
+	defer s.lockForQuery()()
+	return s.viewData.queryLazyOpts(aTag, dTag, axis, opt)
+}
+
+func (d *viewData) queryLazyOpts(aTag, dTag string, axis join.Axis, opt join.Options) ([]Match, error) {
+	atid, aok := d.dict.Lookup(aTag)
+	dtid, dok := d.dict.Lookup(dTag)
 	if !aok || !dok {
 		return nil, nil
 	}
-	pairs := join.Lazy(s.sb, s.ix, atid, dtid,
-		s.tags.Segments(atid), s.tags.Segments(dtid), axis, opt)
+	pairs := join.Lazy(d.sb, d.ix, atid, dtid,
+		d.tags.Segments(atid), d.tags.Segments(dtid), axis, opt)
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
-		out[i] = s.toMatchLocked(p)
+		out[i] = d.toMatch(p)
 	}
 	return out, nil
 }
@@ -463,33 +504,30 @@ func (s *Store) QueryLazyOpts(aTag, dTag string, axis join.Axis, opt join.Option
 // GlobalElements returns the global-position element list for a tag,
 // sorted by start — the input the traditional STD algorithm consumes.
 func (s *Store) GlobalElements(tag string) []join.Node {
-	if s.mode == LS {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.tags.SortAll()
-	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-	}
-	tid, ok := s.dict.Lookup(tag)
+	defer s.lockForQuery()()
+	return s.viewData.globalElements(tag)
+}
+
+func (d *viewData) globalElements(tag string) []join.Node {
+	tid, ok := d.dict.Lookup(tag)
 	if !ok {
 		return nil
 	}
-	return s.globalListLocked(tid)
+	return d.globalList(tid)
 }
 
-// globalListLocked reconstructs global (start, end) positions for every
+// globalList reconstructs global (start, end) positions for every
 // element with the given tag by mapping each element's immutable local
 // label through its segment (Section 4, first paragraph).
-func (s *Store) globalListLocked(tid taglist.TID) []join.Node {
-	entries := s.tags.Segments(tid)
+func (d *viewData) globalList(tid taglist.TID) []join.Node {
+	entries := d.tags.Segments(tid)
 	var nodes []join.Node
 	for _, e := range entries {
-		seg, ok := s.sb.Lookup(e.SID)
+		seg, ok := d.sb.Lookup(e.SID)
 		if !ok {
 			continue
 		}
-		for _, el := range s.ix.ElementsOf(tid, e.SID) {
+		for _, el := range d.ix.ElementsOf(tid, e.SID) {
 			nodes = append(nodes, join.Node{
 				Start: seg.GlobalOf(el.Start),
 				End:   seg.GlobalOfEnd(el.End),
@@ -513,14 +551,14 @@ func sortNodes(nodes []join.Node) {
 	})
 }
 
-// toMatchLocked resolves a pair's global positions.
-func (s *Store) toMatchLocked(p join.Pair) Match {
+// toMatch resolves a pair's global positions.
+func (d *viewData) toMatch(p join.Pair) Match {
 	m := Match{Anc: p.Anc, Desc: p.Desc}
-	if seg, ok := s.sb.Lookup(p.Anc.SID); ok {
+	if seg, ok := d.sb.Lookup(p.Anc.SID); ok {
 		m.AncStart = seg.GlobalOf(p.Anc.Start)
 		m.AncEnd = seg.GlobalOfEnd(p.Anc.End)
 	}
-	if seg, ok := s.sb.Lookup(p.Desc.SID); ok {
+	if seg, ok := d.sb.Lookup(p.Desc.SID); ok {
 		m.DescStart = seg.GlobalOf(p.Desc.Start)
 		m.DescEnd = seg.GlobalOfEnd(p.Desc.End)
 	}
@@ -582,12 +620,16 @@ func (s *Store) BumpGeneration() { s.gen.Add(1) }
 func (s *Store) TagCardinality(tag string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	tid, ok := s.dict.Lookup(tag)
+	return s.viewData.tagCardinality(tag)
+}
+
+func (d *viewData) tagCardinality(tag string) int {
+	tid, ok := d.dict.Lookup(tag)
 	if !ok {
 		return 0
 	}
 	n := 0
-	for _, e := range s.tags.Segments(tid) {
+	for _, e := range d.tags.Segments(tid) {
 		n += e.Count
 	}
 	return n
@@ -600,11 +642,15 @@ func (s *Store) TagCardinality(tag string) int {
 func (s *Store) TagPlanStat(tag string) (card, segs, pathLen int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	tid, ok := s.dict.Lookup(tag)
+	return s.viewData.tagPlanStat(tag)
+}
+
+func (d *viewData) tagPlanStat(tag string) (card, segs, pathLen int) {
+	tid, ok := d.dict.Lookup(tag)
 	if !ok {
 		return 0, 0, 0
 	}
-	for _, e := range s.tags.Segments(tid) {
+	for _, e := range d.tags.Segments(tid) {
 		card += e.Count
 		segs++
 		pathLen += len(e.Path)
@@ -636,13 +682,22 @@ func (s *Store) SubtreeSegments(sid segment.SID) (int, bool) {
 	return s.sb.SubtreeSize(sid)
 }
 
+// subtreeSegments is the view-side form of SubtreeSegments.
+func (d *viewData) subtreeSegments(sid segment.SID) (int, bool) {
+	return d.sb.SubtreeSize(sid)
+}
+
 // SegmentSpan returns the global span [gp, end) of segment sid, the
 // pair taken under one store lock so a concurrent update can never tear
 // it.
 func (s *Store) SegmentSpan(sid segment.SID) (gp, end int, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	seg, ok := s.sb.Lookup(sid)
+	return s.viewData.segmentSpan(sid)
+}
+
+func (d *viewData) segmentSpan(sid segment.SID) (gp, end int, ok bool) {
+	seg, ok := d.sb.Lookup(sid)
 	if !ok {
 		return 0, 0, false
 	}
@@ -656,14 +711,18 @@ func (s *Store) SegmentSpan(sid segment.SID) (gp, end int, ok bool) {
 func (s *Store) SegmentText(sid segment.SID) ([]byte, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.keepText {
+	return s.viewData.segmentText(sid)
+}
+
+func (d *viewData) segmentText(sid segment.SID) ([]byte, bool, error) {
+	if !d.keepText {
 		return nil, false, ErrNoText
 	}
-	seg, ok := s.sb.Lookup(sid)
+	seg, ok := d.sb.Lookup(sid)
 	if !ok {
 		return nil, false, nil
 	}
-	return append([]byte(nil), s.text[seg.GP:seg.End()]...), true, nil
+	return append([]byte(nil), d.text[seg.GP:seg.End()]...), true, nil
 }
 
 // UpdateLogBytes returns SB-tree + tag-list footprint (the update log of
@@ -678,10 +737,14 @@ func (s *Store) UpdateLogBytes() (sbtree, taglistBytes int) {
 func (s *Store) Text() ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.keepText {
+	return s.viewData.textCopy()
+}
+
+func (d *viewData) textCopy() ([]byte, error) {
+	if !d.keepText {
 		return nil, ErrNoText
 	}
-	return append([]byte(nil), s.text...), nil
+	return append([]byte(nil), d.text...), nil
 }
 
 // Len returns the current length of the super document in bytes.
@@ -754,20 +817,24 @@ func (s *Store) Rebuild() error {
 func (s *Store) ValueElements(tag, value string) ([]join.Node, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.vix == nil {
+	return s.viewData.valueElements(tag, value)
+}
+
+func (d *viewData) valueElements(tag, value string) ([]join.Node, error) {
+	if d.vix == nil {
 		return nil, ErrNoValues
 	}
-	tid, ok := s.dict.Lookup(tag)
+	tid, ok := d.dict.Lookup(tag)
 	if !ok {
 		return nil, nil
 	}
 	var out []join.Node
-	for _, k := range s.vix.refs(tid, value) {
-		info, ok := s.vix.info(k)
+	for _, k := range d.vix.refs(tid, value) {
+		info, ok := d.vix.info(k)
 		if !ok {
 			continue
 		}
-		seg, ok := s.sb.Lookup(k.SID)
+		seg, ok := d.sb.Lookup(k.SID)
 		if !ok {
 			continue
 		}

@@ -116,7 +116,11 @@ func RestoreStore(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{mode: Mode(modeV), keepText: flags&1 != 0, indexAttrs: flags&2 != 0, id: storeSerial.Add(1)}
+	s := &Store{
+		viewData: viewData{mode: Mode(modeV), keepText: flags&1 != 0, indexAttrs: flags&2 != 0},
+		id:       storeSerial.Add(1),
+	}
+	s.retained = map[uint64]*View{}
 	s.inserts, s.removes = int(inserts), int(removes)
 	if s.dict, err = taglist.DecodeDict(br); err != nil {
 		return nil, err

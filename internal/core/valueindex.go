@@ -173,6 +173,18 @@ func (v *valueIndex) refs(tid taglist.TID, value string) []valKey {
 
 func (v *valueIndex) info(k valKey) (valInfo, bool) { return v.byKey.Get(k) }
 
+// clone returns an independent copy for a published read view: both
+// B+-trees are deep-copied (keys and infos are plain value tuples) and
+// the value dictionary is copied so later interning never reaches the
+// view.
+func (v *valueIndex) clone() *valueIndex {
+	return &valueIndex{
+		dict:   v.dict.Clone(),
+		byKey:  v.byKey.Clone(),
+		bySpan: v.bySpan.Clone(),
+	}
+}
+
 func (v *valueIndex) len() int { return v.byKey.Len() }
 
 // --- codec (snapshot block) ---

@@ -83,6 +83,10 @@ func New() *Index {
 // Len returns the number of element records.
 func (ix *Index) Len() int { return ix.t.Len() }
 
+// Clone returns an independent copy of the index. Keys are plain value
+// tuples, so the underlying B+-tree clone is a full deep copy.
+func (ix *Index) Clone() *Index { return &Index{t: ix.t.Clone()} }
+
 // Add inserts one element record.
 func (ix *Index) Add(k Key) { ix.t.Set(k, struct{}{}) }
 

@@ -136,6 +136,10 @@ func (c *Controller) RunOnce(ctx context.Context) error {
 	for _, ds := range c.backend.DocSegments() {
 		perShard[ds.Shard] = append(perShard[ds.Shard], ds)
 	}
+	viewsByShard := make(map[int]lazyxml.ViewStats, len(shardStats))
+	for _, sv := range c.backend.ViewStats() {
+		viewsByShard[sv.Shard] = sv.Views
+	}
 
 	var firstErr error
 	for _, ss := range shardStats {
@@ -149,6 +153,10 @@ func (c *Controller) RunOnce(ctx context.Context) error {
 			JournalBytes: ss.JournalBytes,
 			DocSegments:  perShard[ss.Shard],
 			Durable:      c.compactor != nil,
+		}
+		if vs, ok := viewsByShard[ss.Shard]; ok && vs.Live > 0 && vs.HeadGen > vs.OldestGen {
+			sig.ViewLag = vs.HeadGen - vs.OldestGen
+			sig.OldestViewAge = vs.OldestAge
 		}
 		c.mu.Lock()
 		st := c.states[ss.Shard]
@@ -255,6 +263,7 @@ type Snapshot struct {
 	SegmentsHigh  int              `json:"segmentsHigh"`
 	SegmentsLow   int              `json:"segmentsLow"`
 	LogBytesHigh  int64            `json:"logBytesHigh"`
+	MaxViewAgeMs  int64            `json:"maxRetainedViewAgeMs"`
 	Cycles        int64            `json:"cycles"`
 	CollapseRuns  int64            `json:"collapseRuns"`
 	CollapsedDocs int64            `json:"collapsedDocs"`
@@ -280,6 +289,7 @@ func (c *Controller) Snapshot() Snapshot {
 		SegmentsHigh:  c.cfg.Policy.SegmentsHigh,
 		SegmentsLow:   c.cfg.Policy.SegmentsLow,
 		LogBytesHigh:  c.cfg.Policy.LogBytesHigh,
+		MaxViewAgeMs:  c.cfg.Policy.MaxRetainedViewAge.Milliseconds(),
 		Cycles:        c.stats.cycles,
 		CollapseRuns:  c.stats.collapseRuns,
 		CollapsedDocs: c.stats.collapsedDocs,

@@ -55,6 +55,16 @@ type Policy struct {
 	// re-seeds automatically via the snapshot path, whereas an unbounded
 	// deferral would let one dead-slow follower pin the WAL forever.
 	MaxCompactDefers int
+
+	// MaxRetainedViewAge defers generation-bumping work (collapse and
+	// compact both advance the store generation) while a reader still
+	// holds an MVCC snapshot view of an older generation at least this
+	// old (default 30s; negative disables the deferral). Each bump stacks
+	// another immutable view clone on top of the history the slow reader
+	// already pins, so waiting briefly bounds memory churn. The deferral
+	// shares MaxCompactDefers with the follower-lag courtesy: a stuck
+	// reader degrades to memory pressure, never stalled maintenance.
+	MaxRetainedViewAge time.Duration
 }
 
 // Defaults for the zero Policy.
@@ -65,6 +75,7 @@ const (
 	DefaultMaxDocsPerCycle = 8
 	DefaultCollapseAllFrac = 0.5
 	DefaultMaxCompactDefer = 3
+	DefaultMaxViewAge      = 30 * time.Second
 )
 
 func (p Policy) withDefaults() Policy {
@@ -90,6 +101,11 @@ func (p Policy) withDefaults() Policy {
 		p.MaxCompactDefers = DefaultMaxCompactDefer
 	} else if p.MaxCompactDefers < 0 {
 		p.MaxCompactDefers = 0 // negative: never defer
+	}
+	if p.MaxRetainedViewAge == 0 {
+		p.MaxRetainedViewAge = DefaultMaxViewAge
+	} else if p.MaxRetainedViewAge < 0 {
+		p.MaxRetainedViewAge = 0 // negative: view age never defers
 	}
 	return p
 }
@@ -126,6 +142,7 @@ const (
 	SkipFollower    = "follower"     // this node is not the primary
 	SkipRateLimit   = "rate-limit"   // inside the MinActionGap window
 	SkipFollowerLag = "follower-lag" // horizon-advancing work deferred
+	SkipViewAge     = "view-age"     // generation bump deferred: old view pinned
 )
 
 // ShardState is the per-shard memory of the state machine, owned by the
@@ -148,6 +165,14 @@ type ShardSignals struct {
 	JournalBytes int64
 	DocSegments  []lazyxml.DocSegStat // this shard's documents only
 	Durable      bool
+
+	// MVCC view pressure: ViewLag is how many generations the oldest
+	// live snapshot view trails the store head (0 when every live view
+	// is current — a current view never defers maintenance, however old,
+	// since a generation bump costs it nothing extra); OldestViewAge is
+	// that oldest view's age.
+	ViewLag       uint64
+	OldestViewAge time.Duration
 }
 
 // Env is the cluster-level context of one policy step.
@@ -237,6 +262,18 @@ func (p Policy) Decide(st *ShardState, sig ShardSignals, env Env) Decision {
 	if sig.Durable && env.FollowerLag > 0 && st.CompactDefers < p.MaxCompactDefers {
 		st.CompactDefers++
 		return Decision{Skip: SkipFollowerLag}
+	}
+
+	// View courtesy: collapse and compact both bump the store generation,
+	// stacking a fresh view clone on top of whatever generations slow
+	// readers still pin. While a stale view (ViewLag > 0) has been held
+	// past MaxRetainedViewAge, defer — bounded by the same counter as the
+	// follower courtesy, so a reader that never releases degrades to
+	// memory pressure instead of stalled maintenance.
+	if p.MaxRetainedViewAge > 0 && sig.ViewLag > 0 &&
+		sig.OldestViewAge >= p.MaxRetainedViewAge && st.CompactDefers < p.MaxCompactDefers {
+		st.CompactDefers++
+		return Decision{Skip: SkipViewAge}
 	}
 	st.CompactDefers = 0
 	st.LastAction = env.Now

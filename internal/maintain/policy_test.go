@@ -154,6 +154,53 @@ func TestDecideFollowerLagDeferral(t *testing.T) {
 	})
 }
 
+// TestDecideViewAgeDeferral: generation-bumping work is deferred while
+// a reader pins an MVCC view of an older generation past
+// MaxRetainedViewAge — bounded by the same budget as the follower
+// courtesy, and only when the pinned view is actually stale: a current
+// view, however old, costs a bump nothing extra.
+func TestDecideViewAgeDeferral(t *testing.T) {
+	p := Policy{SegmentsHigh: 100, SegmentsLow: 50, LogBytesHigh: 1 << 20,
+		MinActionGap: time.Second, MaxCompactDefers: 2, MaxRetainedViewAge: 5 * time.Second}
+	s := ShardSignals{Docs: 1, Segments: 3, JournalBytes: 2 << 20, Durable: true,
+		DocSegments: []lazyxml.DocSegStat{{Name: "a", Segments: 3}}}
+
+	stale := s
+	stale.ViewLag = 2
+	stale.OldestViewAge = 8 * time.Second
+	st := runSteps(t, p, []step{
+		{sig: stale, env: Env{Now: at(0), Primary: true}, wantSkip: SkipViewAge},
+		{sig: stale, env: Env{Now: at(10), Primary: true}, wantSkip: SkipViewAge},
+		// Budget spent: the reader degrades to memory pressure, not
+		// stalled maintenance.
+		{sig: stale, env: Env{Now: at(20), Primary: true}, wantOp: OpCompact},
+	})
+	if st.CompactDefers != 0 {
+		t.Fatalf("defer counter = %d after acting, want 0", st.CompactDefers)
+	}
+
+	// A long-held but current view (no generation lag) never defers.
+	current := s
+	current.OldestViewAge = time.Hour
+	runSteps(t, p, []step{
+		{sig: current, env: Env{Now: at(0), Primary: true}, wantOp: OpCompact},
+	})
+
+	// A stale view younger than the threshold never defers either.
+	young := stale
+	young.OldestViewAge = time.Second
+	runSteps(t, p, []step{
+		{sig: young, env: Env{Now: at(0), Primary: true}, wantOp: OpCompact},
+	})
+
+	// Negative MaxRetainedViewAge disables the courtesy outright.
+	off := p
+	off.MaxRetainedViewAge = -1
+	runSteps(t, off, []step{
+		{sig: stale, env: Env{Now: at(0), Primary: true}, wantOp: OpCompact},
+	})
+}
+
 func TestDecideCollapseAllFraction(t *testing.T) {
 	p := Policy{SegmentsHigh: 10, SegmentsLow: 2, MinActionGap: time.Second,
 		CollapseAllFraction: 0.5, MaxDocsPerCycle: 8}

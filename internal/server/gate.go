@@ -12,25 +12,25 @@ import (
 // the client should back off and retry rather than pile onto the queue.
 var errShed = errors.New("write queue saturated")
 
-// gate implements the server's configurable concurrency model. The
+// gate implements the server's write/admin concurrency model. The
 // engine's own locks make every operation safe; the gate adds policy on
 // top: per shard, a single writer at a time by default (updates to the
 // same shard queue instead of contending on that shard's store lock),
 // while writes to different shards proceed concurrently — the write gate
-// scales per shard instead of per process. Readers are unlimited unless
-// capped. Every acquisition is bounded by the request's context so a
-// queued request gives up at its deadline.
+// scales per shard instead of per process. Reads never pass through the
+// gate at all: they run lock-free against MVCC snapshot views, so the
+// gate is a write-and-admin construct only. Every acquisition is bounded
+// by the request's context so a queued request gives up at its deadline.
 type gate struct {
 	shards  []chan struct{} // one write-slot channel per shard
 	waiting []atomic.Int64  // writers queued (incl. in service of a slot) per lane
 	queue   int             // max writers waiting per lane; <=0 unbounded
-	readers chan struct{}   // nil means unlimited
 }
 
 // newGate builds a gate with writersPerShard slots on each of shards
-// write lanes, an optional reader cap, and a per-lane write-queue bound
-// (queue <= 0 leaves the queue unbounded).
-func newGate(shards, writersPerShard, readers, queue int) *gate {
+// write lanes and a per-lane write-queue bound (queue <= 0 leaves the
+// queue unbounded).
+func newGate(shards, writersPerShard, queue int) *gate {
 	if shards <= 0 {
 		shards = 1
 	}
@@ -44,9 +44,6 @@ func newGate(shards, writersPerShard, readers, queue int) *gate {
 	}
 	for i := range g.shards {
 		g.shards[i] = make(chan struct{}, writersPerShard)
-	}
-	if readers > 0 {
-		g.readers = make(chan struct{}, readers)
 	}
 	return g
 }
@@ -133,9 +130,6 @@ func (g *gate) releaseAdmin() {
 		release(g.shards[i])
 	}
 }
-
-func (g *gate) acquireRead(ctx context.Context) error { return acquire(ctx, g.readers) }
-func (g *gate) releaseRead()                          { release(g.readers) }
 
 // ExclusiveShard runs fn holding one write slot on the shard's lane —
 // the same discipline a doc-scoped write request follows. It is the

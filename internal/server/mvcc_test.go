@@ -1,0 +1,144 @@
+package server
+
+// Tests for the MVCC read path at the HTTP layer: reads must complete
+// while the write/admin lanes are held exclusively (the gate no longer
+// touches them), and /stats and /metrics must publish the per-shard
+// view gauges.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	lazyxml "repro"
+)
+
+// TestReadsNeverBlockOnExclusiveLanes is the acceptance check for the
+// lock-free read path: with ExclusiveAll holding every write lane (the
+// exact discipline POST /compact and the maintenance controller use),
+// the full read surface — collection and doc queries, counts, text,
+// stats — completes. Before MVCC views, reads shared the gate and a
+// held admin lane could starve them; now nothing a writer holds is on
+// the read path at all.
+func TestReadsNeverBlockOnExclusiveLanes(t *testing.T) {
+	backend := lazyxml.NewCollection(lazyxml.LD)
+	if err := backend.Put("doc", []byte("<d><x>1</x><x>2</x></d>")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(backend, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, hold := range []struct {
+		name string
+		grab func(release chan struct{}, held chan struct{})
+	}{
+		{"ExclusiveAll", func(release, held chan struct{}) {
+			go s.ExclusiveAll(context.Background(), func() error {
+				close(held)
+				<-release
+				return nil
+			})
+		}},
+		{"ExclusiveShard", func(release, held chan struct{}) {
+			go s.ExclusiveShard(context.Background(), 0, func() error {
+				close(held)
+				<-release
+				return nil
+			})
+		}},
+	} {
+		t.Run(hold.name, func(t *testing.T) {
+			release, held := make(chan struct{}), make(chan struct{})
+			hold.grab(release, held)
+			<-held
+			defer close(release)
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for _, path := range []string{
+					"/query?path=d/x",
+					"/count?path=d/x",
+					"/docs/doc/query?path=d/x",
+					"/docs/doc/count?path=d/x",
+					"/docs/doc",
+					"/docs",
+					"/stats",
+				} {
+					if st := call(t, ts, "GET", path, nil, nil); st != http.StatusOK {
+						t.Errorf("GET %s = %d while %s held", path, st, hold.name)
+					}
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("reads blocked behind %s", hold.name)
+			}
+		})
+	}
+}
+
+// TestStatsAndMetricsViews checks the observability satellite: both
+// /stats and /metrics carry the per-shard view block, and its gauges
+// move — acquiring a query builds or shares a view, and a pinned old
+// view surfaces as reclaim lag.
+func TestStatsAndMetricsViews(t *testing.T) {
+	backend := lazyxml.NewCollection(lazyxml.LD)
+	if err := backend.Put("doc", []byte("<d><x>1</x></d>")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(backend, Config{}).Handler())
+	defer ts.Close()
+
+	// A query forces a view build; a pinned handle plus one more write
+	// creates reclaim lag.
+	if st := call(t, ts, "GET", "/query?path=d/x", nil, nil); st != http.StatusOK {
+		t.Fatalf("query: %d", st)
+	}
+	pinned, err := backend.View("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Release()
+	if st := call(t, ts, "PUT", "/docs/doc2", []byte("<d><x>2</x></d>"), nil); st != http.StatusCreated {
+		t.Fatalf("put: %d", st)
+	}
+	if st := call(t, ts, "GET", "/query?path=d/x", nil, nil); st != http.StatusOK {
+		t.Fatalf("query: %d", st)
+	}
+
+	var stats StatsResponse
+	if st := call(t, ts, "GET", "/stats", nil, &stats); st != http.StatusOK {
+		t.Fatalf("stats: %d", st)
+	}
+	if len(stats.Views) != backend.ShardCount() {
+		t.Fatalf("stats views = %+v, want one entry per shard", stats.Views)
+	}
+	vs := stats.Views[0]
+	if vs.Builds == 0 {
+		t.Fatalf("no view builds recorded: %+v", vs)
+	}
+	if vs.Live < 1 {
+		t.Fatalf("pinned view not live: %+v", vs)
+	}
+	if vs.ReclaimLag == 0 {
+		t.Fatalf("pinned old view shows no reclaim lag: %+v", vs)
+	}
+	if vs.HeadGen <= vs.OldestGen {
+		t.Fatalf("head %d not past pinned oldest %d", vs.HeadGen, vs.OldestGen)
+	}
+
+	var met struct {
+		Views []ViewStatsJSON `json:"views"`
+	}
+	if st := call(t, ts, "GET", "/metrics", nil, &met); st != http.StatusOK {
+		t.Fatalf("metrics: %d", st)
+	}
+	if len(met.Views) != backend.ShardCount() || met.Views[0].Builds == 0 {
+		t.Fatalf("metrics views = %+v", met.Views)
+	}
+}

@@ -5,15 +5,19 @@
 // whole engine surface (documents, updates, queries, maintenance,
 // statistics) is reachable by any HTTP client.
 //
-// Concurrency model: the engine's locks make every call safe; the
-// server adds a configurable gate on top — per shard, a single writer by
-// default (updates to a shard queue instead of contending on its store
-// lock) and unlimited readers, so a sharded backend applies writes to
+// Concurrency model: reads never queue. Every query endpoint executes
+// against an MVCC snapshot view (DESIGN.md §12) — an immutable,
+// generation-stamped cut of the store — so readers take no store lock
+// and pass through no gate; they cannot block behind writers, compaction
+// or each other. The gate governs only the write and admin lanes: per
+// shard, a single writer by default (updates to a shard queue instead of
+// contending on its store lock), so a sharded backend applies writes to
 // different shards concurrently. Every request runs under a deadline;
 // queued requests give up when it expires. Errors are structured JSON
 // ({"error": ...}) with meaningful status codes, and /metrics exports
 // request counters plus log2 latency histograms, broken down by shard on
-// the write path.
+// the write path, plus per-shard MVCC view gauges (live views, oldest
+// retained generation, reclamation lag).
 package server
 
 import (
@@ -73,7 +77,10 @@ type Config struct {
 	// (default 1: single-writer, many-reader on each shard; total write
 	// concurrency is Writers × the backend's shard count).
 	Writers int
-	// Readers caps concurrent read-path requests (default 0: unlimited).
+	// Readers is retained for configuration compatibility and ignored:
+	// reads execute against MVCC snapshot views, take no store lock and
+	// pass through no gate, so capping them buys nothing. (It once capped
+	// concurrent read-path requests when reads shared the gate.)
 	Readers int
 	// MaxMatches caps the matches returned by query endpoints when the
 	// request does not pass an explicit ?limit= (default 10000).
@@ -169,7 +176,7 @@ func New(backend Backend, cfg Config) *Server {
 	if queue < 0 {
 		queue = 0 // unbounded
 	}
-	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, s.cfg.Readers, queue)
+	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, queue)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -225,10 +232,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		body := struct {
 			MetricsSnapshot
-			Replication any `json:"replication,omitempty"`
-			Maintenance any `json:"maintenance,omitempty"`
-			Planner     any `json:"planner,omitempty"`
-		}{MetricsSnapshot: s.met.snapshot()}
+			Views       []ViewStatsJSON `json:"views"`
+			Replication any             `json:"replication,omitempty"`
+			Maintenance any             `json:"maintenance,omitempty"`
+			Planner     any             `json:"planner,omitempty"`
+		}{MetricsSnapshot: s.met.snapshot(), Views: s.viewStats()}
 		if s.cfg.ReplStatus != nil {
 			body.Replication = s.cfg.ReplStatus()
 		}
@@ -302,13 +310,10 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		shard := 0
 		switch class {
 		case classRead:
+			// Reads take no gate slot: the query path acquires an MVCC
+			// snapshot view and runs lock-free against it, so there is
+			// nothing a reader could contend on that queuing would help.
 			s.met.queries.Add(1)
-			err = s.gate.acquireRead(ctx)
-			defer func() {
-				if err == nil {
-					s.gate.releaseRead()
-				}
-			}()
 		case classWrite:
 			// Doc-scoped writes queue on their document's shard lane, so
 			// writes to different shards are applied concurrently.
@@ -601,6 +606,9 @@ type StatsResponse struct {
 	Durable        bool             `json:"durable"`
 	ShardCount     int              `json:"shardCount"`
 	Shards         []ShardStatsJSON `json:"shards"`
+	// Views is the per-shard MVCC view lifecycle readout: live snapshot
+	// handles, the generations they pin, and reclamation progress.
+	Views []ViewStatsJSON `json:"views"`
 	// Replication is the follower's lag readout (repl.Status); absent on
 	// a primary or standalone server.
 	Replication any `json:"replication,omitempty"`
@@ -634,6 +642,49 @@ type ShardStatsJSON struct {
 	JournalBytes   int64 `json:"journalBytes"`
 	Seq            int64 `json:"seq"`
 	DocSeq         int64 `json:"docSeq"`
+}
+
+// ViewStatsJSON is one shard's MVCC view gauges. reclaimLag is how many
+// generations the oldest retained view trails the store head — 0 means
+// every live view is current and nothing old is pinned; a growing value
+// means a slow reader is holding history alive.
+type ViewStatsJSON struct {
+	Shard        int    `json:"shard"`
+	Live         int    `json:"live"`
+	HeadGen      uint64 `json:"headGen"`
+	PublishedGen uint64 `json:"publishedGen"`
+	OldestGen    uint64 `json:"oldestGen"`
+	OldestAgeMS  int64  `json:"oldestAgeMillis"`
+	ReclaimLag   uint64 `json:"reclaimLag"`
+	Builds       uint64 `json:"builds"`
+	Shared       uint64 `json:"shared"`
+	Reclaimed    uint64 `json:"reclaimed"`
+}
+
+// viewStats renders the backend's per-shard view counters for /stats and
+// /metrics.
+func (s *Server) viewStats() []ViewStatsJSON {
+	per := s.backend.ViewStats()
+	out := make([]ViewStatsJSON, len(per))
+	for i, sv := range per {
+		vs := sv.Views
+		j := ViewStatsJSON{
+			Shard:        sv.Shard,
+			Live:         vs.Live,
+			HeadGen:      vs.HeadGen,
+			PublishedGen: vs.PublishedGen,
+			OldestGen:    vs.OldestGen,
+			OldestAgeMS:  vs.OldestAge.Milliseconds(),
+			Builds:       vs.Builds,
+			Shared:       vs.Shared,
+			Reclaimed:    vs.Reclaimed,
+		}
+		if vs.Live > 0 && vs.HeadGen > vs.OldestGen {
+			j.ReclaimLag = vs.HeadGen - vs.OldestGen
+		}
+		out[i] = j
+	}
+	return out
 }
 
 func (s *Server) handleStats(r *http.Request) (int, any, error) {
@@ -692,6 +743,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Durable:        dur,
 		ShardCount:     s.backend.ShardCount(),
 		Shards:         shards,
+		Views:          s.viewStats(),
 		Replication:    replication,
 		Maintenance:    maintenance,
 		Planner:        planner,

@@ -101,7 +101,7 @@ func TestServerOverloadShedding(t *testing.T) {
 
 // TestGateShedDirect pins the gate semantics underneath the HTTP layer.
 func TestGateShedDirect(t *testing.T) {
-	g := newGate(1, 1, 0, 1)
+	g := newGate(1, 1, 1)
 	if err := g.acquireWrite(context.Background(), 0, 0); err != nil {
 		t.Fatal(err)
 	}

@@ -70,6 +70,19 @@ func (d *Dict) Name(id TID) string {
 // Len returns the number of interned tags.
 func (d *Dict) Len() int { return len(d.names) }
 
+// Clone returns an independent copy of the dictionary. Interning into
+// the original after the clone does not affect the copy.
+func (d *Dict) Clone() *Dict {
+	nd := &Dict{
+		byName: make(map[string]TID, len(d.byName)),
+		names:  append([]string(nil), d.names...),
+	}
+	for name, id := range d.byName {
+		nd.byName[name] = id
+	}
+	return nd
+}
+
 // Entry is one element of a tag's path list.
 type Entry struct {
 	SID   segment.SID   // the segment (last component of Path)
@@ -124,6 +137,28 @@ func New(sb *segment.Tree, mode Mode) *List {
 
 // Mode returns the maintenance mode.
 func (l *List) Mode() Mode { return l.mode }
+
+// CloneFor returns an independent copy of the tag-list bound to sb —
+// the caller's clone of the segment tree, so the copied list reads
+// global positions from the same frozen state it was captured with.
+// Entry paths are shared (immutable); the per-tag entry slices are
+// copied, so later insertions and removals on the original never reach
+// the clone.
+func (l *List) CloneFor(sb *segment.Tree) *List {
+	nl := &List{
+		sb:   sb,
+		mode: l.mode,
+		tags: btree.New[TID, *pathList](func(a, b TID) int { return int(a - b) }),
+	}
+	l.tags.Ascend(func(tid TID, pl *pathList) bool {
+		nl.tags.Set(tid, &pathList{
+			entries: append([]Entry(nil), pl.entries...),
+			sorted:  pl.sorted,
+		})
+		return true
+	})
+	return nl
+}
 
 // gpOf returns the current global position of the segment, used as the
 // sort key of path lists.

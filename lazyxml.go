@@ -227,18 +227,26 @@ func (db *DB) RemoveElementAt(gp int) error {
 // with that tag (as Desc, with a zero Anc). The first binary step runs
 // the configured join algorithm; later steps join intermediate results
 // with Stack-Tree-Desc over reconstructed global positions.
+// Queries run against an MVCC snapshot view of the store (see
+// internal/core/view.go and DESIGN.md §12), so they never hold the store
+// lock while joining and never block behind a writer or a maintenance
+// pass.
 func (db *DB) Query(path string) ([]Match, error) {
 	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
 	}
-	return db.evalPath(p)
+	v := db.store.AcquireView()
+	defer v.Release()
+	return evalPathOn(v, db.alg, p)
 }
 
 // QueryPair runs a single structural join between two tags on the given
 // axis with the given algorithm, bypassing the path parser.
 func (db *DB) QueryPair(aTag, dTag string, axis Axis, alg Algorithm) ([]Match, error) {
-	return db.store.Query(aTag, dTag, axis, alg)
+	v := db.store.AcquireView()
+	defer v.Release()
+	return v.Query(aTag, dTag, axis, alg)
 }
 
 // QueryPairParallel runs Lazy-Join with the descendant segment list
@@ -246,7 +254,9 @@ func (db *DB) QueryPair(aTag, dTag string, axis Axis, alg Algorithm) ([]Match, e
 // parallelization the paper's introduction attributes to segments).
 // Results are identical to QueryPair(..., LazyJoin), order included.
 func (db *DB) QueryPairParallel(aTag, dTag string, axis Axis, workers int) ([]Match, error) {
-	return db.store.QueryParallel(aTag, dTag, axis, workers)
+	v := db.store.AcquireView()
+	defer v.Release()
+	return v.QueryParallel(aTag, dTag, axis, workers)
 }
 
 // Count returns the number of matches of the path expression.
@@ -258,8 +268,16 @@ func (db *DB) Count(path string) (int, error) {
 	return len(ms), nil
 }
 
-// Text returns a copy of the current super document.
-func (db *DB) Text() ([]byte, error) { return db.store.Text() }
+// Text returns a copy of the current super document, read from an MVCC
+// snapshot view so a concurrent writer is never blocked.
+func (db *DB) Text() ([]byte, error) {
+	v := db.store.AcquireView()
+	defer v.Release()
+	return v.Text()
+}
+
+// ViewStats returns the store's MVCC view-lifecycle counters.
+func (db *DB) ViewStats() ViewStats { return db.store.ViewStats() }
 
 // Len returns the length of the super document in bytes.
 func (db *DB) Len() int { return db.store.Len() }

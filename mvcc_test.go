@@ -1,0 +1,471 @@
+package lazyxml_test
+
+// MVCC snapshot-read tests: the oracle-equivalence property harness
+// (every view observes exactly the state it was acquired at, verified
+// against a pure-Go model while writers and the maintenance controller
+// churn underneath), the view-retention soak (a slow reader pinned
+// across compact cycles costs memory, never correctness, and the memory
+// is reclaimed on release), the re-seed invalidation check, and the
+// flat-latency regression test for queries under a compact storm. All
+// of them are meant to run under -race: the CI mvcc step does.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	lazyxml "repro"
+	"repro/internal/maintain"
+)
+
+const mvccOpen = len("<people>")
+
+func mvccFrag(n int) []byte {
+	return []byte(fmt.Sprintf("<person><phone>%04d</phone></person>", n%10000))
+}
+
+func mvccRender(frags [][]byte) []byte {
+	var b bytes.Buffer
+	b.WriteString("<people>")
+	for _, f := range frags {
+		b.Write(f)
+	}
+	b.WriteString("</people>")
+	return b.Bytes()
+}
+
+// mvccCapture is one generation's expected state: the view pinned at
+// capture time plus the model's rendering of every document at that
+// instant. Readers re-verify it long after the live store has moved on.
+type mvccCapture struct {
+	cv     *lazyxml.CollectionView
+	texts  map[string][]byte
+	phones map[string]int
+	total  int
+}
+
+// TestMVCCOracleEquivalence is the property harness: one writer applies
+// a random op stream to the collection and to a pure-Go model in
+// lockstep, periodically pinning a whole-collection view together with
+// the model's state; concurrent readers then verify — repeatedly, while
+// later writes and maintenance-controller ticks keep mutating the live
+// store — that the view still serves exactly its generation's texts and
+// query results.
+func TestMVCCOracleEquivalence(t *testing.T) {
+	const (
+		ops          = 600
+		captureEvery = 8
+		readers      = 3
+	)
+	r := rand.New(rand.NewSource(20050614))
+	c := lazyxml.NewCollection(lazyxml.LD)
+	ctl := maintain.New(c, maintain.Config{
+		Policy: maintain.Policy{
+			SegmentsHigh: 6, SegmentsLow: 3,
+			MinActionGap:       time.Nanosecond,
+			MaxRetainedViewAge: -1, // pinned views must not stall collapses here
+		},
+	})
+
+	names := []string{"d0", "d1", "d2", "d3", "d4"}
+	model := map[string][][]byte{}
+
+	captures := make(chan mvccCapture, readers*2)
+	errs := make(chan error, readers+2)
+	var wg sync.WaitGroup
+
+	// Readers: each pinned view must keep answering with its own
+	// generation's state, byte for byte, however the live store moves.
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cap := range captures {
+				for round := 0; round < 4; round++ {
+					for name, want := range cap.texts {
+						got, err := cap.cv.Text(name)
+						if err != nil {
+							errs <- fmt.Errorf("view text %q: %w", name, err)
+							return
+						}
+						if !bytes.Equal(got, want) {
+							errs <- fmt.Errorf("view text %q drifted:\n got %s\nwant %s", name, got, want)
+							return
+						}
+						n, err := cap.cv.CountDoc(name, "person/phone")
+						if err != nil {
+							errs <- fmt.Errorf("view count %q: %w", name, err)
+							return
+						}
+						if n != cap.phones[name] {
+							errs <- fmt.Errorf("view count %q = %d, want %d", name, n, cap.phones[name])
+							return
+						}
+					}
+					total, err := cap.cv.Count("person/phone")
+					if err != nil {
+						errs <- fmt.Errorf("view total: %w", err)
+						return
+					}
+					if total != cap.total {
+						errs <- fmt.Errorf("view total = %d, want %d", total, cap.total)
+						return
+					}
+					names := cap.cv.Names()
+					if len(names) != len(cap.texts) {
+						errs <- fmt.Errorf("view names = %v, want %d docs", names, len(cap.texts))
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+				cap.cv.Release()
+			}
+		}()
+	}
+
+	// Maintenance: controller ticks concurrently with everything. A
+	// collapse rewrites segments and bumps the generation but never the
+	// logical content, so the oracle is unaffected by when it fires.
+	stopMaint := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopMaint:
+				return
+			default:
+			}
+			if err := ctl.RunOnce(context.Background()); err != nil {
+				errs <- fmt.Errorf("maintain tick: %w", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Writer: the single mutator, applying each op to the store and the
+	// model back to back. Captures happen at the same sequential point,
+	// so the pinned view and the model snapshot describe one state.
+	seq := 0
+	for i := 0; i < ops; i++ {
+		name := names[r.Intn(len(names))]
+		frags, exists := model[name]
+		switch {
+		case !exists:
+			n := 1 + r.Intn(3)
+			fs := make([][]byte, n)
+			for j := range fs {
+				seq++
+				fs[j] = mvccFrag(seq)
+			}
+			if err := c.Put(name, mvccRender(fs)); err != nil {
+				t.Fatal(err)
+			}
+			model[name] = fs
+		case r.Intn(10) == 0:
+			if err := c.Delete(name); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, name)
+		case len(frags) > 0 && r.Intn(3) == 0:
+			if err := c.Remove(name, mvccOpen, len(frags[0])); err != nil {
+				t.Fatal(err)
+			}
+			model[name] = frags[1:]
+		default:
+			seq++
+			f := mvccFrag(seq)
+			if _, err := c.Insert(name, mvccOpen, f); err != nil {
+				t.Fatal(err)
+			}
+			model[name] = append([][]byte{f}, frags...)
+		}
+
+		if i%captureEvery == 0 {
+			cap := mvccCapture{texts: map[string][]byte{}, phones: map[string]int{}}
+			for n, fs := range model {
+				cap.texts[n] = mvccRender(fs)
+				cap.phones[n] = len(fs)
+				cap.total += len(fs)
+			}
+			cv, err := c.ViewAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cap.cv = cv
+			select {
+			case captures <- cap:
+			default:
+				cv.Release() // readers saturated: drop this capture
+			}
+		}
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	}
+	close(captures)
+	close(stopMaint)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMVCCViewRetentionSoak pins one view across repeated write+compact
+// cycles and checks the retention contract: the pinned view's answers
+// never move, the stats report it as the oldest retained generation,
+// per-cycle transient views are reclaimed rather than accumulated, and
+// releasing the pin lets its generation go too.
+func TestMVCCViewRetentionSoak(t *testing.T) {
+	const cycles = 5
+	dir := t.TempDir()
+	jc, err := lazyxml.OpenJournaledCollection(dir, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		if err := jc.Put(name, mvccRender([][]byte{mvccFrag(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pinned, err := jc.View("doc-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText, err := pinned.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := pinned.Count("person/phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedGen := pinned.Generation().Gen
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		for i := 0; i < 8; i++ {
+			if _, err := jc.Insert("doc-1", mvccOpen, mvccFrag(100*cyc+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := jc.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		// The pinned view is immune to the cycle's writes and compaction.
+		got, err := pinned.Text()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantText) {
+			t.Fatalf("cycle %d: pinned view text drifted", cyc)
+		}
+		if n, err := pinned.Count("person/phone"); err != nil || n != wantCount {
+			t.Fatalf("cycle %d: pinned count = %d, %v, want %d", cyc, n, err, wantCount)
+		}
+		// Transient views acquired and released inside the cycle must not
+		// accumulate behind the pin.
+		dv, err := jc.View("doc-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dv.Text(); err != nil {
+			t.Fatal(err)
+		}
+		dv.Release()
+
+		vs := jc.ViewStats()[0].Views
+		if vs.Live < 1 {
+			t.Fatalf("cycle %d: pinned view not counted live: %+v", cyc, vs)
+		}
+		if vs.Live > 3 {
+			t.Fatalf("cycle %d: views accumulate instead of being reclaimed: %+v", cyc, vs)
+		}
+		if vs.OldestGen != pinnedGen {
+			t.Fatalf("cycle %d: oldest retained gen = %d, want pinned %d", cyc, vs.OldestGen, pinnedGen)
+		}
+		if vs.HeadGen <= pinnedGen {
+			t.Fatalf("cycle %d: head generation %d never advanced past pin %d", cyc, vs.HeadGen, pinnedGen)
+		}
+	}
+
+	before := jc.ViewStats()[0].Views
+	pinned.Release()
+	after := jc.ViewStats()[0].Views
+	if after.Reclaimed <= before.Reclaimed {
+		t.Fatalf("release did not reclaim: before %+v after %+v", before, after)
+	}
+	if after.Live > 0 && after.OldestGen == pinnedGen {
+		t.Fatalf("released generation %d still reported retained: %+v", pinnedGen, after)
+	}
+}
+
+// TestMVCCReseedInvalidatesViews checks the one place a store is
+// replaced wholesale: installing a re-seed snapshot invalidates the old
+// store's published view so new readers see only the installed state,
+// while a handle pinned before the swap keeps serving the pre-swap
+// bytes until released.
+func TestMVCCReseedInvalidatesViews(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := lazyxml.OpenShardedCollection(srcDir, 1, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := lazyxml.OpenShardedCollection(dstDir, 1, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	oldText := []byte(`<d><x n="old"/></d>`)
+	newText := []byte(`<d><x n="new"/><x n="new2"/></d>`)
+	if err := dst.Put("doc", oldText); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put("doc", newText); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := dst.View("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := src.CaptureShardSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.InstallReseed(0, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-swap handle still answers from the replaced store.
+	got, err := pinned.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, oldText) {
+		t.Fatalf("pinned pre-reseed view = %s, want %s", got, oldText)
+	}
+	pinned.Release()
+
+	// A fresh view resolves against the installed store only.
+	fresh, err := dst.View("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Release()
+	got, err = fresh.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newText) {
+		t.Fatalf("post-reseed view = %s, want %s", got, newText)
+	}
+	if n, err := fresh.Count("d/x"); err != nil || n != 2 {
+		t.Fatalf("post-reseed count = %d, %v, want 2", n, err)
+	}
+	if vs := dst.ViewStats(); len(vs) != 1 {
+		t.Fatalf("ViewStats after reseed = %+v", vs)
+	}
+}
+
+// TestMVCCQueryLatencyFlatDuringCompact is the latency regression test:
+// read p99 while a compact storm runs must stay within a generous
+// envelope of the undisturbed baseline. The bound is relative (compacts
+// bump the generation, so reads pay view rebuilds — but never a
+// store-wide stall) plus an absolute floor so scheduler noise on a busy
+// host cannot flake it; a return to gated reads would blow through both,
+// since every query would then queue behind a full snapshot rewrite.
+func TestMVCCQueryLatencyFlatDuringCompact(t *testing.T) {
+	const (
+		docs    = 16
+		samples = 300
+	)
+	dir := t.TempDir()
+	jc, err := lazyxml.OpenJournaledCollection(dir, lazyxml.LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	for i := 0; i < docs; i++ {
+		fs := make([][]byte, 8)
+		for j := range fs {
+			fs[j] = mvccFrag(8*i + j)
+		}
+		if err := jc.Put(fmt.Sprintf("doc-%d", i), mvccRender(fs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	measure := func() (p50, p99 time.Duration) {
+		lat := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			start := time.Now()
+			if _, err := jc.Query("person/phone"); err != nil {
+				t.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2], lat[len(lat)*99/100]
+	}
+
+	baseP50, baseP99 := measure()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var compacts int
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := jc.Insert("doc-0", mvccOpen, mvccFrag(compacts)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := jc.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+			compacts++
+		}
+	}()
+	stormP50, stormP99 := measure()
+	close(stop)
+	wg.Wait()
+
+	if compacts == 0 {
+		t.Fatal("compact storm never ran a compact")
+	}
+	t.Logf("baseline p50=%v p99=%v; storm p50=%v p99=%v over %d compacts",
+		baseP50, baseP99, stormP50, stormP99, compacts)
+	// Generous but meaningful: a gated read path parks queries behind
+	// whole snapshot rewrites, which costs milliseconds-to-seconds, not
+	// the microseconds a view rebuild costs on a store this size.
+	limit := 40*baseP99 + 25*time.Millisecond
+	if stormP99 > limit {
+		t.Fatalf("storm p99 %v exceeds %v (baseline p99 %v): reads are stalling behind compaction",
+			stormP99, limit, baseP99)
+	}
+}

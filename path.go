@@ -23,10 +23,17 @@ func (db *DB) QueryTwig(path string) ([]Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	v := db.store.AcquireView()
+	defer v.Release()
+	return queryTwigOn(v, p)
+}
+
+// queryTwigOn runs PathStack over a parsed path against any read engine.
+func queryTwigOn(eng queryEngine, p Path) ([]Tuple, error) {
 	steps := make([]twig.Step, 0, 1+len(p.Steps))
-	steps = append(steps, twig.Step{Nodes: db.store.GlobalElements(p.First)})
+	steps = append(steps, twig.Step{Nodes: eng.GlobalElements(p.First)})
 	for _, st := range p.Steps {
-		steps = append(steps, twig.Step{Axis: st.Axis, Nodes: db.store.GlobalElements(st.Tag)})
+		steps = append(steps, twig.Step{Axis: st.Axis, Nodes: eng.GlobalElements(st.Tag)})
 	}
 	return twig.PathStack(steps)
 }
@@ -104,11 +111,12 @@ func ParsePath(expr string) (Path, error) {
 	return p, nil
 }
 
-// evalPath evaluates a parsed path over the store.
-func (db *DB) evalPath(p Path) ([]Match, error) {
+// evalPathOn evaluates a parsed path against any read engine — the live
+// store or an immutable view.
+func evalPathOn(eng queryEngine, alg Algorithm, p Path) ([]Match, error) {
 	if len(p.Steps) == 0 {
 		// Single step: return every element with the tag.
-		nodes := db.store.GlobalElements(p.First)
+		nodes := eng.GlobalElements(p.First)
 		out := make([]Match, len(nodes))
 		for i, n := range nodes {
 			out[i] = Match{Desc: n.Ref, DescStart: n.Start, DescEnd: n.End}
@@ -116,22 +124,22 @@ func (db *DB) evalPath(p Path) ([]Match, error) {
 		return out, nil
 	}
 	// First binary join with the configured algorithm.
-	ms, err := db.store.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, db.alg)
+	ms, err := eng.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, alg)
 	if err != nil {
 		return nil, err
 	}
-	return db.continuePipeline(ms, p.Steps[1:]), nil
+	return continuePipelineOn(eng, ms, p.Steps[1:]), nil
 }
 
-// continuePipeline runs the later steps of a path over the first join's
-// matches: each step deduplicates the descendant frontier and joins it
-// against the next tag's global element list with Stack-Tree-Desc. The
-// planned executor reuses it after running the first join with whatever
-// algorithm the plan chose.
-func (db *DB) continuePipeline(ms []Match, steps []PathStep) []Match {
+// continuePipelineOn runs the later steps of a path over the first
+// join's matches: each step deduplicates the descendant frontier and
+// joins it against the next tag's global element list with
+// Stack-Tree-Desc. The planned executor reuses it after running the
+// first join with whatever algorithm the plan chose.
+func continuePipelineOn(eng queryEngine, ms []Match, steps []PathStep) []Match {
 	for _, step := range steps {
 		frontier := dedupeDescendants(ms)
-		dlist := db.store.GlobalElements(step.Tag)
+		dlist := eng.GlobalElements(step.Tag)
 		pairs := join.StackTreeDesc(frontier, dlist, step.Axis)
 		ms = make([]Match, len(pairs))
 		for i, pr := range pairs {
@@ -139,7 +147,7 @@ func (db *DB) continuePipeline(ms []Match, steps []PathStep) []Match {
 			// the node lists that produced the pairs.
 			ms[i] = Match{Anc: pr.Anc, Desc: pr.Desc}
 		}
-		ms = db.resolveGlobals(ms, frontier, dlist)
+		ms = resolveGlobals(ms, frontier, dlist)
 	}
 	return ms
 }
@@ -161,7 +169,7 @@ func dedupeDescendants(ms []Match) []join.Node {
 
 // resolveGlobals fills in the global positions of pair members by looking
 // them up in the node lists that produced them.
-func (db *DB) resolveGlobals(ms []Match, alist, dlist []join.Node) []Match {
+func resolveGlobals(ms []Match, alist, dlist []join.Node) []Match {
 	pos := make(map[join.ElemRef][2]int, len(alist)+len(dlist))
 	for _, n := range alist {
 		pos[n.Ref] = [2]int{n.Start, n.End}

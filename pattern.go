@@ -201,10 +201,14 @@ func (db *DB) QueryPattern(expr string) ([]Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One snapshot view for spine and predicates: every stream the
+	// holistic match consumes comes from the same generation.
+	v := db.store.AcquireView()
+	defer v.Release()
 	// Spine streams.
 	steps := make([]twig.Step, len(pat.Spine))
 	for i, st := range pat.Spine {
-		steps[i] = twig.Step{Axis: st.Axis, Nodes: db.store.GlobalElements(st.Tag)}
+		steps[i] = twig.Step{Axis: st.Axis, Nodes: v.GlobalElements(st.Tag)}
 	}
 	// Predicate filters: per spine step, the set of qualifying element
 	// start offsets (global starts are unique element identities).
@@ -212,7 +216,7 @@ func (db *DB) QueryPattern(expr string) ([]Tuple, error) {
 		if len(st.Preds) == 0 {
 			continue
 		}
-		allowed, err := db.predAllowed(st.Tag, st.Preds)
+		allowed, err := predAllowedOn(v, st.Tag, st.Preds)
 		if err != nil {
 			return nil, err
 		}
@@ -236,24 +240,24 @@ func (db *DB) CountPattern(expr string) (int, error) {
 	return len(ts), nil
 }
 
-// predAllowed computes the set of global start offsets of tag-elements
-// satisfying every predicate.
-func (db *DB) predAllowed(tag string, preds []PredPath) (map[int]bool, error) {
+// predAllowedOn computes the set of global start offsets of tag-elements
+// satisfying every predicate, against any read engine.
+func predAllowedOn(eng queryEngine, tag string, preds []PredPath) (map[int]bool, error) {
 	var allowed map[int]bool
-	anchors := db.store.GlobalElements(tag)
+	anchors := eng.GlobalElements(tag)
 	for _, pr := range preds {
 		steps := make([]twig.Step, 0, 1+len(pr.Steps))
 		steps = append(steps, twig.Step{Nodes: anchors})
 		for j, ps := range pr.Steps {
 			if pr.HasValue && j == len(pr.Steps)-1 {
-				nodes, err := db.store.ValueElements(ps.Tag, pr.Value)
+				nodes, err := eng.ValueElements(ps.Tag, pr.Value)
 				if err != nil {
 					return nil, err
 				}
 				steps = append(steps, twig.Step{Axis: ps.Axis, Nodes: nodes})
 				continue
 			}
-			steps = append(steps, twig.Step{Axis: ps.Axis, Nodes: db.store.GlobalElements(ps.Tag)})
+			steps = append(steps, twig.Step{Axis: ps.Axis, Nodes: eng.GlobalElements(ps.Tag)})
 		}
 		tuples, err := twig.PathStack(steps)
 		if err != nil {

@@ -6,18 +6,16 @@ package lazyxml
 // attached per process with EnablePlanner and survives shard re-seeds.
 //
 // The staleness argument for the cache, in one paragraph: a result is
-// cached under the (store id, generation) pair read *before* the query
-// executed. A later reader only receives that entry when its own
-// generation read returns the same pair — and generations are monotonic,
-// so that can only happen while no write has intervened since the key
-// was read. If a write lands between the key read and the query's
-// execution, the entry holds post-write results under a pre-write key;
-// but every reader that still observes the pre-write generation is, by
-// definition, concurrent with that write, and returning the post-write
-// state to a read concurrent with the write is linearizable. The moment
-// the write's generation bump is visible, the old key is unreachable
-// forever. No stale result can ever be served, with no invalidation
-// hooks anywhere.
+// cached under the (store id, generation) pair of the MVCC snapshot
+// view the query executed against, so key and result correspond exactly
+// by construction — the view is immutable, and its generation IS the
+// state the matches were computed from. A later reader only receives
+// that entry when its own acquired view reports the same pair, and
+// AcquireView never serves a view older than the head generation
+// observed at entry, so a reader that has seen a write can never hit a
+// pre-write entry. Generations are monotonic; the moment a write's bump
+// is visible, the old key is unreachable forever. No stale result can
+// ever be served, with no invalidation hooks anywhere.
 
 import (
 	"fmt"
@@ -137,27 +135,40 @@ func (db *DB) TagCardinality(tag string) int { return db.store.TagCardinality(ta
 // The DB layer never caches — the result cache lives at the collection
 // layer, where document scoping and the QueryPlanner are known.
 func (db *DB) QueryPlanned(path string, opt PlanOpt) ([]Match, PlanInfo, error) {
+	v := db.store.AcquireView()
+	defer v.Release()
+	return db.queryPlannedOn(v, path, opt)
+}
+
+// queryPlannedOn plans the path from the collector's statistics and
+// executes it against the given read engine — in practice always an
+// MVCC snapshot view, so the collection layer can key its cache on the
+// exact state the query ran over. Statistics may be one generation
+// fresher than the view (the collector reads the head); they only steer
+// the cost model, never the results.
+func (db *DB) queryPlannedOn(eng queryEngine, path string, opt PlanOpt) ([]Match, PlanInfo, error) {
 	p, pq, err := planQuery(path)
 	if err != nil {
 		return nil, PlanInfo{}, err
 	}
 	v := db.planc.View(pq.Tags())
 	pl := plan.Forced(pq, opt.Force, v)
-	ms, err := db.execPlanned(p, pl, v.Workers)
+	ms, err := execPlannedOn(eng, p, pl, v.Workers)
 	if err != nil {
 		return nil, PlanInfo{}, err
 	}
 	return ms, pl, nil
 }
 
-// execPlanned runs the parsed path with the plan's chosen strategy.
-func (db *DB) execPlanned(p Path, pl PlanInfo, workers int) ([]Match, error) {
+// execPlannedOn runs the parsed path with the plan's chosen strategy
+// against any read engine.
+func execPlannedOn(eng queryEngine, p Path, pl PlanInfo, workers int) ([]Match, error) {
 	if len(p.Steps) == 0 {
 		// Scan: one tag list, no join — same as the unplanned path.
-		return db.evalPath(p)
+		return evalPathOn(eng, LazyJoin, p)
 	}
 	if pl.Algo == plan.PathStack.String() {
-		tuples, err := db.QueryTwig(p.String())
+		tuples, err := queryTwigOn(eng, p)
 		if err != nil {
 			return nil, err
 		}
@@ -166,18 +177,18 @@ func (db *DB) execPlanned(p Path, pl PlanInfo, workers int) ([]Match, error) {
 	var ms []Match
 	var err error
 	if pl.Algo == plan.LazyParallel.String() {
-		ms, err = db.store.QueryParallel(p.First, p.Steps[0].Tag, p.Steps[0].Axis, workers)
+		ms, err = eng.QueryParallel(p.First, p.Steps[0].Tag, p.Steps[0].Axis, workers)
 	} else {
 		alg, aerr := coreAlgorithm(pl.Algo)
 		if aerr != nil {
 			return nil, aerr
 		}
-		ms, err = db.store.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, alg)
+		ms, err = eng.Query(p.First, p.Steps[0].Tag, p.Steps[0].Axis, alg)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return db.continuePipeline(ms, p.Steps[1:]), nil
+	return continuePipelineOn(eng, ms, p.Steps[1:]), nil
 }
 
 // EnablePlanner attaches the planner (result cache + pick counters) and
@@ -221,29 +232,47 @@ func (c *Collection) QueryDocPlanned(name, path string, opt PlanOpt) ([]Match, [
 	return ms, []PlanInfo{pl}, nil
 }
 
-// queryPlanned is the cached planned-query path. The cache key's
-// generation pair is read BEFORE the query executes — the ordering the
-// staleness argument at the top of this file depends on.
+// queryPlanned is the cached planned-query path. The execution snapshot
+// is acquired FIRST and the cache key is its exact (store id,
+// generation) pair, so key and result can never diverge — the ordering
+// the staleness argument at the top of this file depends on. The
+// collection lock is never held across planning or execution: the
+// statistics collector's document counter re-enters c.mu.
 func (c *Collection) queryPlanned(doc, path string, opt PlanOpt) ([]Match, PlanInfo, error) {
 	qp := c.plannerRef()
+	var eng queryEngine
+	var gen PlanGen
+	lo, hi := 0, 0
+	if doc == "" {
+		v := c.db.store.AcquireView()
+		defer v.Release()
+		eng = v
+		gen = PlanGen{Store: v.StoreID(), Gen: v.Generation()}
+	} else {
+		dv, err := c.View(doc)
+		if err != nil {
+			return nil, PlanInfo{}, err
+		}
+		defer dv.Release()
+		eng, gen, lo, hi = dv.v, dv.Generation(), dv.lo, dv.hi
+	}
 	var key plan.Key
 	useCache := qp != nil && !opt.NoCache
 	if useCache {
-		key = plan.Key{Gen: c.db.planc.Gen(), Doc: doc, Path: path, Algo: opt.Force}
+		key = plan.Key{Gen: gen, Doc: doc, Path: path, Algo: opt.Force}
 		if v, pl, ok := qp.cache.Get(key); ok {
 			return v.([]Match), pl, nil
 		}
 	}
-	var ms []Match
-	var pl PlanInfo
-	var err error
-	if doc == "" {
-		ms, pl, err = c.db.QueryPlanned(path, opt)
-	} else {
-		ms, pl, err = c.queryDocPlannedUncached(doc, path, opt)
-	}
+	ms, pl, err := c.db.queryPlannedOn(eng, path, opt)
 	if err != nil {
 		return nil, PlanInfo{}, err
+	}
+	if doc != "" {
+		// Same scoping rule as QueryDoc: a match is inside the document
+		// iff its descendant is. The span came from the same view the
+		// query ran on.
+		ms = filterSpan(ms, lo, hi)
 	}
 	if qp != nil && !pl.Forced {
 		qp.picks.Count(pl.Algo)
@@ -252,33 +281,6 @@ func (c *Collection) queryPlanned(doc, path string, opt PlanOpt) ([]Match, PlanI
 		qp.cache.Put(key, ms, int64(len(ms)+1)*matchBytes, pl)
 	}
 	return ms, pl, nil
-}
-
-// queryDocPlannedUncached captures the document span, releases the
-// collection lock, then runs the planned query and filters to the span.
-// The lock must not be held across the query: the statistics collector's
-// document counter re-enters c.mu, and a recursive RLock deadlocks
-// against a waiting writer.
-func (c *Collection) queryDocPlannedUncached(name, path string, opt PlanOpt) ([]Match, PlanInfo, error) {
-	c.mu.RLock()
-	lo, hi, err := c.span(name)
-	c.mu.RUnlock()
-	if err != nil {
-		return nil, PlanInfo{}, err
-	}
-	ms, pl, err := c.db.QueryPlanned(path, opt)
-	if err != nil {
-		return nil, PlanInfo{}, err
-	}
-	out := ms[:0:0]
-	for _, m := range ms {
-		// Same scoping rule as QueryDoc: a match is inside the document
-		// iff its descendant is.
-		if m.DescStart >= lo && m.DescEnd <= hi {
-			out = append(out, m)
-		}
-	}
-	return out, pl, nil
 }
 
 // EnablePlanner attaches one shared planner to every shard: cache keys

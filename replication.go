@@ -292,6 +292,7 @@ func (jc *JournaledCollection) applyDocRecord(data []byte) (seq int64, op byte, 
 		jc.mu.Unlock()
 		return 0, 0, "", fmt.Errorf("lazyxml: unknown replicated name op %d", op)
 	}
+	jc.invalidateCut()
 	err = jc.appendDoc(op, sid, name)
 	jc.mu.Unlock()
 	if err != nil {

@@ -144,6 +144,12 @@ func (sc *ShardedCollection) InstallReseed(i int, snap *ShardSnapshot) error {
 		if err := oldJC.Close(); err != nil {
 			return err
 		}
+		// The old store is being replaced wholesale: unpublish its view so
+		// no later acquisition resurrects pre-re-seed state. Outstanding
+		// view holders keep their snapshot until they Release — they pin
+		// memory, never correctness — while new readers route to the fresh
+		// store the swap installs below.
+		oldJC.DB().Store().InvalidateViews()
 	}
 	if err := fs.RemoveAll(old); err != nil {
 		return err

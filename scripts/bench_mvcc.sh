@@ -1,0 +1,64 @@
+#!/bin/sh
+# Measure what MVCC snapshot views buy the read path under a compact
+# storm: the same concurrent read workload against one durable
+# collection, once with reads sharing a lock with compaction (the
+# pre-MVCC "gated" discipline, reproduced as the baseline) and once on
+# the engine's lock-free view path — plus a storm-free view lane for the
+# undisturbed floor. Records all three latency profiles in
+# BENCH_mvcc.json (make bench-mvcc). Tunables via env:
+#   DOCS (default 16)  FRAGS per doc (default 8)  PAD bytes (default 32768)
+#   C workers (default 1)  D duration per lane (default 3s)
+#   OUT json path (default BENCH_mvcc.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+DOCS=${DOCS:-16}
+FRAGS=${FRAGS:-8}
+PAD=${PAD:-32768}
+C=${C:-1}
+D=${D:-3s}
+OUT=${OUT:-BENCH_mvcc.json}
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/benchmvcc" ./cmd/benchmvcc
+
+# pick <out-file> <field>: pull one field out of the summary line
+# "  reads  n=... p50=... p95=... p99=... max=... compacts=...".
+pick() {
+    sed -n "s/.*$2=\([^ ]*\).*/\1/p" "$1" | tail -1
+}
+
+run_lane() {
+    label=$1
+    shift
+    echo "== mvcc $label  (docs=$DOCS frags=$FRAGS pad=$PAD c=$C d=$D) =="
+    # A failed lane fails the bench: CI treats this script as a gate.
+    if ! "$BIN/benchmvcc" -docs "$DOCS" -frags "$FRAGS" -pad "$PAD" -c "$C" -d "$D" "$@" \
+        | tee "$BIN/out-$label"; then
+        echo "bench_mvcc: $label lane FAILED" >&2
+        exit 1
+    fi
+    echo
+}
+
+run_lane quiet -mode view -storm=false
+run_lane gated -mode gated
+run_lane view -mode view
+
+cat >"$OUT" <<EOF
+{
+  "bench": "MVCC snapshot reads under compact storm",
+  "workload": {"docs": $DOCS, "fragsPerDoc": $FRAGS, "padBytes": $PAD, "workers": $C, "durationPerLane": "$D"},
+  "viewNoStorm": {"readsP50": "$(pick "$BIN/out-quiet" p50)", "readsP95": "$(pick "$BIN/out-quiet" p95)",
+                  "readsP99": "$(pick "$BIN/out-quiet" p99)", "reads": $(pick "$BIN/out-quiet" n)},
+  "gatedStorm": {"readsP50": "$(pick "$BIN/out-gated" p50)", "readsP95": "$(pick "$BIN/out-gated" p95)",
+                 "readsP99": "$(pick "$BIN/out-gated" p99)",
+                 "reads": $(pick "$BIN/out-gated" n), "compacts": $(pick "$BIN/out-gated" compacts)},
+  "viewStorm": {"readsP50": "$(pick "$BIN/out-view" p50)", "readsP95": "$(pick "$BIN/out-view" p95)",
+                "readsP99": "$(pick "$BIN/out-view" p99)",
+                "reads": $(pick "$BIN/out-view" n), "compacts": $(pick "$BIN/out-view" compacts)}
+}
+EOF
+echo "recorded $OUT:"
+cat "$OUT"
