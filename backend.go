@@ -40,6 +40,17 @@ type Backend interface {
 	TagCardinality(tag string) int
 	EnablePlanner(qp *QueryPlanner)
 
+	// Streaming queries (DESIGN.md §13): the same result set as the
+	// materialized paths above — identical matches in identical order —
+	// delivered through a pull iterator executing against a pinned MVCC
+	// view, with an optional per-query memory budget, context
+	// cancellation between pulls, and true early termination via
+	// StreamOpt.Limit. A sharded backend merges per-shard iterators over
+	// its consistent cut with bounded fan-out. The returned stream must
+	// be Closed exactly once; Close releases the pinned views.
+	QueryStream(path string, opt StreamOpt) (*ResultStream, error)
+	QueryDocStream(name, path string, opt StreamOpt) (*ResultStream, error)
+
 	// Maintenance and introspection. Collapse packs one named document's
 	// segment subtree into a single fresh segment (§5.3); DocSegments is
 	// the cheap per-document segment census the maintenance policy polls

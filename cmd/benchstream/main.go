@@ -1,0 +1,181 @@
+// Command benchstream measures what the streaming query path buys on a
+// large scan: the same ~100k-match structural query run materialized
+// (the classic Query call: the whole []Match built before the caller
+// sees row one) and streamed (QueryStream: rows pulled through the
+// bounded iterator pipeline), comparing
+//
+//   - peak live heap at the query's maximum-retention point — the
+//     streamed lane holds one segment's element lists plus the batch
+//     window, the materialized lane the entire result;
+//   - time to first row — the streamed lane's first match arrives while
+//     the join is still merging segments, the materialized lane's only
+//     after it finished;
+//   - total drain time, p50 and worst pass.
+//
+// The collection is seeded as many documents (one segment each, the
+// shape the Lazy-Join merge is built for) so streaming consumes one
+// segment's lists at a time. scripts/bench_stream.sh runs both lanes
+// back to back and records BENCH_stream.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"time"
+
+	lazyxml "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchstream: ")
+	var (
+		rows   = flag.Int("rows", 100000, "total matches per query")
+		docs   = flag.Int("docs", 100, "documents the matches spread over")
+		passes = flag.Int("passes", 5, "measured passes")
+		mode   = flag.String("mode", "stream", "query discipline: stream | materialize")
+	)
+	flag.Parse()
+	if *mode != "stream" && *mode != "materialize" {
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+	if *docs < 1 || *rows < *docs {
+		log.Fatalf("need at least one row per doc (rows=%d docs=%d)", *rows, *docs)
+	}
+
+	c := lazyxml.NewCollection(lazyxml.LD)
+	per := *rows / *docs
+	total := 0
+	for d := 0; d < *docs; d++ {
+		n := per
+		if d == *docs-1 {
+			n = *rows - total // remainder lands in the last doc
+		}
+		doc := make([]byte, 0, 13+8*n)
+		doc = append(doc, "<load>"...)
+		for i := 0; i < n; i++ {
+			doc = append(doc, "<item/>"...)
+		}
+		doc = append(doc, "</load>"...)
+		if err := c.Put(fmt.Sprintf("d-%04d", d), doc); err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	const path = "load//item"
+
+	// Warm-up pass: LD's first query pays the lazy log merge; that cost
+	// belongs to neither lane.
+	timedPass(c, path, *mode, *rows)
+
+	var ttfbs, drains []time.Duration
+	for p := 0; p < *passes; p++ {
+		ttfb, drain := timedPass(c, path, *mode, *rows)
+		ttfbs = append(ttfbs, ttfb)
+		drains = append(drains, drain)
+	}
+	peak := retentionPass(c, path, *mode, *rows)
+
+	sort.Slice(ttfbs, func(i, j int) bool { return ttfbs[i] < ttfbs[j] })
+	sort.Slice(drains, func(i, j int) bool { return drains[i] < drains[j] })
+	mid := len(drains) / 2
+	fmt.Printf("mode=%s rows=%d docs=%d passes=%d\n", *mode, *rows, *docs, *passes)
+	fmt.Printf("  ttfb_p50_us=%d drain_p50_us=%d drain_max_us=%d peak_live_bytes=%d\n",
+		ttfbs[mid].Microseconds(), drains[mid].Microseconds(),
+		drains[len(drains)-1].Microseconds(), peak)
+}
+
+// timedPass runs one query and reports (time to first match, total
+// drain time). The materialized lane's first match exists only once the
+// whole result does, so its TTFB is its drain time.
+func timedPass(c *lazyxml.Collection, path, mode string, rows int) (ttfb, drain time.Duration) {
+	t0 := time.Now()
+	n := 0
+	if mode == "materialize" {
+		ms, err := c.Query(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ttfb = time.Since(t0)
+		n = len(ms)
+	} else {
+		rs, err := c.QueryStream(path, lazyxml.StreamOpt{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if _, err := rs.Next(); err != nil {
+				break
+			}
+			if n == 0 {
+				ttfb = time.Since(t0)
+			}
+			n++
+		}
+		rs.Close()
+	}
+	drain = time.Since(t0)
+	if n != rows {
+		log.Fatalf("%s pass delivered %d matches, want %d", mode, n, rows)
+	}
+	return ttfb, drain
+}
+
+// retentionPass measures the live heap a consumer holds at the query's
+// maximum-retention point: for the materialized lane, right after Query
+// returns with the full result referenced; for the streamed lane,
+// midway through the drain with the pipeline running. A forced GC
+// before each reading separates state actually retained from
+// allocation garbage.
+func retentionPass(c *lazyxml.Collection, path, mode string, rows int) uint64 {
+	base := liveBytes()
+	var at uint64
+	n := 0
+	if mode == "materialize" {
+		ms, err := c.Query(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		at = liveBytes()
+		n = len(ms)
+		runtime.KeepAlive(ms)
+	} else {
+		rs, err := c.QueryStream(path, lazyxml.StreamOpt{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if _, err := rs.Next(); err != nil {
+				break
+			}
+			n++
+			if n == rows/2 {
+				at = liveBytes()
+			}
+		}
+		rs.Close()
+	}
+	if n != rows {
+		log.Fatalf("%s retention pass delivered %d matches, want %d", mode, n, rows)
+	}
+	// Without this the collection is dead after the last Query call and
+	// the probe's forced GC collects the whole store, masking the result.
+	runtime.KeepAlive(c)
+	if at <= base {
+		return 0
+	}
+	return at - base
+}
+
+func liveBytes() uint64 {
+	// Twice: one cycle can leave just-unreachable spans uncounted, which
+	// would let the baseline read high and mask the retained result.
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

@@ -38,12 +38,20 @@
 // ratio and per-algorithm picks. scripts/bench_plan.sh runs the lanes
 // back to back and records BENCH_plan.json.
 //
+// Stream mode (-stream) measures the streaming read path: one document
+// seeded with -n matches, then -c passes per lane, each reporting
+// time-to-first-row and drain rate. The HTTP lane reads ?stream=1
+// NDJSON; adding -bin runs the same passes over the binary QUERY lane
+// (protocol v3) on the primary's -repl listener.
+// scripts/bench_stream.sh runs streamed vs materialized back to back.
+//
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
 //	         [-prefix load] [-reuse] [-keep] [-retries 4]
 //	         [-bulk] [-bin addr] [-doc-bytes 4096] [-window 64]
 //	         [-query-mix] [-query-paths 64] [-zipf-s 1.2] [-algo name]
+//	         [-stream]
 //
 // Requests refused with 503 (the server's overload shedding) or lost to
 // a transport error are retried up to -retries times with a jittered
@@ -52,6 +60,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -86,6 +95,7 @@ func main() {
 	window := flag.Int("window", 64, "binary bulk pipelining depth (puts in flight before blocking on acks)")
 	retriesFlag := flag.Int("retries", 4, "max retries per request on 503/transport failure (jittered backoff, honors Retry-After)")
 	queryMix := flag.Bool("query-mix", false, "query-mix mode: zipf-skewed structural queries with a write fraction (the planner/cache workload)")
+	stream := flag.Bool("stream", false, "stream mode: repeated streaming queries over one large result, reporting time-to-first-row and rows/s (HTTP ?stream=1; add -bin for the binary QUERY lane)")
 	queryPaths := flag.Int("query-paths", 64, "query-mix: distinct query paths (one tag group each)")
 	zipfS := flag.Float64("zipf-s", 1.2, "query-mix: zipf skew of path popularity (> 1; higher = hotter head)")
 	algo := flag.String("algo", "", "query-mix: force this join algorithm on every query via ?algo= (empty: server default)")
@@ -113,6 +123,10 @@ func main() {
 	}
 	if *queryMix {
 		runQueryMix(client, *url, *prefix, *algo, *workers, *total, *queryPaths, *readFrac, *zipfS, *keep)
+		return
+	}
+	if *stream {
+		runStream(client, *url, *binAddr, *prefix, *total, *workers, *keep)
 		return
 	}
 
@@ -385,6 +399,125 @@ func runQueryMix(client *http.Client, base, prefix, algo string, c, n, paths int
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// runStream measures the streaming read path: one document seeded with
+// rows matches, then passes streaming queries per lane, each timed for
+// TTFB (request sent → first row decoded, the number materialization
+// inflates by the whole execution time) and drain rate. The HTTP lane
+// reads ?stream=1 NDJSON; with -bin the binary QUERY lane runs the same
+// passes over one framed TCP connection. scripts/bench_stream.sh parses
+// the key=value summary lines into BENCH_stream.json.
+func runStream(client *http.Client, base, binAddr, prefix string, rows, passes int, keep bool) {
+	if passes < 1 {
+		passes = 1
+	}
+	name := prefix + "-stream"
+	var b bytes.Buffer
+	b.WriteString("<load>")
+	for i := 0; i < rows; i++ {
+		b.WriteString("<item/>")
+	}
+	b.WriteString("</load>")
+	do(client, "DELETE", base+"/docs/"+name, nil) // ignore 404
+	if status, body := doRetry(client, "PUT", base+"/docs/"+name, b.Bytes()); status != http.StatusCreated {
+		log.Fatalf("lazyload: PUT %s: %d %s", name, status, body)
+	}
+	defer func() {
+		if !keep {
+			do(client, "DELETE", base+"/docs/"+name, nil)
+		}
+	}()
+	path := "load//item"
+	fmt.Printf("lazyload stream: %d rows per query, %d passes per lane\n", rows, passes)
+
+	streamReport := func(lane string, ttfb []time.Duration, totalRows int, elapsed time.Duration) {
+		sort.Slice(ttfb, func(i, j int) bool { return ttfb[i] < ttfb[j] })
+		q := func(f float64) time.Duration { return ttfb[int(f*float64(len(ttfb)-1))] }
+		fmt.Printf("stream lane=%s rows_per_s=%.0f ttfb_p50_us=%d ttfb_p95_us=%d rows=%d elapsed_ms=%d\n",
+			lane, float64(totalRows)/elapsed.Seconds(),
+			q(0.50).Microseconds(), q(0.95).Microseconds(), totalRows, elapsed.Milliseconds())
+	}
+
+	// HTTP lane: chunked NDJSON via ?stream=1.
+	ttfb := make([]time.Duration, 0, passes)
+	total := 0
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		t0 := time.Now()
+		resp, err := client.Get(base + "/query?path=" + path + "&stream=1")
+		if err != nil {
+			log.Fatalf("lazyload: stream query: %v", err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		first := true
+		count := 0
+		for sc.Scan() {
+			line := sc.Bytes()
+			if bytes.Contains(line, []byte(`"stream"`)) {
+				continue // header
+			}
+			if bytes.Contains(line, []byte(`"done"`)) || bytes.Contains(line, []byte(`"error"`)) {
+				break
+			}
+			if first {
+				ttfb = append(ttfb, time.Since(t0))
+				first = false
+			}
+			count++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			log.Fatalf("lazyload: reading stream: %v", err)
+		}
+		if count != rows {
+			log.Fatalf("lazyload: stream pass %d delivered %d rows, want %d", p, count, rows)
+		}
+		total += count
+	}
+	streamReport("http", ttfb, total, time.Since(start))
+
+	if binAddr == "" {
+		return
+	}
+	// Binary lane: QUERY/ROW frames on one connection, passes in sequence.
+	qc, err := repl.DialQuery(binAddr, 10*time.Second)
+	if err != nil {
+		log.Fatalf("lazyload: dialing %s: %v", binAddr, err)
+	}
+	defer qc.Close()
+	ttfb = make([]time.Duration, 0, passes)
+	total = 0
+	start = time.Now()
+	for p := 0; p < passes; p++ {
+		t0 := time.Now()
+		rowsIt, err := qc.Query("", path, 0, 0)
+		if err != nil {
+			log.Fatalf("lazyload: binary query: %v", err)
+		}
+		first := true
+		count := 0
+		for {
+			_, err := rowsIt.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatalf("lazyload: binary stream: %v", err)
+			}
+			if first {
+				ttfb = append(ttfb, time.Since(t0))
+				first = false
+			}
+			count++
+		}
+		if count != rows {
+			log.Fatalf("lazyload: binary pass %d delivered %d rows, want %d", p, count, rows)
+		}
+		total += count
+	}
+	streamReport("binary", ttfb, total, time.Since(start))
 }
 
 // reportPlanner prints the server's result-cache counters and planner

@@ -134,6 +134,7 @@ func main() {
 	values := flag.Bool("values", false, "index element/attribute values for equality predicates")
 	plan := flag.Bool("plan", false, "cost-based query planning + generation-keyed result cache on every query")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache budget in bytes (with -plan; <= 0 disables caching)")
+	queryBudget := flag.Int64("query-budget", 0, "per-query buffered-state cap in bytes; exceeding it fails the query with 507 (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
@@ -223,6 +224,10 @@ func main() {
 		Readers:        *readers,
 		WriteQueue:     *writeQueue,
 		ShedAfter:      *shedAfter,
+		QueryBudget:    *queryBudget,
+	}
+	if *queryBudget > 0 {
+		log.Printf("lazyxmld: per-query memory budget %dB (507 on exceed)", *queryBudget)
 	}
 
 	if *plan {
@@ -239,7 +244,7 @@ func main() {
 	var primary *repl.Primary
 	folErr := make(chan error, 1)
 	if *replAddr != "" {
-		p, err := repl.NewPrimary(sc, repl.PrimaryConfig{Logf: log.Printf})
+		p, err := repl.NewPrimary(sc, repl.PrimaryConfig{Logf: log.Printf, QueryBudget: *queryBudget})
 		if err != nil {
 			log.Fatalf("lazyxmld: %v", err)
 		}

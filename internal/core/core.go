@@ -414,6 +414,47 @@ func (d *viewData) query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Ma
 	return out, nil
 }
 
+// queryEmit is the push-form structural join: each match is handed to
+// emit as the underlying merge produces it, in exactly the order query
+// returns, and emit returning false stops the join early. For LazyJoin,
+// STD and SkipSTD the operator state is bounded by document nesting
+// depth (for LazyJoin not even the global element lists are built), so
+// a consumer that stops early bounds both memory and work; STA and XB
+// buffer internally by nature (ancestor-ordered output, tree build) and
+// only the emission is incremental.
+func (d *viewData) queryEmit(aTag, dTag string, axis join.Axis, alg Algorithm, emit func(Match) bool) error {
+	atid, aok := d.dict.Lookup(aTag)
+	dtid, dok := d.dict.Lookup(dTag)
+	if !aok || !dok {
+		return nil // a tag that never occurred joins with nothing
+	}
+	if alg == Auto {
+		alg = d.chooseAlgorithm(atid, dtid)
+	}
+	emitPair := func(p join.Pair) bool { return emit(d.toMatch(p)) }
+	switch alg {
+	case LazyJoin:
+		join.LazyEmit(d.sb, d.ix, atid, dtid,
+			d.tags.Segments(atid), d.tags.Segments(dtid), axis, join.DefaultOptions(), emitPair)
+	case STD:
+		join.StackTreeDescEmit(
+			d.globalList(atid), d.globalList(dtid), axis, emitPair)
+	case SkipSTD:
+		join.SkipJoinEmit(
+			d.globalList(atid), d.globalList(dtid), axis, emitPair)
+	case STA:
+		join.StackTreeAncEmit(
+			d.globalList(atid), d.globalList(dtid), axis, emitPair)
+	case XB:
+		aT := xbtree.Build(d.globalList(atid), 0)
+		dT := xbtree.Build(d.globalList(dtid), 0)
+		xbtree.JoinDescEmit(aT, dT, axis, emitPair)
+	default:
+		return fmt.Errorf("core: unknown algorithm %d", alg)
+	}
+	return nil
+}
+
 // QueryParallel runs Lazy-Join with the descendant segment list
 // partitioned across the given number of workers (the parallelization
 // opportunity the paper's introduction attributes to segments). Results

@@ -90,6 +90,15 @@ func (v *View) Query(aTag, dTag string, axis join.Axis, alg Algorithm) ([]Match,
 	return v.viewData.query(aTag, dTag, axis, alg)
 }
 
+// QueryEmit is Query in push form: matches are handed to emit as the
+// join produces them, in exactly Query's order, and emit returning false
+// stops the join early. Because the view is immutable, the producer can
+// run for as long as a streaming consumer needs without holding any
+// lock.
+func (v *View) QueryEmit(aTag, dTag string, axis join.Axis, alg Algorithm, emit func(Match) bool) error {
+	return v.viewData.queryEmit(aTag, dTag, axis, alg, emit)
+}
+
 // QueryParallel is Query with the Lazy-Join descendant list partitioned
 // across workers.
 func (v *View) QueryParallel(aTag, dTag string, axis join.Axis, workers int) ([]Match, error) {

@@ -60,6 +60,20 @@ type Node struct {
 // predicate correct for degenerate equal boundaries.
 func StackTreeDesc(alist, dlist []Node, axis Axis) []Pair {
 	var out []Pair
+	StackTreeDescEmit(alist, dlist, axis, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// StackTreeDescEmit is StackTreeDesc in push form: each result pair is
+// handed to emit as soon as the merge produces it, in the same order the
+// slice variant returns. emit returning false stops the join; the return
+// value reports whether the merge ran to completion. The operator's own
+// memory stays bounded by the stack depth (document nesting), so a
+// consumer that stops early really does bound the work.
+func StackTreeDescEmit(alist, dlist []Node, axis Axis, emit func(Pair) bool) bool {
 	var stack []Node
 	ai, di := 0, 0
 	for di < len(dlist) {
@@ -88,10 +102,12 @@ func StackTreeDesc(alist, dlist []Node, axis Axis) []Pair {
 				if axis == Child && a.Level+1 != d.Level {
 					continue
 				}
-				out = append(out, Pair{Anc: a.Ref, Desc: d.Ref})
+				if !emit(Pair{Anc: a.Ref, Desc: d.Ref}) {
+					return false
+				}
 			}
 		}
 		di++
 	}
-	return out
+	return true
 }

@@ -51,10 +51,26 @@ type lazyStackEntry struct {
 func Lazy(sb *segment.Tree, ix *elemindex.Index, atid, dtid taglist.TID,
 	sla, sld []taglist.Entry, axis Axis, opt Options) []Pair {
 
+	var out []Pair
+	LazyEmit(sb, ix, atid, dtid, sla, sld, axis, opt, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// LazyEmit is Lazy in push form: pairs are handed to emit in the order
+// the slice variant returns them, and emit returning false stops the
+// merge (the return value reports whether it ran to completion). This is
+// the lowest-memory entry point of the package — the operator state is
+// the segment stack plus one segment's element lists, independent of the
+// result size.
+func LazyEmit(sb *segment.Tree, ix *elemindex.Index, atid, dtid taglist.TID,
+	sla, sld []taglist.Entry, axis Axis, opt Options, emit func(Pair) bool) bool {
+
 	la := resolveEntries(sb, sla)
 	ld := resolveEntries(sb, sld)
 
-	var out []Pair
 	var stack []lazyStackEntry
 	ai, di := 0, 0
 	for di < len(ld) {
@@ -111,10 +127,12 @@ func Lazy(sb *segment.Tree, ix *elemindex.Index, atid, dtid taglist.TID,
 								if axis == Child && a.Level+1 != d.Level {
 									continue
 								}
-								out = append(out, Pair{
+								if !emit(Pair{
 									Anc:  ElemRef{SID: e.seg.SID, Start: a.Start, End: a.End, Level: a.Level},
 									Desc: ElemRef{SID: sd.SID, Start: d.Start, End: d.End, Level: d.Level},
-								})
+								}) {
+									return false
+								}
 							}
 						}
 					}
@@ -126,11 +144,13 @@ func Lazy(sb *segment.Tree, ix *elemindex.Index, atid, dtid taglist.TID,
 		// labels (both element lists live in the same original
 		// coordinate space).
 		if ai < len(la) && la[ai].SID == sd.SID {
-			out = append(out, inSegment(ix, atid, dtid, sd.SID, axis)...)
+			if !inSegmentEmit(ix, atid, dtid, sd.SID, axis, emit) {
+				return false
+			}
 		}
 		di++
 	}
-	return out
+	return true
 }
 
 // LazyParallel runs Lazy-Join with the descendant segment list
@@ -312,13 +332,13 @@ func childLPTowardGP(s *segment.Segment, t resolvedEntry) (int, bool) {
 	return 0, false
 }
 
-// inSegment joins the A- and D-elements that live inside one segment
-// using StackTreeDesc on their local labels.
-func inSegment(ix *elemindex.Index, atid, dtid taglist.TID, sid segment.SID, axis Axis) []Pair {
+// inSegmentEmit joins the A- and D-elements that live inside one segment
+// using StackTreeDesc on their local labels, pushing pairs to emit.
+func inSegmentEmit(ix *elemindex.Index, atid, dtid taglist.TID, sid segment.SID, axis Axis, emit func(Pair) bool) bool {
 	aElems := ix.ElementsOf(atid, sid)
 	dElems := ix.ElementsOf(dtid, sid)
 	if len(aElems) == 0 || len(dElems) == 0 {
-		return nil
+		return true
 	}
 	alist := make([]Node, len(aElems))
 	for i, e := range aElems {
@@ -330,5 +350,5 @@ func inSegment(ix *elemindex.Index, atid, dtid taglist.TID, sid segment.SID, axi
 		dlist[i] = Node{Start: e.Start, End: e.End, Level: e.Level,
 			Ref: ElemRef{SID: sid, Start: e.Start, End: e.End, Level: e.Level}}
 	}
-	return StackTreeDesc(alist, dlist, axis)
+	return StackTreeDescEmit(alist, dlist, axis, emit)
 }

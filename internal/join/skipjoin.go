@@ -40,6 +40,17 @@ func gallop(n, from int, pred func(int) bool) int {
 // produce no output.
 func SkipJoin(alist, dlist []Node, axis Axis) []Pair {
 	var out []Pair
+	SkipJoinEmit(alist, dlist, axis, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// SkipJoinEmit is SkipJoin in push form: pairs are handed to emit in the
+// order the slice variant returns them; emit returning false stops the
+// merge. The return value reports whether the join ran to completion.
+func SkipJoinEmit(alist, dlist []Node, axis Axis, emit func(Pair) bool) bool {
 	var stack []Node
 	ai, di := 0, 0
 	for di < len(dlist) {
@@ -83,10 +94,12 @@ func SkipJoin(alist, dlist []Node, axis Axis) []Pair {
 				if axis == Child && a.Level+1 != d.Level {
 					continue
 				}
-				out = append(out, Pair{Anc: a.Ref, Desc: d.Ref})
+				if !emit(Pair{Anc: a.Ref, Desc: d.Ref}) {
+					return false
+				}
 			}
 		}
 		di++
 	}
-	return out
+	return true
 }

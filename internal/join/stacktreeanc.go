@@ -19,30 +19,53 @@ type ancFrame struct {
 // descendant order).
 func StackTreeAnc(alist, dlist []Node, axis Axis) []Pair {
 	var out []Pair
+	StackTreeAncEmit(alist, dlist, axis, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// StackTreeAncEmit is StackTreeAnc in push form. Unlike the descendant-
+// ordered variants, this algorithm inherently buffers: an ancestor's
+// pairs cannot leave the operator while it is still on the stack, so
+// emission happens in bursts when a chain pops to empty (and in one final
+// drain). emit returning false stops the join; the return value reports
+// whether it ran to completion.
+func StackTreeAncEmit(alist, dlist []Node, axis Axis, emit func(Pair) bool) bool {
 	var stack []ancFrame
 
-	pop := func() {
+	pop := func() bool {
 		e := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		combined := append(e.self, e.inherit...)
 		if len(stack) == 0 {
-			out = append(out, combined...)
+			for _, p := range combined {
+				if !emit(p) {
+					return false
+				}
+			}
 		} else {
 			p := &stack[len(stack)-1]
 			p.inherit = append(p.inherit, combined...)
 		}
+		return true
 	}
 
 	ai, di := 0, 0
 	for di < len(dlist) {
 		d := dlist[di]
 		for len(stack) > 0 && stack[len(stack)-1].node.End <= d.Start {
-			pop()
+			if !pop() {
+				return false
+			}
 		}
 		if ai < len(alist) && alist[ai].Start < d.Start {
 			a := alist[ai]
 			for len(stack) > 0 && stack[len(stack)-1].node.End <= a.Start {
-				pop()
+				if !pop() {
+					return false
+				}
 			}
 			stack = append(stack, ancFrame{node: a})
 			ai++
@@ -60,7 +83,9 @@ func StackTreeAnc(alist, dlist []Node, axis Axis) []Pair {
 		di++
 	}
 	for len(stack) > 0 {
-		pop()
+		if !pop() {
+			return false
+		}
 	}
-	return out
+	return true
 }

@@ -72,10 +72,25 @@ func (c *Cache) Get(k Key) (any, Plan, bool) {
 	return val, p, true
 }
 
+// admissionDivisor bounds one entry to 1/8 of the cache: a single giant
+// result can never flush the whole working set, and a streaming cache
+// tee knows up-front how much it is worth buffering aside.
+const admissionDivisor = 8
+
+// AdmissionCap returns the per-entry admission bound in bytes (0 when
+// the cache is disabled): Put drops any value larger than this.
+func (c *Cache) AdmissionCap() int64 {
+	if c == nil || c.max <= 0 {
+		return 0
+	}
+	return c.max / admissionDivisor
+}
+
 // Put stores a result set of the given byte size. Values larger than the
-// whole budget are dropped rather than flushing everything else.
+// per-entry admission cap (an eighth of the budget) are dropped rather
+// than evicting most of the working set for one oversized result.
 func (c *Cache) Put(k Key, v any, bytes int64, p Plan) {
-	if c == nil || c.max <= 0 || bytes > c.max {
+	if c == nil || c.max <= 0 || bytes > c.AdmissionCap() {
 		return
 	}
 	if bytes < 1 {

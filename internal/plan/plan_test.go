@@ -226,22 +226,25 @@ func TestCacheHitMissAndGenInvalidation(t *testing.T) {
 }
 
 func TestCacheLRUEvictionByBytes(t *testing.T) {
-	c := NewCache(250)
-	for i := 0; i < 3; i++ {
+	// 100-byte entries sit exactly at the admission cap (800/8), so every
+	// put admits and only capacity eviction is in play; 9×100 overfills
+	// the 800-byte budget by one entry.
+	c := NewCache(800)
+	for i := 0; i < 9; i++ {
 		c.Put(Key{Path: fmt.Sprint(i)}, i, 100, Plan{})
 	}
-	// 3×100 > 250: the oldest entry (0) must be gone.
+	// 9×100 > 800: the oldest entry (0) must be gone.
 	if _, _, ok := c.Get(Key{Path: "0"}); ok {
 		t.Fatal("oldest entry survived over budget")
 	}
-	if _, _, ok := c.Get(Key{Path: "2"}); !ok {
+	if _, _, ok := c.Get(Key{Path: "8"}); !ok {
 		t.Fatal("newest entry evicted")
 	}
 	// Touching 1 makes it most recent; inserting another evicts 2.
 	if _, _, ok := c.Get(Key{Path: "1"}); !ok {
 		t.Fatal("entry 1 missing")
 	}
-	c.Put(Key{Path: "3"}, 3, 100, Plan{})
+	c.Put(Key{Path: "9"}, 9, 100, Plan{})
 	if _, _, ok := c.Get(Key{Path: "2"}); ok {
 		t.Fatal("LRU order ignored: 2 should have been evicted")
 	}
@@ -249,7 +252,7 @@ func TestCacheLRUEvictionByBytes(t *testing.T) {
 		t.Fatal("recently used entry evicted")
 	}
 	st := c.Stats()
-	if st.Evictions != 2 || st.Bytes > 250 {
+	if st.Evictions != 2 || st.Bytes > 800 {
 		t.Fatalf("stats: %+v", st)
 	}
 }
@@ -262,6 +265,36 @@ func TestCacheOversizedValueDropped(t *testing.T) {
 	}
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCachePerEntryAdmissionCap(t *testing.T) {
+	c := NewCache(800)
+	if got := c.AdmissionCap(); got != 100 {
+		t.Fatalf("AdmissionCap() = %d, want 100", got)
+	}
+	// An entry over an eighth of the budget — even though it fits the
+	// whole budget comfortably — must be dropped, and must not evict
+	// anything already cached.
+	c.Put(Key{Path: "small"}, 1, 100, Plan{})
+	c.Put(Key{Path: "large"}, 2, 101, Plan{})
+	if _, _, ok := c.Get(Key{Path: "large"}); ok {
+		t.Fatal("entry over the admission cap was cached")
+	}
+	if _, _, ok := c.Get(Key{Path: "small"}); !ok {
+		t.Fatal("admitted entry evicted by a rejected oversized put")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Disabled caches report no cap.
+	if got := NewCache(0).AdmissionCap(); got != 0 {
+		t.Fatalf("disabled AdmissionCap() = %d, want 0", got)
+	}
+	var nilCache *Cache
+	if got := nilCache.AdmissionCap(); got != 0 {
+		t.Fatalf("nil AdmissionCap() = %d, want 0", got)
 	}
 }
 

@@ -23,15 +23,18 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	lazyxml "repro"
 )
 
 // Version is the protocol version exchanged in HELLO frames. Version 2
 // added the replication epoch to HELLO and the SNAPSHOT frame family
-// (re-seed below the compaction horizon); a primary still accepts
-// MinVersion clients — a v1 HELLO simply carries no epoch and is
-// treated as epoch 0.
+// (re-seed below the compaction horizon); version 3 added the streaming
+// query lane (QUERY/ROW/QUERYEND). A primary still accepts MinVersion
+// clients — a v1 HELLO simply carries no epoch and is treated as epoch
+// 0, and an old client simply never sends a QUERY.
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -66,6 +69,16 @@ const (
 	TypeSnapChunk   byte = 10
 	TypeSnapEnd     byte = 11
 	TypeSnapDone    byte = 12
+
+	// Streaming query lane (v3). A client sends QUERY after the
+	// handshake; the primary answers with ROW frames as matches are
+	// produced and exactly one QUERYEND (row count, truncation flag, and
+	// the error when the query died mid-stream). Queries on one
+	// connection are sequential: the next QUERY follows the previous
+	// QUERYEND, like the bulk lane's PUT/PUT_OK exchange.
+	TypeQuery    byte = 13
+	TypeRow      byte = 14
+	TypeQueryEnd byte = 15
 )
 
 // ERROR frame codes.
@@ -76,6 +89,7 @@ const (
 	ErrCodeBadFrame uint64 = 4 // malformed or unexpected frame
 	ErrCodeInternal uint64 = 5 // primary-side failure
 	ErrCodeEpoch    uint64 = 6 // peer's replication epoch is ahead: this primary is stale
+	ErrCodeBudget   uint64 = 7 // query exceeded its memory budget (QUERYEND code)
 )
 
 // Record kinds: which of the shard's two logs a RECORD frame belongs to.
@@ -325,11 +339,11 @@ func decodePutOK(b []byte) (PutOK, error) {
 // snapshot covers (the positions the client resumes from) and the byte
 // lengths of the two parts, so the receiver can verify completeness.
 type SnapBegin struct {
-	Shard    int
-	Seq      int64
-	DocSeq   int64
-	SnapLen  int64 // store snapshot bytes to follow (kind 0 chunks)
-	DocsLen  int64 // name-map snapshot bytes to follow (kind 1 chunks)
+	Shard   int
+	Seq     int64
+	DocSeq  int64
+	SnapLen int64 // store snapshot bytes to follow (kind 0 chunks)
+	DocsLen int64 // name-map snapshot bytes to follow (kind 1 chunks)
 }
 
 // SnapChunk carries one length-prefixed slice of a shard's snapshot.
@@ -400,6 +414,111 @@ func decodeSnapEnd(p []byte) (SnapEnd, error) {
 	return s, d.finish("snap-end")
 }
 
+// Query is one streaming query request (v3). Doc "" queries the whole
+// collection; Limit 0 is unlimited; Budget 0 inherits the primary's
+// -query-budget (when both are set the smaller wins — a client cannot
+// raise the server's cap, only lower it).
+type Query struct {
+	Doc    string
+	Path   string
+	Limit  int64
+	Budget int64
+}
+
+func (q Query) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(q.Doc)))
+	buf = append(buf, q.Doc...)
+	buf = binary.AppendUvarint(buf, uint64(len(q.Path)))
+	buf = append(buf, q.Path...)
+	buf = binary.AppendUvarint(buf, uint64(q.Limit))
+	return binary.AppendUvarint(buf, uint64(q.Budget))
+}
+
+func decodeQuery(p []byte) (Query, error) {
+	var q Query
+	d := newDecoder(p)
+	q.Doc = d.str()
+	q.Path = d.str()
+	q.Limit = int64(d.uvarint())
+	q.Budget = int64(d.uvarint())
+	if err := d.finish("query"); err != nil {
+		return q, err
+	}
+	if q.Limit < 0 || q.Budget < 0 {
+		return q, fmt.Errorf("repl: corrupt query frame: negative limit or budget")
+	}
+	return q, nil
+}
+
+// encodeRow flattens one match into 12 uvarints: the four global
+// positions, then each element's lazy identity (sid, start, end, level).
+func encodeRow(m lazyxml.Match) []byte {
+	buf := binary.AppendUvarint(nil, uint64(m.AncStart))
+	buf = binary.AppendUvarint(buf, uint64(m.AncEnd))
+	buf = binary.AppendUvarint(buf, uint64(m.DescStart))
+	buf = binary.AppendUvarint(buf, uint64(m.DescEnd))
+	for _, e := range [2]lazyxml.ElemRef{m.Anc, m.Desc} {
+		buf = binary.AppendUvarint(buf, uint64(e.SID))
+		buf = binary.AppendUvarint(buf, uint64(e.Start))
+		buf = binary.AppendUvarint(buf, uint64(e.End))
+		buf = binary.AppendUvarint(buf, uint64(e.Level))
+	}
+	return buf
+}
+
+func decodeRow(p []byte) (lazyxml.Match, error) {
+	var m lazyxml.Match
+	d := newDecoder(p)
+	m.AncStart = int(d.uvarint())
+	m.AncEnd = int(d.uvarint())
+	m.DescStart = int(d.uvarint())
+	m.DescEnd = int(d.uvarint())
+	for _, e := range [2]*lazyxml.ElemRef{&m.Anc, &m.Desc} {
+		e.SID = lazyxml.SID(d.uvarint())
+		e.Start = int(d.uvarint())
+		e.End = int(d.uvarint())
+		e.Level = int(d.uvarint())
+	}
+	return m, d.finish("row")
+}
+
+// QueryEnd closes one query exchange. Code 0 is success; ErrCodeBudget
+// marks a budget kill, anything else a mid-stream failure. Count is the
+// number of ROW frames that preceded it either way.
+type QueryEnd struct {
+	Count     int64
+	Truncated bool
+	Code      uint64
+	Msg       string
+}
+
+func (e QueryEnd) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(e.Count))
+	t := byte(0)
+	if e.Truncated {
+		t = 1
+	}
+	buf = append(buf, t)
+	buf = binary.AppendUvarint(buf, e.Code)
+	return append(buf, e.Msg...)
+}
+
+func decodeQueryEnd(p []byte) (QueryEnd, error) {
+	var e QueryEnd
+	d := newDecoder(p)
+	e.Count = int64(d.uvarint())
+	e.Truncated = d.byte() != 0
+	e.Code = d.uvarint()
+	if d.err != nil {
+		return e, fmt.Errorf("repl: corrupt query-end frame: %w", d.err)
+	}
+	e.Msg = string(d.rest())
+	if e.Count < 0 {
+		return e, fmt.Errorf("repl: corrupt query-end frame: negative count")
+	}
+	return e, nil
+}
+
 // decoder is a tiny cursor over a payload with sticky errors, so the
 // decode functions read like the encode ones.
 type decoder struct {
@@ -433,6 +552,21 @@ func (d *decoder) byte() byte {
 	b := d.p[0]
 	d.p = d.p[1:]
 	return b
+}
+
+// str reads a uvarint length followed by that many bytes.
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.p)) {
+		d.err = fmt.Errorf("truncated string of %d bytes", n)
+		return ""
+	}
+	s := string(d.p[:n])
+	d.p = d.p[n:]
+	return s
 }
 
 func (d *decoder) rest() []byte {

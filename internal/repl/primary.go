@@ -1,8 +1,10 @@
 package repl
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +31,11 @@ type PrimaryConfig struct {
 	// re-seed stream (default 256 KiB). Small enough that a kill
 	// mid-stream wastes little, large enough to amortize framing.
 	SnapChunkBytes int
+	// QueryBudget caps each binary-lane query's buffered execution state
+	// in bytes, like the HTTP server's -query-budget. A QUERY frame may
+	// carry its own budget; the smaller of the two wins, so a client can
+	// lower the cap but never raise it. 0 means no server-side cap.
+	QueryBudget int64
 	// Logf receives connection-level events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -335,8 +342,11 @@ func (p *Primary) handleConn(conn net.Conn) {
 	case TypePut:
 		conn.SetDeadline(time.Time{})
 		p.bulk(conn, payload)
+	case TypeQuery:
+		conn.SetDeadline(time.Time{})
+		p.queries(conn, payload)
 	default:
-		p.sendErr(conn, ErrCodeBadFrame, "expected SUBSCRIBE, SNAPREQUEST or PUT, got frame type %d", typ)
+		p.sendErr(conn, ErrCodeBadFrame, "expected SUBSCRIBE, SNAPREQUEST, PUT or QUERY, got frame type %d", typ)
 	}
 }
 
@@ -612,6 +622,114 @@ func (p *Primary) heartbeat(conn net.Conn) error {
 	}
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 	return WriteFrame(conn, TypeHeartbeat, hb.encode())
+}
+
+// effectiveBudget combines the client's requested budget with the
+// primary's configured one: the smaller non-zero value wins.
+func effectiveBudget(client, server int64) int64 {
+	switch {
+	case client <= 0:
+		return server
+	case server <= 0:
+		return client
+	case client < server:
+		return client
+	default:
+		return server
+	}
+}
+
+// queryFlushEvery is how many ROW frames go between writer flushes on
+// the binary lane — the same pacing rationale as the HTTP stream.
+const queryFlushEvery = 256
+
+// queries runs a streaming-query session (v3): QUERY frames answered by
+// ROW… + QUERYEND, sequentially, until the client hangs up. first is the
+// payload of the QUERY that ended the handshake.
+func (p *Primary) queries(conn net.Conn, first []byte) {
+	p.logf("repl: %s query session", conn.RemoteAddr())
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	payload := first
+	for {
+		q, err := decodeQuery(payload)
+		if err != nil {
+			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
+			return
+		}
+		if !p.serveQuery(conn, bw, q) {
+			return
+		}
+		typ, next, err := ReadFrame(conn)
+		if err != nil {
+			return // connection done
+		}
+		if typ != TypeQuery {
+			p.sendErr(conn, ErrCodeBadFrame, "expected QUERY, got frame type %d", typ)
+			return
+		}
+		payload = next
+	}
+}
+
+// serveQuery streams one query's matches. It reports whether the
+// connection is still usable: a query-level failure ends in a QUERYEND
+// carrying the error (the exchange stays clean for the next QUERY),
+// only a write failure kills the session. The result stream pins MVCC
+// views for exactly this exchange; Close releases them on every path.
+func (p *Primary) serveQuery(conn net.Conn, bw *bufio.Writer, q Query) bool {
+	flush := func() bool {
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		return bw.Flush() == nil
+	}
+	finish := func(end QueryEnd) bool {
+		if err := WriteFrame(bw, TypeQueryEnd, end.encode()); err != nil {
+			return false
+		}
+		return flush()
+	}
+
+	cap := int(q.Limit)
+	opt := lazyxml.StreamOpt{BudgetBytes: effectiveBudget(q.Budget, p.cfg.QueryBudget)}
+	if cap > 0 {
+		// One match past the cap decides Truncated without producing more.
+		opt.Limit = cap + 1
+	}
+	var rs *lazyxml.ResultStream
+	var err error
+	if q.Doc == "" {
+		rs, err = p.sc.QueryStream(q.Path, opt)
+	} else {
+		rs, err = p.sc.QueryDocStream(q.Doc, q.Path, opt)
+	}
+	if err != nil {
+		return finish(QueryEnd{Code: ErrCodeBadFrame, Msg: err.Error()})
+	}
+	defer rs.Close()
+
+	count := int64(0)
+	for {
+		m, nerr := rs.Next()
+		if nerr == io.EOF {
+			return finish(QueryEnd{Count: count})
+		}
+		if nerr != nil {
+			code := ErrCodeInternal
+			if errors.Is(nerr, lazyxml.ErrStreamBudget) {
+				code = ErrCodeBudget
+			}
+			return finish(QueryEnd{Count: count, Code: code, Msg: nerr.Error()})
+		}
+		if cap > 0 && count >= int64(cap) {
+			return finish(QueryEnd{Count: count, Truncated: true})
+		}
+		if err := WriteFrame(bw, TypeRow, encodeRow(m)); err != nil {
+			return false
+		}
+		count++
+		if count%queryFlushEvery == 0 && !flush() {
+			return false
+		}
+	}
 }
 
 // bulk runs a bulk-load session: a stream of PUT frames, each answered

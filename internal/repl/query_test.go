@@ -1,0 +1,230 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	lazyxml "repro"
+)
+
+func TestQueryFrameRoundTrip(t *testing.T) {
+	q := Query{Doc: "orders", Path: "a//b//c", Limit: 42, Budget: 1 << 20}
+	got, err := decodeQuery(q.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Fatalf("query round trip: %+v != %+v", got, q)
+	}
+	// Collection-wide query: empty doc survives the trip.
+	q2 := Query{Path: "x"}
+	if got, err = decodeQuery(q2.encode()); err != nil || got != q2 {
+		t.Fatalf("empty-doc query round trip: %+v (%v)", got, err)
+	}
+
+	m := lazyxml.Match{
+		AncStart: 3, AncEnd: 90, DescStart: 11, DescEnd: 17,
+		Anc:  lazyxml.ElemRef{SID: 7, Start: 1, End: 88, Level: 2},
+		Desc: lazyxml.ElemRef{SID: 9, Start: 4, End: 10, Level: 5},
+	}
+	gm, err := decodeRow(encodeRow(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm != m {
+		t.Fatalf("row round trip: %+v != %+v", gm, m)
+	}
+
+	for _, end := range []QueryEnd{
+		{Count: 12, Truncated: true},
+		{Count: 0, Code: ErrCodeBudget, Msg: "query memory budget exceeded"},
+	} {
+		ge, err := decodeQueryEnd(end.encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ge != end {
+			t.Fatalf("query-end round trip: %+v != %+v", ge, end)
+		}
+	}
+
+	// Truncated payloads fail loudly, not quietly.
+	if _, err := decodeQuery([]byte{0x05, 'a'}); err == nil {
+		t.Fatal("truncated query accepted")
+	}
+	if _, err := decodeRow([]byte{0x01, 0x02}); err == nil {
+		t.Fatal("truncated row accepted")
+	}
+	if _, err := decodeQueryEnd(nil); err == nil {
+		t.Fatal("empty query-end accepted")
+	}
+}
+
+func TestEffectiveBudget(t *testing.T) {
+	cases := []struct{ client, server, want int64 }{
+		{0, 0, 0},
+		{100, 0, 100},
+		{0, 100, 100},
+		{50, 100, 50},   // client lowers the cap
+		{200, 100, 100}, // client cannot raise it
+	}
+	for _, c := range cases {
+		if got := effectiveBudget(c.client, c.server); got != c.want {
+			t.Errorf("effectiveBudget(%d, %d) = %d, want %d", c.client, c.server, got, c.want)
+		}
+	}
+}
+
+// FuzzDecodeQueryLane hammers the v3 decoders with arbitrary payloads:
+// they must reject garbage with an error, never panic or over-read.
+func FuzzDecodeQueryLane(f *testing.F) {
+	f.Add((Query{Doc: "d", Path: "a//b", Limit: 10, Budget: 1024}).encode())
+	f.Add(encodeRow(lazyxml.Match{AncStart: 1, AncEnd: 9, DescStart: 2, DescEnd: 3}))
+	f.Add((QueryEnd{Count: 5, Truncated: true, Code: ErrCodeBudget, Msg: "x"}).encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if q, err := decodeQuery(p); err == nil {
+			// Whatever decoded must re-encode to an equivalent frame.
+			if rq, rerr := decodeQuery(q.encode()); rerr != nil || rq != q {
+				t.Fatalf("query %+v does not round trip: %+v (%v)", q, rq, rerr)
+			}
+		}
+		if m, err := decodeRow(p); err == nil {
+			if rm, rerr := decodeRow(encodeRow(m)); rerr != nil || rm != m {
+				t.Fatalf("row %+v does not round trip: %+v (%v)", m, rm, rerr)
+			}
+		}
+		if e, err := decodeQueryEnd(p); err == nil {
+			if re, rerr := decodeQueryEnd(e.encode()); rerr != nil || re != e {
+				t.Fatalf("query-end %+v does not round trip: %+v (%v)", e, re, rerr)
+			}
+		}
+	})
+}
+
+// TestBinaryQueryE2E drives the v3 lane end to end: a 2-shard journaled
+// primary, a QueryClient, and every exchange shape — full drain,
+// doc-scoped, limit truncation, budget kill, bad query — on one
+// sequential connection.
+func TestBinaryQueryE2E(t *testing.T) {
+	sc, _, addr := startPrimary(t, t.TempDir(), 2)
+	for i := 0; i < 6; i++ {
+		doc := "<r><a>" + strings.Repeat("<b><c/></b>", 4) + "</a></r>"
+		if err := sc.Put(fmt.Sprintf("doc-%d", i), []byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qc, err := DialQuery(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	drain := func(rows *QueryRows) ([]lazyxml.Match, error) {
+		var out []lazyxml.Match
+		for {
+			m, err := rows.Next()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return out, err
+			}
+			out = append(out, m)
+		}
+	}
+
+	// Collection-wide: identical matches, in order, to the local API.
+	want, err := sc.Query("a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := qc.Query("", "a//b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drain(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("binary lane returned %d matches, local query %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if rows.Count() != int64(len(want)) || rows.Truncated() {
+		t.Fatalf("trailer: count %d truncated %v", rows.Count(), rows.Truncated())
+	}
+
+	// Doc-scoped on the same connection (sequential exchange works).
+	rows, err = qc.Query("doc-3", "a//b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = drain(rows); err != nil || len(got) != 4 {
+		t.Fatalf("doc-scoped: %d matches (%v)", len(got), err)
+	}
+
+	// Limit truncation: the primary stops producing past the cap.
+	rows, err = qc.Query("", "a//b", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = drain(rows); err != nil || len(got) != 5 {
+		t.Fatalf("limited: %d matches (%v)", len(got), err)
+	}
+	if !rows.Truncated() || rows.Count() != 5 {
+		t.Fatalf("limited trailer: count %d truncated %v", rows.Count(), rows.Truncated())
+	}
+
+	// Budget kill: a client-side budget two matches wide dies with a
+	// structured ErrCodeBudget error — and the connection stays usable.
+	rows, err = qc.Query("", "a//b//c", 0, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = drain(rows)
+	var qe *QueryError
+	if !errors.As(err, &qe) || !qe.Budget() {
+		t.Fatalf("budget kill = %v, want QueryError with Budget()", err)
+	}
+
+	// A malformed query also answers in-band and keeps the session.
+	rows, err = qc.Query("nosuch", "a//b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = drain(rows); err == nil || errors.As(err, &qe) && qe.Budget() {
+		t.Fatalf("unknown doc = %v, want query error", err)
+	}
+
+	// The session survived every failure above.
+	rows, err = qc.Query("doc-0", "a//b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = drain(rows); err != nil || len(got) != 4 {
+		t.Fatalf("post-error query: %d matches (%v)", len(got), err)
+	}
+
+	// Starting a query while one is streaming is refused client-side.
+	rows, err = qc.Query("doc-0", "a//b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qc.Query("doc-1", "a//b", 0, 0); err == nil {
+		t.Fatal("overlapping query accepted")
+	}
+	if _, err = drain(rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -91,6 +91,15 @@ type metrics struct {
 	readLatency  histogram
 	writeLatency histogram
 
+	// Streaming-query counters (?stream=1 and the binary lane share the
+	// same backend machinery; these cover the HTTP lane).
+	streamsInflight atomic.Int64 // streams currently being drained (gauge)
+	streamsOpened   atomic.Int64 // streams ever opened
+	streamedRows    atomic.Int64 // rows delivered across all streams
+	streamedBytes   atomic.Int64 // NDJSON bytes written across all streams
+	budgetKills     atomic.Int64 // queries failed by the per-query memory budget
+	streamCancels   atomic.Int64 // streams ended by client disconnect/cancellation
+
 	// perShard tracks the write path per shard lane, sized once at
 	// construction to the backend's shard count.
 	perShard []shardCounters
@@ -138,9 +147,23 @@ type MetricsSnapshot struct {
 	Admin         int64          `json:"admin"`
 	ReadLatency   HistogramStats `json:"readLatency"`
 	WriteLatency  HistogramStats `json:"writeLatency"`
+	// Streams is the streaming-query readout: in-flight and lifetime
+	// stream counts, delivered rows and bytes, budget kills and client
+	// cancellations.
+	Streams StreamMetrics `json:"streams"`
 	// Shards is the write path broken down by shard lane: the evidence
 	// that writes to different shards really run in parallel.
 	Shards []ShardMetrics `json:"shards"`
+}
+
+// StreamMetrics is the streaming-query slice of the counters.
+type StreamMetrics struct {
+	Inflight      int64 `json:"inflight"`
+	Opened        int64 `json:"opened"`
+	StreamedRows  int64 `json:"streamedRows"`
+	StreamedBytes int64 `json:"streamedBytes"`
+	BudgetKills   int64 `json:"budgetKills"`
+	Cancels       int64 `json:"cancels"`
 }
 
 // ShardMetrics is one shard lane's write-path counters.
@@ -171,6 +194,14 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Admin:         m.admin.Load(),
 		ReadLatency:   m.readLatency.snapshot(),
 		WriteLatency:  m.writeLatency.snapshot(),
-		Shards:        shards,
+		Streams: StreamMetrics{
+			Inflight:      m.streamsInflight.Load(),
+			Opened:        m.streamsOpened.Load(),
+			StreamedRows:  m.streamedRows.Load(),
+			StreamedBytes: m.streamedBytes.Load(),
+			BudgetKills:   m.budgetKills.Load(),
+			Cancels:       m.streamCancels.Load(),
+		},
+		Shards: shards,
 	}
 }

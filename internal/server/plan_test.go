@@ -107,11 +107,12 @@ func TestQueryLimitParsedBeforeQuery(t *testing.T) {
 	if st := call(t, ts, "GET", "/query?path=a//b&limit=2", nil, &q); st != http.StatusOK {
 		t.Fatalf("query: %d", st)
 	}
-	if q.Count != 3 || len(q.Matches) != 2 || !q.Truncated {
+	// Count reports returned matches: the stream-backed handler stops
+	// executing at the limit instead of materializing the full result.
+	if q.Count != 2 || len(q.Matches) != 2 || !q.Truncated {
 		t.Fatalf("limited query = %+v", q)
 	}
-	// The same (cached) entry serves a different limit correctly: the
-	// cache stores the full match set, the limit applies at render time.
+	// An uncapping limit serves the complete result.
 	if st := call(t, ts, "GET", "/query?path=a//b&limit=10", nil, &q); st != http.StatusOK {
 		t.Fatalf("query: %d", st)
 	}

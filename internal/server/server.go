@@ -121,6 +121,11 @@ type Config struct {
 	// planner and the generation-keyed result cache by default. Even when
 	// false, a request can opt in per call with ?algo= or ?explain=1.
 	Planned bool
+	// QueryBudget caps each query's buffered execution state in bytes
+	// (dedup frontiers, buffering operators) — the -query-budget flag. A
+	// query that would exceed it fails with 507 rather than growing the
+	// heap with the result size. 0 means unlimited.
+	QueryBudget int64
 	// PlanStatus, when non-nil, is called per request and its result
 	// embedded under "planner" in /stats and /metrics — the result-cache
 	// counters and per-algorithm pick counts.
@@ -379,6 +384,10 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 			w.Write(raw.data)
 			return
 		}
+		if sb, ok := body.(*streamBody); ok {
+			s.streamResponse(w, r, sb)
+			return
+		}
 		writeJSON(w, status, body)
 	})
 }
@@ -504,10 +513,13 @@ type MatchJSON struct {
 	Desc      ElemJSON `json:"desc"`
 }
 
-// QueryResponse is the body of the query endpoints. Plans appears only
-// when the request asked for ?explain=1: one plan per shard the query
-// touched, each with the chosen algorithm, per-operator cost estimates
-// and whether the shard's partial result came from the cache.
+// QueryResponse is the body of the query endpoints. Count is the number
+// of matches returned (equal to len(matches)); Truncated reports that
+// the limit cut the result short — the engine stops executing at the
+// limit, so the full count is deliberately not computed. Plans appears
+// only when the request asked for ?explain=1: one plan per shard the
+// query touched, each with the chosen algorithm, per-operator cost
+// estimates and whether the shard's partial result came from the cache.
 type QueryResponse struct {
 	Count     int                `json:"count"`
 	Truncated bool               `json:"truncated"`
@@ -515,39 +527,30 @@ type QueryResponse struct {
 	Plans     []lazyxml.PlanInfo `json:"plans,omitempty"`
 }
 
-// limitParam resolves the serialization limit. It is parsed before the
-// query runs, so a malformed limit fails fast and a cached result set —
-// stored unsliced so every limit can be served from one entry — is capped
-// by MaxMatches exactly like a freshly computed one.
-func (s *Server) limitParam(r *http.Request) (int, error) {
-	limit := s.cfg.MaxMatches
+// limitParam resolves the result cap. It is parsed before the query
+// runs, so a malformed limit fails fast; explicit reports whether the
+// request passed ?limit= itself — a streaming response only caps on an
+// explicit limit, while the buffered response falls back to MaxMatches.
+func (s *Server) limitParam(r *http.Request) (limit int, explicit bool, err error) {
+	limit = s.cfg.MaxMatches
 	if raw := r.URL.Query().Get("limit"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 0 {
-			return 0, failf(http.StatusBadRequest, "parameter \"limit\": must be a non-negative integer")
+		v, aerr := strconv.Atoi(raw)
+		if aerr != nil || v < 0 {
+			return 0, false, failf(http.StatusBadRequest, "parameter \"limit\": must be a non-negative integer")
 		}
-		limit = v
+		limit, explicit = v, true
 	}
-	return limit, nil
+	return limit, explicit, nil
 }
 
-func queryResponse(ms []lazyxml.Match, limit int) QueryResponse {
-	resp := QueryResponse{Count: len(ms)}
-	n := len(ms)
-	if n > limit {
-		n = limit
-		resp.Truncated = true
+// matchJSON renders one match for the wire.
+func matchJSON(m lazyxml.Match) MatchJSON {
+	return MatchJSON{
+		AncStart: m.AncStart, AncEnd: m.AncEnd,
+		DescStart: m.DescStart, DescEnd: m.DescEnd,
+		Anc:  ElemJSON{SID: int(m.Anc.SID), Start: m.Anc.Start, End: m.Anc.End, Level: m.Anc.Level},
+		Desc: ElemJSON{SID: int(m.Desc.SID), Start: m.Desc.Start, End: m.Desc.End, Level: m.Desc.Level},
 	}
-	resp.Matches = make([]MatchJSON, n)
-	for i, m := range ms[:n] {
-		resp.Matches[i] = MatchJSON{
-			AncStart: m.AncStart, AncEnd: m.AncEnd,
-			DescStart: m.DescStart, DescEnd: m.DescEnd,
-			Anc:  ElemJSON{SID: int(m.Anc.SID), Start: m.Anc.Start, End: m.Anc.End, Level: m.Anc.Level},
-			Desc: ElemJSON{SID: int(m.Desc.SID), Start: m.Desc.Start, End: m.Desc.End, Level: m.Desc.Level},
-		}
-	}
-	return resp
 }
 
 // planParams decides whether the request takes the planned path and with
@@ -609,6 +612,9 @@ type StatsResponse struct {
 	// Views is the per-shard MVCC view lifecycle readout: live snapshot
 	// handles, the generations they pin, and reclamation progress.
 	Views []ViewStatsJSON `json:"views"`
+	// Streams is the streaming-query readout: in-flight streams, rows and
+	// bytes delivered, budget kills and client cancellations.
+	Streams StreamMetrics `json:"streams"`
 	// Replication is the follower's lag readout (repl.Status); absent on
 	// a primary or standalone server.
 	Replication any `json:"replication,omitempty"`
@@ -744,6 +750,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		ShardCount:     s.backend.ShardCount(),
 		Shards:         shards,
 		Views:          s.viewStats(),
+		Streams:        s.met.snapshot().Streams,
 		Replication:    replication,
 		Maintenance:    maintenance,
 		Planner:        planner,
@@ -831,11 +838,22 @@ func (s *Server) handleRemoveElement(r *http.Request) (int, any, error) {
 }
 
 func (s *Server) handleQuery(r *http.Request) (int, any, error) {
+	return s.runQuery(r, "")
+}
+
+// runQuery executes both query endpoints over the streaming backend.
+// The buffered (default) response pulls at most limit+1 matches — true
+// early termination: the engine stops producing once the cap plus the
+// one extra pull that decides Truncated are served, instead of
+// materializing the full result and slicing. ?stream=1 switches to a
+// chunked NDJSON response with no default cap (an explicit ?limit=
+// still applies).
+func (s *Server) runQuery(r *http.Request, name string) (int, any, error) {
 	path, err := pathParam(r)
 	if err != nil {
 		return 0, nil, err
 	}
-	limit, err := s.limitParam(r)
+	limit, explicit, err := s.limitParam(r)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -843,22 +861,189 @@ func (s *Server) handleQuery(r *http.Request) (int, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	var ms []lazyxml.Match
-	var plans []lazyxml.PlanInfo
-	if planned {
-		ms, plans, err = s.backend.QueryPlanned(path, opt)
+	streaming, err := s.streamParam(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	resultCap := limit
+	if streaming && !explicit {
+		// Streaming exists to deliver unbounded results in bounded
+		// memory; only an explicit limit caps it.
+		resultCap = 0
+	}
+	sopt := lazyxml.StreamOpt{
+		Planned: planned, Force: opt.Force, NoCache: opt.NoCache,
+		BudgetBytes: s.cfg.QueryBudget, Ctx: r.Context(),
+	}
+	if resultCap > 0 {
+		// One match past the cap decides Truncated without materializing
+		// anything beyond it.
+		sopt.Limit = resultCap + 1
+	}
+	var rs *lazyxml.ResultStream
+	if name == "" {
+		rs, err = s.backend.QueryStream(path, sopt)
 	} else {
-		ms, err = s.backend.Query(path)
+		rs, err = s.backend.QueryDocStream(name, path, sopt)
 	}
 	if err != nil {
 		return 0, nil, err
 	}
-	resp := queryResponse(ms, limit)
+	if streaming {
+		// handed to streamResponse by handle(); it owns Close.
+		return http.StatusOK, &streamBody{rs: rs, explain: explain, cap: resultCap}, nil
+	}
+	defer rs.Close()
+	resp := QueryResponse{Matches: []MatchJSON{}}
+	for {
+		m, nerr := rs.Next()
+		if nerr == io.EOF {
+			break
+		}
+		if nerr != nil {
+			return 0, nil, s.queryStreamError(nerr)
+		}
+		if resultCap > 0 && len(resp.Matches) >= resultCap {
+			resp.Truncated = true
+			break
+		}
+		resp.Matches = append(resp.Matches, matchJSON(m))
+	}
+	resp.Count = len(resp.Matches)
 	if explain {
-		resp.Plans = plans
+		resp.Plans = rs.Plans()
 	}
 	return http.StatusOK, resp, nil
 }
+
+// queryStreamError classifies a mid-query failure: budget kills carry
+// 507 (the query's buffered state outgrew -query-budget), everything
+// else keeps the generic mapping.
+func (s *Server) queryStreamError(err error) error {
+	if errors.Is(err, lazyxml.ErrStreamBudget) {
+		s.met.budgetKills.Add(1)
+		return failf(http.StatusInsufficientStorage, "%v", err)
+	}
+	return err
+}
+
+// streamParam parses ?stream=1.
+func (s *Server) streamParam(r *http.Request) (bool, error) {
+	switch r.URL.Query().Get("stream") {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, failf(http.StatusBadRequest, "parameter \"stream\": want 0 or 1")
+	}
+}
+
+// streamBody is the handler return that switches handle() into chunked
+// streaming mode.
+type streamBody struct {
+	rs      *lazyxml.ResultStream
+	explain bool
+	cap     int // 0 = uncapped
+}
+
+// countingWriter tracks bytes written for the streamedBytes counter.
+type countingWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// streamFlushEvery is how many rows go between explicit flushes — small
+// enough that a slow consumer sees steady progress, large enough not to
+// defeat chunking.
+const streamFlushEvery = 256
+
+// streamResponse writes the NDJSON stream: a header line (with plans
+// when ?explain=1), one MatchJSON line per row, and a trailer line
+// carrying either {"done":true,count,truncated} or {"error":...}. Rows
+// flow as they are produced — time-to-first-row does not wait for the
+// last row — and the response stays bounded by the batch window
+// regardless of result size.
+func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, sb *streamBody) {
+	s.met.streamsOpened.Add(1)
+	s.met.streamsInflight.Add(1)
+	defer s.met.streamsInflight.Add(-1)
+	defer sb.rs.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	cw := &countingWriter{w: w}
+	defer func() { s.met.streamedBytes.Add(cw.n) }()
+	enc := json.NewEncoder(cw)
+	enc.SetEscapeHTML(false)
+
+	head := map[string]any{"stream": true}
+	if sb.explain {
+		head["plans"] = sb.rs.Plans()
+	}
+	enc.Encode(head)
+	flush()
+
+	count := 0
+	for {
+		m, err := sb.rs.Next()
+		if err == io.EOF {
+			enc.Encode(map[string]any{"done": true, "count": count, "truncated": false})
+			flush()
+			return
+		}
+		if err != nil {
+			// The status line already went out; the structured trailer is
+			// the in-band error channel.
+			s.met.errors.Add(1)
+			status := http.StatusBadRequest
+			if errors.Is(err, lazyxml.ErrStreamBudget) {
+				s.met.budgetKills.Add(1)
+				status = http.StatusInsufficientStorage
+			} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.met.streamCancels.Add(1)
+				status = statusClientClosedRequest
+			}
+			enc.Encode(map[string]any{"error": err.Error(), "status": status, "count": count})
+			flush()
+			return
+		}
+		if sb.cap > 0 && count >= sb.cap {
+			enc.Encode(map[string]any{"done": true, "count": count, "truncated": true})
+			flush()
+			return
+		}
+		if r.Context().Err() != nil {
+			// Client went away between pulls; Close (deferred) cancels the
+			// producer and releases the views.
+			s.met.streamCancels.Add(1)
+			return
+		}
+		enc.Encode(matchJSON(m))
+		s.met.streamedRows.Add(1)
+		count++
+		if count%streamFlushEvery == 0 {
+			flush()
+		}
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client
+// that disconnected mid-response.
+const statusClientClosedRequest = 499
 
 func (s *Server) handleCount(r *http.Request) (int, any, error) {
 	path, err := pathParam(r)
@@ -873,34 +1058,7 @@ func (s *Server) handleCount(r *http.Request) (int, any, error) {
 }
 
 func (s *Server) handleQueryDoc(r *http.Request) (int, any, error) {
-	path, err := pathParam(r)
-	if err != nil {
-		return 0, nil, err
-	}
-	limit, err := s.limitParam(r)
-	if err != nil {
-		return 0, nil, err
-	}
-	planned, opt, explain, err := s.planParams(r)
-	if err != nil {
-		return 0, nil, err
-	}
-	name := r.PathValue("name")
-	var ms []lazyxml.Match
-	var plans []lazyxml.PlanInfo
-	if planned {
-		ms, plans, err = s.backend.QueryDocPlanned(name, path, opt)
-	} else {
-		ms, err = s.backend.QueryDoc(name, path)
-	}
-	if err != nil {
-		return 0, nil, err
-	}
-	resp := queryResponse(ms, limit)
-	if explain {
-		resp.Plans = plans
-	}
-	return http.StatusOK, resp, nil
+	return s.runQuery(r, r.PathValue("name"))
 }
 
 func (s *Server) handleCountDoc(r *http.Request) (int, any, error) {

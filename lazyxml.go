@@ -81,6 +81,10 @@ const (
 // (segment id, immutable local label) identity of both elements.
 type Match = core.Match
 
+// ElemRef is one element of a match: the segment it belongs to and its
+// immutable local (start, end, level) label.
+type ElemRef = join.ElemRef
+
 // Stats summarizes the store's contents and update-log footprint.
 type Stats = core.Stats
 

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Measure what streaming query execution buys on a large scan: the same
+# ~100k-match structural query run materialized (the whole []Match built
+# before the caller sees row one) and streamed (rows pulled through the
+# bounded iterator pipeline), comparing peak live heap at the query's
+# maximum-retention point, time to first row, and total drain time.
+# Records both lanes plus the derived ratios in BENCH_stream.json
+# (make bench-stream). Tunables via env:
+#   ROWS (default 100000)  DOCS (default 100)  PASSES (default 5)
+#   OUT json path (default BENCH_stream.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+ROWS=${ROWS:-100000}
+DOCS=${DOCS:-100}
+PASSES=${PASSES:-5}
+OUT=${OUT:-BENCH_stream.json}
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/benchstream" ./cmd/benchstream
+
+# pick <out-file> <field>: pull one field out of the summary line
+# "  ttfb_p50_us=... drain_p50_us=... drain_max_us=... peak_live_bytes=...".
+pick() {
+    sed -n "s/.*$2=\([^ ]*\).*/\1/p" "$1" | tail -1
+}
+
+run_lane() {
+    label=$1
+    shift
+    echo "== stream $label  (rows=$ROWS docs=$DOCS passes=$PASSES) =="
+    # A failed lane fails the bench: CI treats this script as a gate.
+    if ! "$BIN/benchstream" -rows "$ROWS" -docs "$DOCS" -passes "$PASSES" "$@" \
+        | tee "$BIN/out-$label"; then
+        echo "bench_stream: $label lane FAILED" >&2
+        exit 1
+    fi
+    echo
+}
+
+run_lane materialized -mode materialize
+run_lane streamed -mode stream
+
+MAT_PEAK=$(pick "$BIN/out-materialized" peak_live_bytes)
+STR_PEAK=$(pick "$BIN/out-streamed" peak_live_bytes)
+MAT_TTFB=$(pick "$BIN/out-materialized" ttfb_p50_us)
+STR_TTFB=$(pick "$BIN/out-streamed" ttfb_p50_us)
+# Guard the ratios against a degenerate zero denominator.
+MEM_RATIO=$(awk "BEGIN { if ($STR_PEAK > 0) printf \"%.1f\", $MAT_PEAK / $STR_PEAK; else print 0 }")
+TTFB_PCT=$(awk "BEGIN { if ($MAT_TTFB > 0) printf \"%.2f\", 100 * $STR_TTFB / $MAT_TTFB; else print 0 }")
+
+cat >"$OUT" <<EOF
+{
+  "bench": "streamed vs materialized query execution",
+  "workload": {"rows": $ROWS, "docs": $DOCS, "passes": $PASSES},
+  "materialized": {"ttfbP50Us": $MAT_TTFB, "drainP50Us": $(pick "$BIN/out-materialized" drain_p50_us),
+                   "drainMaxUs": $(pick "$BIN/out-materialized" drain_max_us), "peakLiveBytes": $MAT_PEAK},
+  "streamed": {"ttfbP50Us": $STR_TTFB, "drainP50Us": $(pick "$BIN/out-streamed" drain_p50_us),
+               "drainMaxUs": $(pick "$BIN/out-streamed" drain_max_us), "peakLiveBytes": $STR_PEAK},
+  "memoryReductionX": $MEM_RATIO,
+  "ttfbPctOfMaterialized": $TTFB_PCT
+}
+EOF
+echo "recorded $OUT:"
+cat "$OUT"

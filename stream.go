@@ -1,0 +1,546 @@
+package lazyxml
+
+// Streaming query execution (DESIGN.md §13): the pull-based counterpart
+// of Query/QueryPlanned. A ResultStream executes the same plan the
+// materialized path would run — the same join algorithm, the same
+// step-pipeline, the same result cache — but delivers matches through
+// an iterator backed by the push-form (emit) joins, against an MVCC
+// view pinned for the stream's whole lifetime and released on Close.
+//
+// Execution shape: the first join streams through core.View.QueryEmit
+// (for Lazy-Join not even the global element lists are materialized);
+// a multi-step path buffers only the deduplicated descendant frontier
+// between steps — bounded by the number of *distinct* elements, not
+// result pairs — and the final step streams again. PathStack and
+// LazyParallel are buffering operators: their results materialize
+// inside the producer, charged against the budget, then stream out.
+//
+// The per-query Budget covers exactly those materialization points
+// (frontiers, buffering operators, the cache tee); the constant-size
+// batch window between producer and consumer is free. Overflow fails
+// the stream fast with a structured error matching
+// ErrStreamBudget via errors.Is.
+//
+// Cache composition: a planned stream still consults the
+// generation-keyed result cache — a hit serves the cached slice and
+// releases the view immediately; a miss tees matches aside until the
+// cache's per-entry admission cap and admits only on clean exhaustion
+// (a stream cut short by limit, budget or cancellation never poisons
+// the cache with a partial result).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/join"
+	"repro/internal/plan"
+	"repro/internal/stream"
+)
+
+// Streaming sentinels, re-exported so callers need not import
+// internal/stream to classify failures.
+var (
+	// ErrStreamBudget matches (errors.Is) the failure of a stream whose
+	// buffered state exceeded StreamOpt.BudgetBytes.
+	ErrStreamBudget = stream.ErrBudgetExceeded
+	// ErrStreamExhausted is returned by Next after the stream already
+	// delivered its terminal io.EOF — re-consuming a one-shot stream is
+	// a bug, reported loudly rather than as a silent empty result.
+	ErrStreamExhausted = stream.ErrExhausted
+	// ErrStreamClosed is returned by Next after Close.
+	ErrStreamClosed = stream.ErrClosed
+)
+
+// StreamOpt controls one streaming query.
+type StreamOpt struct {
+	// Planned selects the cost-based executor (with result-cache
+	// composition); false streams with the backend's fixed algorithm.
+	Planned bool
+	// Force pins the planned algorithm (the ?algo= override); PlanAuto
+	// lets the cost model pick. Only meaningful with Planned.
+	Force PlanAlgo
+	// NoCache bypasses the result cache (both lookup and admission).
+	NoCache bool
+	// Limit stops the stream after this many matches (true early
+	// termination: upstream operators stop being driven); <= 0 is
+	// unlimited.
+	Limit int
+	// BudgetBytes caps the query's buffered state (dedup frontiers,
+	// buffering operators, cache tee); <= 0 is unlimited.
+	BudgetBytes int64
+	// Ctx cancels the stream between pulls; nil means background.
+	Ctx context.Context
+
+	// budget, when non-nil, shares one accounting across a sharded
+	// fan-out (set internally; wins over BudgetBytes).
+	budget *stream.Budget
+}
+
+// effectiveBudget returns the shared budget if one was injected, else a
+// fresh one from BudgetBytes.
+func (o StreamOpt) effectiveBudget() *stream.Budget {
+	if o.budget != nil {
+		return o.budget
+	}
+	return stream.NewBudget(o.BudgetBytes)
+}
+
+// ResultStream is a single-consumer stream of matches. Next returns
+// io.EOF at clean exhaustion; Close must be called exactly once (it
+// releases the pinned MVCC views and stops the producer). Not safe for
+// concurrent use.
+type ResultStream struct {
+	it       stream.Iterator
+	plans    []PlanInfo
+	releases []func()
+	produced []*atomic.Int64 // one counter per shard pipeline
+	closeOne sync.Once
+	closeErr error
+}
+
+// Next returns the next match; io.EOF at exhaustion, ErrStreamExhausted
+// on re-use past it, ErrStreamClosed after Close, a budget or context
+// error when the pipeline was killed.
+func (rs *ResultStream) Next() (Match, error) { return rs.it.Next() }
+
+// Close stops the producer and releases the pinned views. Idempotent.
+func (rs *ResultStream) Close() error {
+	rs.closeOne.Do(func() {
+		rs.closeErr = rs.it.Close()
+		for _, rel := range rs.releases {
+			rel()
+		}
+	})
+	return rs.closeErr
+}
+
+// Plans returns the explainable plan per shard the stream executes (one
+// entry for a single-store backend), known at open time.
+func (rs *ResultStream) Plans() []PlanInfo { return rs.plans }
+
+// Produced returns how many matches the execution pipelines generated
+// so far (summed across shards) — the bounded-work observable: with an
+// early-terminated stream it stays near the delivered count (plus one
+// batch window per running producer) instead of the full result size. A
+// cache hit produces nothing and reports 0.
+func (rs *ResultStream) Produced() int64 {
+	var total int64
+	for _, c := range rs.produced {
+		total += c.Load()
+	}
+	return total
+}
+
+// frontierCheckEvery is how often (in processed pairs) the internal
+// frontier collectors poll for cancellation.
+const frontierCheckEvery = 1024
+
+// QueryStream opens a streaming whole-collection query.
+func (c *Collection) QueryStream(path string, opt StreamOpt) (*ResultStream, error) {
+	return c.openStream("", path, opt)
+}
+
+// QueryDocStream opens a streaming query scoped to one named document.
+func (c *Collection) QueryDocStream(name, path string, opt StreamOpt) (*ResultStream, error) {
+	return c.openStream(name, path, opt)
+}
+
+// openStream builds one store's streaming pipeline: pin the execution
+// view (exactly as the cached planned path does), consult the result
+// cache, and on a miss wire emit-form execution through a Generator,
+// the document-span filter, the cache tee and the limit — in that
+// order, so the tee sees exactly what the materialized path would have
+// cached and the limit cuts below nothing it shouldn't.
+func (c *Collection) openStream(doc, path string, opt StreamOpt) (*ResultStream, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	qp := c.plannerRef()
+
+	// Pin the execution snapshot first; the cache key is its exact
+	// (store id, generation) pair — same discipline as queryPlanned.
+	var eng emitEngine
+	var gen PlanGen
+	var release func()
+	alg := c.db.alg
+	lo, hi := 0, 0
+	if doc == "" {
+		v := c.db.store.AcquireView()
+		eng = v
+		gen = PlanGen{Store: v.StoreID(), Gen: v.Generation()}
+		release = v.Release
+	} else {
+		dv, err := c.View(doc)
+		if err != nil {
+			return nil, err
+		}
+		eng, gen, lo, hi = dv.v, dv.Generation(), dv.lo, dv.hi
+		alg = dv.alg
+		release = dv.Release
+	}
+
+	produced := new(atomic.Int64)
+	var pl PlanInfo
+	var plans []PlanInfo
+	workers := 0
+	if opt.Planned {
+		_, pq, err := planQuery(path)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		pv := c.db.planc.View(pq.Tags())
+		pl = plan.Forced(pq, opt.Force, pv)
+		workers = pv.Workers
+		plans = []PlanInfo{pl}
+		if qp != nil && !pl.Forced {
+			qp.picks.Count(pl.Algo)
+		}
+		useCache := qp != nil && !opt.NoCache
+		if useCache {
+			key := plan.Key{Gen: gen, Doc: doc, Path: path, Algo: opt.Force}
+			if v, cpl, ok := qp.cache.Get(key); ok {
+				release()
+				it := stream.Limited(stream.FromMatches(v.([]Match)), opt.Limit)
+				return &ResultStream{it: it, plans: []PlanInfo{cpl}, produced: []*atomic.Int64{produced}}, nil
+			}
+		}
+	}
+
+	bud := opt.effectiveBudget()
+	inner := streamRun(eng, p, opt.Planned, pl, alg, workers, bud)
+	run := func(ctx context.Context, emit func(Match) bool) error {
+		return inner(ctx, func(m Match) bool {
+			produced.Add(1)
+			return emit(m)
+		})
+	}
+	var it stream.Iterator = stream.NewGenerator(opt.Ctx, run)
+	if doc != "" {
+		it = stream.Filter(it, func(m Match) bool {
+			return m.DescStart >= lo && m.DescEnd <= hi
+		})
+	}
+	if opt.Planned && qp != nil && !opt.NoCache {
+		key := plan.Key{Gen: gen, Doc: doc, Path: path, Algo: opt.Force}
+		it = newCacheTee(it, qp.cache, key, pl)
+	}
+	it = stream.Limited(it, opt.Limit)
+	return &ResultStream{it: it, plans: plans, releases: []func(){release}, produced: []*atomic.Int64{produced}}, nil
+}
+
+// emitEngine is the read surface streaming execution runs against: the
+// queryEngine contract plus the push-form join. *core.View satisfies it
+// — streams always execute on a pinned view, never the live store.
+type emitEngine interface {
+	queryEngine
+	QueryEmit(aTag, dTag string, axis Axis, alg Algorithm, emit func(Match) bool) error
+}
+
+// streamRun builds the producer for one store's path execution. The
+// returned function runs inside the Generator's goroutine; emit is the
+// batch-and-ship callback (which also observes cancellation).
+func streamRun(eng emitEngine, p Path, planned bool, pl PlanInfo, alg Algorithm, workers int, bud *stream.Budget) func(ctx context.Context, emit func(Match) bool) error {
+	return func(ctx context.Context, emit func(Match) bool) error {
+		if len(p.Steps) == 0 {
+			// Scan: one tag list, no join — same as the materialized path.
+			for _, n := range eng.GlobalElements(p.First) {
+				if !emit(Match{Desc: n.Ref, DescStart: n.Start, DescEnd: n.End}) {
+					return nil
+				}
+			}
+			return nil
+		}
+		if planned && pl.Algo == plan.PathStack.String() {
+			// Holistic twig: inherently materialized; charge it.
+			tuples, err := queryTwigOn(eng, p)
+			if err != nil {
+				return err
+			}
+			charge := int64(len(tuples)+1) * matchBytes
+			if err := bud.Charge(charge); err != nil {
+				return err
+			}
+			defer bud.Release(charge)
+			for _, m := range tuplesToMatches(tuples) {
+				if !emit(m) {
+					return nil
+				}
+			}
+			return nil
+		}
+
+		// firstJoin streams the first binary join's matches to a sink.
+		firstJoin := func(sink func(Match) bool) error {
+			if planned && pl.Algo == plan.LazyParallel.String() {
+				// Parallel Lazy-Join materializes per-worker results by
+				// construction; charge the buffer, then stream it out.
+				ms, err := eng.QueryParallel(p.First, p.Steps[0].Tag, p.Steps[0].Axis, workers)
+				if err != nil {
+					return err
+				}
+				charge := int64(len(ms)+1) * matchBytes
+				if err := bud.Charge(charge); err != nil {
+					return err
+				}
+				defer bud.Release(charge)
+				for _, m := range ms {
+					if !sink(m) {
+						return nil
+					}
+				}
+				return nil
+			}
+			first := alg
+			if planned {
+				a, err := coreAlgorithm(pl.Algo)
+				if err != nil {
+					return err
+				}
+				first = a
+			}
+			return eng.QueryEmit(p.First, p.Steps[0].Tag, p.Steps[0].Axis, first, sink)
+		}
+
+		if len(p.Steps) == 1 {
+			return firstJoin(emit)
+		}
+		return runStepPipeline(ctx, eng, firstJoin, p.Steps[1:], bud, emit)
+	}
+}
+
+// runStepPipeline is the streaming form of continuePipelineOn: between
+// steps only the deduplicated descendant frontier is buffered (charged
+// to the budget), and the final step streams its pairs straight to
+// emit with globals resolved from the node lists that produced them —
+// byte-for-byte the matches, and order, of the materialized pipeline.
+func runStepPipeline(ctx context.Context, eng emitEngine, firstJoin func(func(Match) bool) error, steps []PathStep, bud *stream.Budget, emit func(Match) bool) error {
+	// Collect the first join into the initial frontier.
+	frontier := map[join.ElemRef]Match{}
+	var herr error
+	seen := 0
+	err := firstJoin(func(m Match) bool {
+		seen++
+		if seen%frontierCheckEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		if _, ok := frontier[m.Desc]; !ok {
+			if cerr := bud.Charge(matchBytes); cerr != nil {
+				herr = cerr
+				return false
+			}
+			frontier[m.Desc] = m
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if herr != nil {
+		return herr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	charged := int64(len(frontier)) * matchBytes
+	defer func() { bud.Release(charged) }()
+
+	// Middle steps: frontier × next tag → next frontier.
+	for _, step := range steps[:len(steps)-1] {
+		nodes := frontierNodes(frontier)
+		dlist := eng.GlobalElements(step.Tag)
+		pos := make(map[join.ElemRef][2]int, len(dlist))
+		for _, n := range dlist {
+			pos[n.Ref] = [2]int{n.Start, n.End}
+		}
+		next := map[join.ElemRef]Match{}
+		seen = 0
+		join.StackTreeDescEmit(nodes, dlist, step.Axis, func(pr join.Pair) bool {
+			seen++
+			if seen%frontierCheckEvery == 0 && ctx.Err() != nil {
+				return false
+			}
+			if _, ok := next[pr.Desc]; !ok {
+				if cerr := bud.Charge(matchBytes); cerr != nil {
+					herr = cerr
+					return false
+				}
+				m := Match{Anc: pr.Anc, Desc: pr.Desc}
+				if p, ok := pos[pr.Desc]; ok {
+					m.DescStart, m.DescEnd = p[0], p[1]
+				}
+				next[pr.Desc] = m
+			}
+			return true
+		})
+		if herr != nil {
+			return herr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		bud.Release(charged)
+		frontier = next
+		charged = int64(len(frontier)) * matchBytes
+	}
+
+	// Final step: stream pairs out with globals from both node lists
+	// (the streaming twin of resolveGlobals).
+	step := steps[len(steps)-1]
+	nodes := frontierNodes(frontier)
+	dlist := eng.GlobalElements(step.Tag)
+	pos := make(map[join.ElemRef][2]int, len(nodes)+len(dlist))
+	for _, n := range nodes {
+		pos[n.Ref] = [2]int{n.Start, n.End}
+	}
+	for _, n := range dlist {
+		pos[n.Ref] = [2]int{n.Start, n.End}
+	}
+	join.StackTreeDescEmit(nodes, dlist, step.Axis, func(pr join.Pair) bool {
+		m := Match{Anc: pr.Anc, Desc: pr.Desc}
+		if p, ok := pos[pr.Anc]; ok {
+			m.AncStart, m.AncEnd = p[0], p[1]
+		}
+		if p, ok := pos[pr.Desc]; ok {
+			m.DescStart, m.DescEnd = p[0], p[1]
+		}
+		return emit(m)
+	})
+	return nil
+}
+
+// frontierNodes is dedupeDescendants over an already-deduplicated
+// frontier map: the sorted node list the next join consumes.
+func frontierNodes(frontier map[join.ElemRef]Match) []join.Node {
+	nodes := make([]join.Node, 0, len(frontier))
+	for ref, m := range frontier {
+		nodes = append(nodes, join.Node{Start: m.DescStart, End: m.DescEnd, Level: ref.Level, Ref: ref})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Start < nodes[j].Start })
+	return nodes
+}
+
+// cacheTee accumulates streamed matches up to the cache's per-entry
+// admission cap and admits the complete result on clean exhaustion.
+// Truncated, budget-killed or cancelled streams never admit — the
+// cache only ever holds results a materialized query would have
+// produced.
+type cacheTee struct {
+	it       stream.Iterator
+	cache    *plan.Cache
+	key      plan.Key
+	pl       PlanInfo
+	acc      []Match
+	capLeft  int64
+	overflow bool
+	admitted bool
+}
+
+func newCacheTee(it stream.Iterator, cache *plan.Cache, key plan.Key, pl PlanInfo) *cacheTee {
+	capBytes := cache.AdmissionCap()
+	return &cacheTee{it: it, cache: cache, key: key, pl: pl, capLeft: capBytes - matchBytes}
+}
+
+func (t *cacheTee) Next() (Match, error) {
+	m, err := t.it.Next()
+	if err == nil {
+		if !t.overflow {
+			t.capLeft -= matchBytes
+			if t.capLeft < 0 {
+				t.overflow = true
+				t.acc = nil
+			} else {
+				t.acc = append(t.acc, m)
+			}
+		}
+		return m, nil
+	}
+	if err == io.EOF && !t.overflow && !t.admitted {
+		t.admitted = true
+		ms := t.acc
+		if ms == nil {
+			ms = []Match{}
+		}
+		t.cache.Put(t.key, ms, int64(len(ms)+1)*matchBytes, t.pl)
+		t.acc = nil
+	}
+	return Match{}, err
+}
+
+func (t *cacheTee) Close() error { return t.it.Close() }
+
+func (t *cacheTee) Start() {
+	if s, ok := t.it.(stream.Starter); ok {
+		s.Start()
+	}
+}
+
+// QueryStream fans a streaming query out across shards: every shard's
+// pipeline is opened up-front — pinning one view per shard in shard
+// order, the same consistent cut ViewAll takes — and their iterators
+// chain in shard order with at most the backend's fan-out bound of
+// producers running ahead. One budget spans all shards.
+func (sc *ShardedCollection) QueryStream(path string, opt StreamOpt) (*ResultStream, error) {
+	sc.mu.RLock()
+	shards := make([]Backend, len(sc.shards))
+	copy(shards, sc.shards)
+	fanout := sc.fanout
+	sc.mu.RUnlock()
+
+	if opt.budget == nil {
+		opt.budget = stream.NewBudget(opt.BudgetBytes)
+	}
+	shardOpt := opt
+	shardOpt.Limit = 0 // the limit cuts the merged stream, not one shard's
+
+	out := &ResultStream{}
+	subs := make([]*ResultStream, 0, len(shards))
+	its := make([]stream.Iterator, 0, len(shards))
+	for i, sh := range shards {
+		rs, err := sh.QueryStream(path, shardOpt)
+		if err != nil {
+			for _, sub := range subs {
+				sub.Close()
+			}
+			return nil, err
+		}
+		for k := range rs.plans {
+			rs.plans[k].Shard = i
+		}
+		subs = append(subs, rs)
+		out.plans = append(out.plans, rs.plans...)
+		out.releases = append(out.releases, rs.releases...)
+		out.produced = append(out.produced, rs.produced...)
+		its = append(its, rs.it)
+	}
+	out.it = stream.Limited(stream.Concat(its, fanout), opt.Limit)
+	return out, nil
+}
+
+// QueryDocStream routes the streaming document-scoped query to the
+// document's shard.
+func (sc *ShardedCollection) QueryDocStream(name, path string, opt StreamOpt) (*ResultStream, error) {
+	sc.mu.RLock()
+	si, ok := sc.route[name]
+	var sh Backend
+	if ok {
+		sh = sc.shards[si]
+	}
+	sc.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
+	}
+	rs, err := sh.QueryDocStream(name, path, opt)
+	if err != nil {
+		return nil, err
+	}
+	for k := range rs.plans {
+		rs.plans[k].Shard = si
+	}
+	return rs, nil
+}

@@ -1,0 +1,524 @@
+package lazyxml
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/xmlgen"
+)
+
+// drainStream pulls rs to exhaustion and returns the matches.
+func drainStream(t *testing.T, rs *ResultStream) []Match {
+	t.Helper()
+	var out []Match
+	for {
+		m, err := rs.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("stream Next: %v", err)
+		}
+		out = append(out, m)
+	}
+}
+
+// matchList renders matches order-sensitively — streaming must preserve
+// not just the match set but the exact order of the materialized path.
+func matchList(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = fmt.Sprintf("%d-%d|%d-%d", m.AncStart, m.AncEnd, m.DescStart, m.DescEnd)
+	}
+	return out
+}
+
+func diffLists(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d matches, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: match %d = %s, want %s (order or content diverged)", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+func liveViews(b Backend) int {
+	total := 0
+	for _, st := range b.ViewStats() {
+		total += st.Views.Live
+	}
+	return total
+}
+
+// assertViewsReleased proves no stream kept a view reference: a write
+// per shard retires each published view at the next acquisition, so
+// after one rotation the only live views are the freshly published ones
+// — unless a closed stream leaked its pin, which keeps the old
+// generation retained.
+func assertViewsReleased(t *testing.T, b Backend) {
+	t.Helper()
+	touched := map[int]bool{}
+	for _, name := range b.Names() {
+		si := b.ShardOf(name)
+		if touched[si] {
+			continue
+		}
+		touched[si] = true
+		if _, err := b.Insert(name, len("<root>"), []byte("<zz/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cv, err := b.ViewAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv.Release()
+	if n := liveViews(b); n > b.ShardCount() {
+		t.Fatalf("%d live views after rotation (at most %d published expected): a stream leaked its view pin", n, b.ShardCount())
+	}
+}
+
+// buildStreamCollection seeds a collection with random fragmented
+// documents, the same shape the planner equivalence test uses.
+func buildStreamCollection(t *testing.T, seed int64) *Collection {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	c := NewCollection(LD)
+	c.EnablePlanner(NewQueryPlanner(1 << 20))
+	frags := []string{"<a><b><c/></b></a>", "<b><c><d/></c></b>", "<a><b/><c/></a>", "<c><d/></c>"}
+	for d := 0; d < 2+r.Intn(3); d++ {
+		text := xmlgen.Synthetic(xmlgen.SyntheticConfig{
+			Seed: seed*100 + int64(d), Elements: 80 + r.Intn(120),
+		})
+		if err := c.Put(fmt.Sprintf("doc-%d", d), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	for i := 0; i < 5+r.Intn(20); i++ {
+		name := names[r.Intn(len(names))]
+		if _, err := c.Insert(name, len("<root>"), []byte(frags[r.Intn(len(frags))])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestStreamEquivalenceProperty is the streaming correctness property:
+// for every algorithm the planner can force — all six joins plus the
+// holistic twig — and for the unplanned path, a streamed query returns
+// exactly the matches of its materialized counterpart, in exactly the
+// same order, over random fragmented documents.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	paths := []string{"a", "a//b", "a/b", "b//c", "a//b//c", "a//b/c", "b//c//d"}
+	algos := []string{"auto", "lazy", "parallel", "std", "skip", "sta", "xb", "twig"}
+	for seed := int64(1); seed <= 3; seed++ {
+		c := buildStreamCollection(t, seed)
+		for _, path := range paths {
+			// Unplanned lane: QueryStream(Planned: false) vs Query.
+			oracle, err := c.Query(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := c.QueryStream(path, StreamOpt{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffLists(t, fmt.Sprintf("seed %d path %s unplanned", seed, path), matchList(oracle), matchList(drainStream(t, rs)))
+			if err := rs.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Planned lanes, one per forced algorithm. NoCache on both
+			// sides so every run actually executes.
+			for _, algo := range algos {
+				force, err := ParsePlanAlgo(algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := c.QueryPlanned(path, PlanOpt{Force: force, NoCache: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := c.QueryStream(path, StreamOpt{Planned: true, Force: force, NoCache: true})
+				if err != nil {
+					t.Fatalf("seed %d %s algo %s: %v", seed, path, algo, err)
+				}
+				got := drainStream(t, rs)
+				label := fmt.Sprintf("seed %d path %s algo %s", seed, path, algo)
+				if len(rs.Plans()) != 1 {
+					t.Fatalf("%s: %d plans", label, len(rs.Plans()))
+				}
+				diffLists(t, label, matchList(want), matchList(got))
+				if err := rs.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		assertViewsReleased(t, c)
+	}
+}
+
+// TestStreamDocScopedEquivalence checks the document-scoped lane,
+// including the span filter, against QueryDocPlanned.
+func TestStreamDocScopedEquivalence(t *testing.T) {
+	c := buildStreamCollection(t, 7)
+	for _, name := range c.Names() {
+		for _, path := range []string{"a//b", "b//c"} {
+			want, _, err := c.QueryDocPlanned(name, path, PlanOpt{NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := c.QueryDocStream(name, path, StreamOpt{Planned: true, NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffLists(t, fmt.Sprintf("doc %s path %s", name, path), matchList(want), matchList(drainStream(t, rs)))
+			rs.Close()
+		}
+	}
+	if _, err := c.QueryDocStream("no-such-doc", "a//b", StreamOpt{}); err == nil {
+		t.Fatal("unknown document accepted")
+	}
+	assertViewsReleased(t, c)
+}
+
+// TestStreamEquivalenceUnderWriters is the MVCC isolation property: a
+// stream opened before a burst of writers delivers exactly the
+// snapshot-time result, however slowly it is drained.
+func TestStreamEquivalenceUnderWriters(t *testing.T) {
+	c := buildStreamCollection(t, 11)
+	const path = "a//b"
+	want, _, err := c.QueryPlanned(path, PlanOpt{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.QueryStream(path, StreamOpt{Planned: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writers start after the stream pinned its view.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		names := c.Names()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := names[i%len(names)]
+			if _, err := c.Insert(name, len("<root>"), []byte("<a><b/></a>")); err != nil {
+				return
+			}
+		}
+	}()
+	var got []Match
+	for {
+		m, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next under writers: %v", err)
+		}
+		got = append(got, m)
+		time.Sleep(50 * time.Microsecond) // drain slowly while writers run
+	}
+	close(stop)
+	wg.Wait()
+	diffLists(t, "under writers", matchList(want), matchList(got))
+	rs.Close()
+	assertViewsReleased(t, c)
+}
+
+// TestStreamSingleConsumption pins the consumption discipline on the
+// full stack, for every join adapter: after the terminal io.EOF a
+// second consumption reports ErrStreamExhausted (never a silent zero
+// rows — the janus-datalog failure mode), and Next after Close reports
+// ErrStreamClosed.
+func TestStreamSingleConsumption(t *testing.T) {
+	c := buildStreamCollection(t, 13)
+	for _, algo := range []string{"lazy", "parallel", "std", "skip", "sta", "xb", "twig"} {
+		force, err := ParsePlanAlgo(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := c.QueryStream("a//b", StreamOpt{Planned: true, Force: force, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(drainStream(t, rs))
+		if n == 0 {
+			t.Fatalf("algo %s: empty result would not exercise the guard", algo)
+		}
+		if _, err := rs.Next(); !errors.Is(err, ErrStreamExhausted) {
+			t.Fatalf("algo %s: Next after EOF = %v, want ErrStreamExhausted", algo, err)
+		}
+		if err := rs.Close(); err != nil {
+			t.Fatalf("algo %s: Close: %v", algo, err)
+		}
+		if _, err := rs.Next(); !errors.Is(err, ErrStreamClosed) {
+			t.Fatalf("algo %s: Next after Close = %v, want ErrStreamClosed", algo, err)
+		}
+		if err := rs.Close(); err != nil {
+			t.Fatalf("algo %s: second Close: %v", algo, err)
+		}
+	}
+	assertViewsReleased(t, c)
+}
+
+// TestStreamBudgetExceeded forces a multi-step query's frontier over a
+// tiny budget and checks the structured failure plus view release.
+func TestStreamBudgetExceeded(t *testing.T) {
+	c := buildStreamCollection(t, 17)
+	rs, err := c.QueryStream("a//b//c", StreamOpt{Planned: true, NoCache: true, BudgetBytes: matchBytes * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serr error
+	for serr == nil {
+		_, serr = rs.Next()
+	}
+	if serr == io.EOF {
+		t.Fatal("budgeted stream completed; budget never charged")
+	}
+	if !errors.Is(serr, ErrStreamBudget) {
+		t.Fatalf("stream error = %v, want ErrStreamBudget", serr)
+	}
+	var be *stream.BudgetError
+	if !errors.As(serr, &be) || be.Limit != matchBytes*2 {
+		t.Fatalf("budget error detail: %+v", be)
+	}
+	rs.Close()
+	assertViewsReleased(t, c)
+}
+
+// TestStreamCancelReleasesView cancels a stream mid-drain and asserts
+// the error and that Close returns the pinned view.
+func TestStreamCancelReleasesView(t *testing.T) {
+	c := buildStreamCollection(t, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	rs, err := c.QueryStream("a//b", StreamOpt{Planned: true, NoCache: true, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	cancel()
+	var serr error
+	for serr == nil {
+		_, serr = rs.Next()
+	}
+	if serr != io.EOF && !errors.Is(serr, context.Canceled) {
+		t.Fatalf("after cancel: %v", serr)
+	}
+	rs.Close()
+	assertViewsReleased(t, c)
+}
+
+// TestStreamLimitBoundsProduction is the early-termination property:
+// Limit=1 against a document with tens of thousands of matches must
+// leave production bounded by the batch window, not the result size.
+func TestStreamLimitBoundsProduction(t *testing.T) {
+	c := NewCollection(LD)
+	c.EnablePlanner(NewQueryPlanner(1 << 20))
+	// One flat document with many <b/> under one <a>: a//b yields n
+	// matches.
+	const n = 20000
+	doc := make([]byte, 0, 16*n)
+	doc = append(doc, "<root><a>"...)
+	for i := 0; i < n; i++ {
+		doc = append(doc, "<b/>"...)
+	}
+	doc = append(doc, "</a></root>"...)
+	if err := c.Put("big", doc); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.QueryStream("a//b", StreamOpt{Planned: true, NoCache: true, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainStream(t, rs)
+	if len(got) != 1 {
+		t.Fatalf("limit=1 delivered %d matches", len(got))
+	}
+	rs.Close()
+	// The producer runs at most a few batch windows ahead of the single
+	// delivered match before cancellation lands; the full 20k-match
+	// result must never have been generated.
+	if p := rs.Produced(); p > 2048 {
+		t.Fatalf("limit=1 produced %d matches; early termination is not bounding work", p)
+	}
+	assertViewsReleased(t, c)
+}
+
+// TestStreamCacheTee checks result-cache composition: a small streamed
+// result admits to the cache on clean exhaustion (the next stream is a
+// hit and pins no view), a limit-truncated stream never admits, and an
+// over-cap result bypasses admission.
+func TestStreamCacheTee(t *testing.T) {
+	c := buildStreamCollection(t, 23)
+	qp := NewQueryPlanner(1 << 20)
+	c.EnablePlanner(qp)
+	const path = "a//b"
+
+	// Truncated: must not admit.
+	rs, err := c.QueryStream(path, StreamOpt{Planned: true, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainStream(t, rs); len(got) != 1 {
+		t.Fatalf("limit drain: %d", len(got))
+	}
+	rs.Close()
+	if st := qp.Stats().Cache; st.Puts != 0 {
+		t.Fatalf("truncated stream admitted to cache: %+v", st)
+	}
+
+	// Clean exhaustion: admits; the repeat run is a cache hit.
+	rs, err = c.QueryStream(path, StreamOpt{Planned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matchList(drainStream(t, rs))
+	rs.Close()
+	if st := qp.Stats().Cache; st.Puts != 1 {
+		t.Fatalf("clean stream did not admit: %+v", st)
+	}
+	rs, err = c.QueryStream(path, StreamOpt{Planned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainStream(t, rs)
+	if !rs.Plans()[0].Cached {
+		t.Fatal("repeat stream not served from cache")
+	}
+	if rs.Produced() != 0 {
+		t.Fatalf("cache hit produced %d matches", rs.Produced())
+	}
+	diffLists(t, "cache hit", want, matchList(got))
+	rs.Close()
+
+	// Over the admission cap: streams fine, never admits.
+	tiny := NewQueryPlanner(matchBytes * 16) // cap = 2 matches' worth
+	c.EnablePlanner(tiny)
+	rs, err = c.QueryStream(path, StreamOpt{Planned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainStream(t, rs); len(got) < 3 {
+		t.Fatalf("result too small (%d) to exercise the cap", len(got))
+	}
+	rs.Close()
+	if st := tiny.Stats().Cache; st.Puts != 0 {
+		t.Fatalf("over-cap stream admitted: %+v", st)
+	}
+	assertViewsReleased(t, c)
+}
+
+// TestStreamSharded checks the sharded merge: per-shard pipelines over
+// the consistent cut concatenate in shard order, equivalent to the
+// materialized fan-out, with the limit applied across the merge and a
+// shard index on every plan.
+func TestStreamSharded(t *testing.T) {
+	sc := NewShardedCollection(3, LD)
+	sc.EnablePlanner(NewQueryPlanner(1 << 20))
+	for d := 0; d < 12; d++ {
+		text := xmlgen.Synthetic(xmlgen.SyntheticConfig{Seed: int64(500 + d), Elements: 60})
+		if err := sc.Put(fmt.Sprintf("doc-%d", d), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range []string{"a//b", "b//c", "a"} {
+		want, _, err := sc.QueryPlanned(path, PlanOpt{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := sc.QueryStream(path, StreamOpt{Planned: true, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Plans()) != 3 {
+			t.Fatalf("%s: %d plans, want one per shard", path, len(rs.Plans()))
+		}
+		for i, pl := range rs.Plans() {
+			if pl.Shard != i {
+				t.Fatalf("%s: plan %d has shard %d", path, i, pl.Shard)
+			}
+		}
+		diffLists(t, "sharded "+path, matchList(want), matchList(drainStream(t, rs)))
+		rs.Close()
+
+		// Limit across the merge.
+		if len(want) > 2 {
+			rs, err := sc.QueryStream(path, StreamOpt{Planned: true, NoCache: true, Limit: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainStream(t, rs)
+			rs.Close()
+			diffLists(t, "sharded limit "+path, matchList(want[:2]), matchList(got))
+		}
+	}
+	// Doc-scoped routing.
+	name := sc.Names()[0]
+	want, _, err := sc.QueryDocPlanned(name, "a//b", PlanOpt{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sc.QueryDocStream(name, "a//b", StreamOpt{Planned: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Plans()[0].Shard != sc.ShardOf(name) {
+		t.Fatalf("doc plan shard %d, want %d", rs.Plans()[0].Shard, sc.ShardOf(name))
+	}
+	diffLists(t, "sharded doc", matchList(want), matchList(drainStream(t, rs)))
+	rs.Close()
+	if _, err := sc.QueryDocStream("no-such", "a", StreamOpt{}); err == nil {
+		t.Fatal("unknown doc accepted")
+	}
+	assertViewsReleased(t, sc)
+}
+
+// TestStreamSharedBudgetAcrossShards: one budget spans the whole
+// fan-out, so N shards cannot multiply the per-query limit.
+func TestStreamSharedBudgetAcrossShards(t *testing.T) {
+	sc := NewShardedCollection(3, LD)
+	sc.EnablePlanner(NewQueryPlanner(1 << 20))
+	for d := 0; d < 9; d++ {
+		text := xmlgen.Synthetic(xmlgen.SyntheticConfig{Seed: int64(700 + d), Elements: 120})
+		if err := sc.Put(fmt.Sprintf("doc-%d", d), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := sc.QueryStream("a//b//c", StreamOpt{Planned: true, NoCache: true, BudgetBytes: matchBytes * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serr error
+	for serr == nil {
+		_, serr = rs.Next()
+	}
+	if !errors.Is(serr, ErrStreamBudget) {
+		t.Fatalf("sharded budget error = %v, want ErrStreamBudget", serr)
+	}
+	rs.Close()
+	assertViewsReleased(t, sc)
+}
