@@ -48,7 +48,7 @@
 // Usage:
 //
 //	lazyload [-url http://localhost:8080] [-c 8] [-n 2000] [-read 0.8]
-//	         [-prefix load] [-reuse] [-keep] [-retries 4]
+//	         [-prefix load] [-reuse] [-keep] [-retries 4] [-peers url,url,...]
 //	         [-bulk] [-bin addr] [-doc-bytes 4096] [-window 64]
 //	         [-query-mix] [-query-paths 64] [-zipf-s 1.2] [-algo name]
 //	         [-stream]
@@ -57,6 +57,15 @@
 // a transport error are retried up to -retries times with a jittered
 // exponential backoff; a Retry-After header from the server overrides
 // the local backoff base. The summary reports the retry count.
+//
+// Failover (-peers): given the cluster members' HTTP base URLs, the
+// driver rides through a primary failover. A connection refused, or a
+// 403 naming the primary (the follower's answer to a write after this
+// node was demoted or the driver was pointed at a replica), triggers a
+// re-resolve: the peers' /readyz are polled for whoever now reports
+// role=primary and every later request is rewritten onto that base URL.
+// Re-resolves count against -retries and share the jittered backoff, so
+// a cluster mid-election is retried, not hammered.
 package main
 
 import (
@@ -99,8 +108,18 @@ func main() {
 	queryPaths := flag.Int("query-paths", 64, "query-mix: distinct query paths (one tag group each)")
 	zipfS := flag.Float64("zipf-s", 1.2, "query-mix: zipf skew of path popularity (> 1; higher = hotter head)")
 	algo := flag.String("algo", "", "query-mix: force this join algorithm on every query via ?algo= (empty: server default)")
+	peersFlag := flag.String("peers", "", "comma-separated HTTP base URLs of all cluster members: on connection refused or a 403 naming the primary, re-resolve the writable primary and fail over")
 	flag.Parse()
 	maxRetries = *retriesFlag
+	if *peersFlag != "" {
+		base := strings.TrimSuffix(*url, "/")
+		fo = &failover{orig: base, base: base}
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				fo.peers = append(fo.peers, strings.TrimSuffix(p, "/"))
+			}
+		}
+	}
 
 	// The transport is sized so every worker can hold a warm connection:
 	// with the default MaxIdleConnsPerHost of 2, workers beyond the
@@ -209,13 +228,13 @@ func main() {
 	report("reads ", readLat)
 	report("writes", writeLat)
 
-	status, body, _ := do(client, "GET", *url+"/count?path=load//item", nil)
+	status, body, _ := do(client, "GET", rebase(*url)+"/count?path=load//item", nil)
 	fmt.Printf("collection count: %d %s", status, body)
-	reportShardSpread(client, *url)
+	reportShardSpread(client, rebase(*url))
 
 	if !*keep {
 		for w := 0; w < *workers; w++ {
-			do(client, "DELETE", *url+"/docs/"+names[w], nil)
+			do(client, "DELETE", rebase(*url)+"/docs/"+names[w], nil)
 		}
 	}
 	if errs > 0 {
@@ -389,11 +408,11 @@ func runQueryMix(client *http.Client, base, prefix, algo string, c, n, paths int
 		float64(ops)/elapsed.Seconds())
 	report("reads ", readLat)
 	report("writes", writeLat)
-	reportPlanner(client, base)
+	reportPlanner(client, rebase(base))
 
 	if !keep {
 		for w := 0; w < c; w++ {
-			do(client, "DELETE", base+"/docs/"+names[w], nil)
+			do(client, "DELETE", rebase(base)+"/docs/"+names[w], nil)
 		}
 	}
 	if errs > 0 {
@@ -592,7 +611,7 @@ type statsBody struct {
 // serverShardCount asks /stats how many shards the server runs; servers
 // without a shard dimension count as one.
 func serverShardCount(client *http.Client, base string) int {
-	status, body, _ := do(client, "GET", base+"/stats", nil)
+	status, body := doRetry(client, "GET", base+"/stats", nil)
 	if status != http.StatusOK {
 		log.Fatalf("lazyload: GET /stats: %d %s", status, body)
 	}
@@ -661,6 +680,66 @@ func report(label string, lat []time.Duration) {
 // error; the summary reports it so shed-and-retry runs are visible.
 var retries atomic.Int64
 
+// failover re-resolves the writable primary against a -peers list and
+// rewrites request URLs from the original -url base onto whoever holds
+// the role now. Nil (no -peers) disables the whole mechanism.
+type failover struct {
+	orig  string // the -url base every call site builds URLs from
+	peers []string
+
+	mu   sync.Mutex
+	base string // current active base (starts as orig)
+}
+
+// fo is the process-wide failover state; nil without -peers.
+var fo *failover
+
+// rebase maps a URL built on the original base onto the primary that
+// -peers failover settled on; identity without -peers. The post-run
+// summary reads use it so they survive a mid-run failover too.
+func rebase(url string) string {
+	if fo == nil {
+		return url
+	}
+	return fo.rewrite(url)
+}
+
+// rewrite maps a URL built on the original base onto the active one.
+func (f *failover) rewrite(url string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.base == f.orig || !strings.HasPrefix(url, f.orig) {
+		return url
+	}
+	return f.base + strings.TrimPrefix(url, f.orig)
+}
+
+// resolve polls the peers' /readyz for whoever reports role=primary and
+// makes it the active base. Both the ready (200) and unready (503)
+// bodies carry the role, so a primary that is momentarily gating
+// traffic is still found.
+func (f *failover) resolve(client *http.Client) {
+	for _, peer := range f.peers {
+		status, body, _ := do(client, "GET", peer+"/readyz", nil)
+		if status == 0 {
+			continue
+		}
+		var info struct {
+			Role string `json:"role"`
+		}
+		if json.Unmarshal([]byte(body), &info) != nil || info.Role != "primary" {
+			continue
+		}
+		f.mu.Lock()
+		if f.base != peer {
+			f.base = peer
+			fmt.Printf("lazyload: failing over to %s (reports role=primary)\n", peer)
+		}
+		f.mu.Unlock()
+		return
+	}
+}
+
 // maxRetries is how many times a shed request is retried (flag -retries).
 var maxRetries = 4
 
@@ -689,15 +768,31 @@ func do(client *http.Client, method, url string, body []byte) (int, string, http
 // doRetry issues a request and retries it on 503 (overload shedding) or
 // transport failure, sleeping a jittered exponential backoff between
 // attempts. A Retry-After header from the server overrides the local
-// backoff base — the server knows when its queue will drain.
+// backoff base — the server knows when its queue will drain. With
+// -peers, a transport failure or a 403 naming the primary additionally
+// re-resolves the writable primary before the retry, so the driver
+// follows a failover instead of dying with it.
 func doRetry(client *http.Client, method, url string, body []byte) (int, string) {
 	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		status, respBody, hdr := do(client, method, url, body)
-		if (status != 0 && status != http.StatusServiceUnavailable) || attempt >= maxRetries {
+		reqURL := url
+		if fo != nil {
+			reqURL = fo.rewrite(url)
+		}
+		status, respBody, hdr := do(client, method, reqURL, body)
+		again := status == 0 || status == http.StatusServiceUnavailable
+		reResolve := fo != nil && (status == 0 ||
+			(status == http.StatusForbidden && strings.Contains(respBody, "primary")))
+		if reResolve {
+			again = true
+		}
+		if !again || attempt >= maxRetries {
 			return status, respBody
 		}
 		retries.Add(1)
+		if reResolve {
+			fo.resolve(client)
+		}
 		wait := backoff
 		if ra := hdr.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {

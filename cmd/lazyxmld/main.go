@@ -10,7 +10,8 @@
 //	         [-plan] [-cache-bytes 67108864]
 //	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
 //	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
-//	         [-compact-on-exit] [-repl addr] [-follow addr]
+//	         [-compact-on-exit] [-repl addr] [-relay addr] [-follow addr]
+//	         [-peers url,url,...] [-sentinel]
 //	         [-auto-compact] [-compact-segments 64] [-compact-log-bytes N]
 //	         [-compact-interval 5s] [-compact-view-age 30s]
 //
@@ -50,10 +51,33 @@
 //	              a streamed snapshot automatically.
 //
 // -repl and -follow combine: a follower that also serves the replication
-// protocol can feed its own downstream replicas, and after POST /promote
-// it is a fully-formed primary. Promotion stops the stream, bumps the
-// store's replication epoch (fencing off the deposed primary's records)
-// and makes this server writable, all without a restart.
+// protocol can feed its own downstream replicas (a relay; -relay is an
+// alias of -repl that reads better on such nodes), and after POST
+// /promote it is a fully-formed primary. Promotion stops the stream,
+// bumps the store's replication epoch (fencing off the deposed
+// primary's records) and makes this server writable, all without a
+// restart. Each node's distance from the root primary is announced in
+// the replication handshake and exported as relayDepth.
+//
+// Self-healing cluster (-peers, -sentinel):
+//
+//	-peers a,b,c  the cluster members' HTTP base URLs. At boot a node
+//	              that would start writable first asks the peers who is
+//	              primary: if one answers with an epoch at least as
+//	              high as its own, the node starts as that primary's
+//	              follower instead — a deposed primary that restarts
+//	              rejoins the cluster rather than split-braining it.
+//	              With -peers set, a fatal replication error no longer
+//	              kills the daemon; the node idles until a sentinel (or
+//	              an operator, via POST /retarget) re-points it.
+//	-sentinel     run the failover supervisor in-process: probe every
+//	              peer's /readyz, declare the primary dead only after K
+//	              consecutive failed probes, elect the most-caught-up
+//	              reachable follower, drive POST /promote with the
+//	              observed epoch as a fencing token, and re-point
+//	              survivors whose upstream died. Requires -peers. Safe
+//	              to run on every member: racing sentinels are
+//	              serialized by the fencing token.
 //
 // Auto-compaction (-auto-compact): a background controller polls each
 // shard's segment count and WAL footprint and applies the paper's §5.3
@@ -97,6 +121,8 @@
 //	POST   /rebuild                     collapse every document's segments
 //	POST   /check                       verify index consistency
 //	POST   /promote                     turn this follower into the writable primary
+//	                                    (?epoch=N fences racing promoters)
+//	POST   /retarget?addr=host:port     re-point this node's replication upstream
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), then closes the journal.
@@ -104,6 +130,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -113,13 +140,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	lazyxml "repro"
+	"repro/internal/cluster"
 	"repro/internal/maintain"
 	"repro/internal/repl"
+	"repro/internal/sentinel"
 	"repro/internal/server"
 )
 
@@ -145,7 +173,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "max upload size in bytes")
 	compactOnExit := flag.Bool("compact-on-exit", false, "fold the journal into a snapshot during shutdown")
 	replAddr := flag.String("repl", "", "serve the binary replication/bulk-load protocol on this address (requires -journal)")
+	relayAddr := flag.String("relay", "", "alias of -repl: serve the replication protocol so this node can feed downstream replicas")
 	follow := flag.String("follow", "", "follow the primary whose -repl listener is at this address (requires -journal; read-only until promoted)")
+	peers := flag.String("peers", "", "comma-separated HTTP base URLs of all cluster members (enables boot-time primary discovery and runtime re-targeting)")
+	sentinelOn := flag.Bool("sentinel", false, "run the failover supervisor in-process (requires -peers)")
 	autoCompact := flag.Bool("auto-compact", false, "run the background maintenance controller (collapse/compact from §5.3 thresholds)")
 	compactSegments := flag.Int("compact-segments", maintain.DefaultSegmentsHigh, "auto-compact: per-shard segment-count high watermark")
 	compactLogBytes := flag.Int64("compact-log-bytes", maintain.DefaultLogBytesHigh, "auto-compact: per-shard journal bytes that trigger a compact")
@@ -153,8 +184,23 @@ func main() {
 	compactViewAge := flag.Duration("compact-view-age", maintain.DefaultMaxViewAge, "auto-compact: defer generation-bumping work while a stale snapshot view at least this old is retained (negative disables)")
 	flag.Parse()
 
+	if *relayAddr != "" {
+		if *replAddr != "" && *replAddr != *relayAddr {
+			log.Fatalf("lazyxmld: -repl %s and -relay %s disagree; they are aliases, set one", *replAddr, *relayAddr)
+		}
+		*replAddr = *relayAddr
+	}
 	if (*replAddr != "" || *follow != "") && *journalDir == "" {
 		log.Fatalf("lazyxmld: -repl and -follow require -journal: replication ships the write-ahead log")
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimSuffix(p, "/"))
+		}
+	}
+	if *sentinelOn && len(peerList) == 0 {
+		log.Fatalf("lazyxmld: -sentinel requires -peers: a supervisor with no member list has nothing to watch")
 	}
 
 	var m lazyxml.Mode
@@ -238,82 +284,82 @@ func main() {
 		log.Printf("lazyxmld: query planner on (result cache %dB, generation-keyed)", *cacheBytes)
 	}
 
-	// Replication: a primary serves the stream, a follower applies it. A
-	// node may be both — a follower that feeds downstream replicas and
-	// the natural promotion target.
+	// Replication: cluster.Node owns this node's role for its whole life
+	// — boot-time follower, runtime re-target via POST /retarget, and
+	// promotion — and keeps a co-located relay primary consistent across
+	// re-seeds and epoch changes. A standalone journaled primary gets the
+	// same wiring so /readyz and /stats report its role and epoch.
+	var node *cluster.Node
 	var primary *repl.Primary
-	folErr := make(chan error, 1)
-	if *replAddr != "" {
-		p, err := repl.NewPrimary(sc, repl.PrimaryConfig{Logf: log.Printf, QueryBudget: *queryBudget})
-		if err != nil {
-			log.Fatalf("lazyxmld: %v", err)
-		}
-		ln, err := net.Listen("tcp", *replAddr)
-		if err != nil {
-			log.Fatalf("lazyxmld: replication listener on %s: %v", *replAddr, err)
-		}
-		primary = p
-		go func() {
-			if err := p.Serve(ln); err != nil {
-				log.Printf("lazyxmld: replication listener: %v", err)
+	if sc != nil {
+		upstream := *follow
+		if upstream == "" && len(peerList) > 0 {
+			// Boot-time epoch census: a node that would start writable
+			// first asks the peers who is primary. Deferring to any live
+			// primary with an epoch at least as high as our own is how a
+			// deposed primary rejoins after a restart instead of
+			// split-braining the cluster.
+			if rAddr, peer, epoch, ok := discoverPrimary(peerList, sc.Epoch()); ok {
+				log.Printf("lazyxmld: peer census: %s is primary at epoch %d (local epoch %d); starting as its follower",
+					peer, epoch, sc.Epoch())
+				upstream = rAddr
 			}
-		}()
-		log.Printf("lazyxmld: replicating on %s (%d shard(s))", ln.Addr(), sc.ShardCount())
-	}
-	if *follow != "" {
-		fcfg := repl.FollowerConfig{Logf: log.Printf}
-		if primary != nil {
-			// Co-located primary: a re-seed replaces a shard's backing
-			// store wholesale, so the primary's replication taps must be
-			// re-wired onto the replacement before it feeds downstream.
-			fcfg.OnReseed = primary.ReattachShard
 		}
-		f, err := repl.NewFollower(sc, *follow, fcfg)
-		if err != nil {
-			log.Fatalf("lazyxmld: %v", err)
+		ncfg := cluster.Config{
+			Upstream:        upstream,
+			Follower:        repl.FollowerConfig{Logf: log.Printf},
+			ReseedOnDiverge: len(peerList) > 0,
+			ReadyMaxLag:     *readyMaxLag,
+			Logf:            log.Printf,
 		}
-		srvCfg.PrimaryAddr = *follow
-		srvCfg.ReplStatus = func() any { return f.Status() }
-
-		// Readiness: a re-seeding replica serves stale (or partial) data
-		// and a badly lagging one serves old data — readyz pulls both out
-		// of rotation. A promoted node is the primary and always ready.
-		var promoted atomic.Bool
-		srvCfg.Ready = func() (bool, string) {
-			if promoted.Load() {
-				return true, ""
-			}
-			st := f.Status()
-			if st.State == repl.StateReseeding {
-				return false, "re-seeding from the primary's snapshot"
-			}
-			if *readyMaxLag > 0 && st.Lag > *readyMaxLag {
-				return false, fmt.Sprintf("replication lag %d exceeds -ready-max-lag %d", st.Lag, *readyMaxLag)
-			}
-			return true, ""
+		if upstream != "" && *follow == "" {
+			// The census just demoted a would-be primary: its history may
+			// hold acknowledged records the new regime never saw, and WAL
+			// positions cannot detect divergence unless we are strictly
+			// ahead. Discard and re-seed before the first subscribe.
+			ncfg.Follower.ForceInitialReseed = true
 		}
-
-		// Promotion: stop the stream, wait for the last applied record,
-		// bump the epoch (persisted; the deposed primary's records are
-		// fenced off from now on), then the HTTP layer turns writable.
-		folCtx, folCancel := context.WithCancel(ctx)
-		folDone := make(chan struct{})
-		srvCfg.Promote = func() (int64, error) {
-			if !promoted.CompareAndSwap(false, true) {
-				return 0, fmt.Errorf("already promoted (epoch %d)", sc.Epoch())
-			}
-			folCancel()
-			<-folDone
-			epoch, err := sc.Promote()
+		if len(peerList) == 0 {
+			// Standalone follower semantics predate the cluster layer: a
+			// fatal, non-retryable replication error (incompatible
+			// primary, diverged history, deposed primary) kills the
+			// daemon. In a cluster the node idles instead — a sentinel or
+			// an operator re-points it with POST /retarget.
+			ncfg.OnFatal = func(err error) { log.Fatalf("lazyxmld: follower: %v", err) }
+		}
+		node = cluster.New(sc, ncfg)
+		if *replAddr != "" {
+			p, err := repl.NewPrimary(sc, repl.PrimaryConfig{Logf: log.Printf, QueryBudget: *queryBudget, Depth: node.RelayDepth})
 			if err != nil {
-				promoted.Store(false)
-				return 0, err
+				log.Fatalf("lazyxmld: %v", err)
 			}
-			log.Printf("lazyxmld: promoted to primary at epoch %d", epoch)
-			return epoch, nil
+			ln, err := net.Listen("tcp", *replAddr)
+			if err != nil {
+				log.Fatalf("lazyxmld: replication listener on %s: %v", *replAddr, err)
+			}
+			primary = p
+			node.AttachPrimary(p)
+			go func() {
+				if err := p.Serve(ln); err != nil {
+					log.Printf("lazyxmld: replication listener: %v", err)
+				}
+			}()
+			log.Printf("lazyxmld: replicating on %s (%d shard(s))", ln.Addr(), sc.ShardCount())
 		}
-		go func() { folErr <- f.Run(folCtx); close(folDone) }()
-		log.Printf("lazyxmld: following %s (read-only; writes 403 to the primary)", *follow)
+		if err := node.Start(ctx); err != nil {
+			log.Fatalf("lazyxmld: %v", err)
+		}
+		node.Wire(&srvCfg, *replAddr)
+		if upstream != "" {
+			log.Printf("lazyxmld: following %s (read-only; writes 403 to the primary)", upstream)
+		}
+	}
+
+	if *sentinelOn {
+		snt := sentinel.New(sentinel.Config{Peers: peerList, Logf: log.Printf})
+		srvCfg.SentinelStatus = func() any { return snt.Status() }
+		go snt.Run(ctx)
+		log.Printf("lazyxmld: sentinel watching %d member(s)", len(peerList))
 	}
 
 	// The controller is created after the server (it schedules through
@@ -332,7 +378,12 @@ func main() {
 				LogBytesHigh:       *compactLogBytes,
 				MaxRetainedViewAge: *compactViewAge,
 			},
-			IsPrimary: func() bool { return srv.PrimaryAddr() == "" },
+			IsPrimary: func() bool {
+				if node != nil {
+					return node.Role() == cluster.RolePrimary
+				}
+				return srv.PrimaryAddr() == ""
+			},
 			GateShard: srv.ExclusiveShard,
 			Logf:      log.Printf,
 		}
@@ -355,26 +406,10 @@ func main() {
 	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s shards=%d writers=%d timeout=%s)",
 		*addr, m, *alg, backend.ShardCount(), *writers, *timeout)
 
-loop:
-	for {
-		select {
-		case err := <-errCh:
-			log.Fatalf("lazyxmld: %v", err)
-		case err := <-folErr:
-			// The follower returns nil when its context is cancelled —
-			// either shutdown (exit below) or a promotion (keep serving,
-			// now as the primary) — and non-nil only on a fatal,
-			// non-retryable error (incompatible primary, diverged
-			// history, deposed primary).
-			if err != nil {
-				log.Fatalf("lazyxmld: follower: %v", err)
-			}
-			if ctx.Err() != nil {
-				break loop
-			}
-		case <-ctx.Done():
-			break loop
-		}
+	select {
+	case err := <-errCh:
+		log.Fatalf("lazyxmld: %v", err)
+	case <-ctx.Done():
 	}
 	stop()
 	log.Printf("lazyxmld: shutting down, draining for up to %s", *drain)
@@ -398,4 +433,32 @@ loop:
 	}
 	met := srv.Metrics()
 	fmt.Printf("lazyxmld: served %d requests (%d errors), bye\n", met.Requests, met.Errors)
+}
+
+// discoverPrimary asks each peer's /readyz who the primary is and picks
+// the one at the highest epoch that is at least selfEpoch. Both the 200
+// and 503 bodies carry the role/epoch/replAddr triple, so even an
+// unready primary (say, mid-re-seed of a downstream) is discoverable.
+func discoverPrimary(peers []string, selfEpoch int64) (replAddr, peerURL string, epoch int64, ok bool) {
+	client := &http.Client{Timeout: 1500 * time.Millisecond}
+	for _, peer := range peers {
+		resp, err := client.Get(peer + "/readyz")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Role     string `json:"role"`
+			Epoch    int64  `json:"epoch"`
+			ReplAddr string `json:"replAddr"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || body.Role != "primary" || body.ReplAddr == "" {
+			continue
+		}
+		if body.Epoch >= selfEpoch && (!ok || body.Epoch > epoch) {
+			replAddr, peerURL, epoch, ok = body.ReplAddr, peer, body.Epoch, true
+		}
+	}
+	return replAddr, peerURL, epoch, ok
 }

@@ -1,0 +1,148 @@
+package lazyxml
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultline"
+)
+
+// Crash-point matrices over the epoch persistence path — the fencing
+// token's durable half. Promote and AdvanceEpoch both write epoch.meta
+// via WriteFile(tmp) + Rename, so each scenario has exactly two
+// mutating operations, and a crash at either must leave the store
+// reopening at the OLD epoch or the NEW one, never refusing to open and
+// never at anything in between. The persist-before-effect invariant is
+// what keeps a mid-promote crash from split-braining a cluster: a node
+// that died before the rename comes back at the old epoch and simply
+// rejoins as a follower; one that died after comes back already fenced
+// against its old primary.
+
+// seedEpochDir builds a small sharded store to crash against.
+func seedEpochDir(t *testing.T, dir string) {
+	t.Helper()
+	sc, err := OpenShardedCollection(dir, 2, LD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Put("doc", []byte("<d><x/></d>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runEpochCrashMatrix drives one epoch-mutating scenario through the
+// full dropped+torn crash ladder. oldE/newE are the legal epochs after
+// a crash anywhere inside the scenario.
+func runEpochCrashMatrix(t *testing.T, oldE, newE int64, scenario func(sc *ShardedCollection) error) {
+	t.Helper()
+
+	// Sizing run: count the scenario's mutating operations fault-free.
+	dir := t.TempDir()
+	seedEpochDir(t, dir)
+	ffs := faultline.NewFaultFS(nil)
+	sc, err := OpenShardedCollection(dir, 2, LD, nil, WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ffs.Mutations()
+	if err := scenario(sc); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	n := ffs.Mutations() - base
+	if got := sc.Epoch(); got != newE {
+		t.Fatalf("fault-free run left epoch %d, want %d", got, newE)
+	}
+	sc.Close()
+	if n == 0 {
+		t.Fatal("scenario performed no mutating I/O; the matrix is empty")
+	}
+
+	for _, torn := range []bool{false, true} {
+		mode := "drop"
+		if torn {
+			mode = "torn"
+		}
+		for k := int64(1); k <= n; k++ {
+			t.Run(fmt.Sprintf("%s/k=%d", mode, k), func(t *testing.T) {
+				dir := t.TempDir()
+				seedEpochDir(t, dir)
+				ffs := faultline.NewFaultFS(nil)
+				if torn {
+					ffs.TornWrites()
+				}
+				sc, err := OpenShardedCollection(dir, 2, LD, nil, WithFS(ffs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.CrashAfter(ffs.Mutations() + k)
+				err = scenario(sc)
+				if !ffs.Crashed() {
+					t.Fatal("crash point did not fire")
+				}
+				if err == nil {
+					t.Fatal("scenario succeeded across a crash")
+				}
+				if !errors.Is(err, faultline.ErrInjected) {
+					t.Fatalf("scenario failed with a non-injected error: %v", err)
+				}
+				// Persist-before-effect: a failed persist must not have
+				// moved the in-memory epoch either.
+				if got := sc.Epoch(); got != oldE {
+					t.Fatalf("in-memory epoch moved to %d across a failed persist, want %d", got, oldE)
+				}
+				sc.Close()
+
+				// Restart over the surviving bytes: old epoch or new,
+				// nothing else, and the store works either way.
+				re, err := OpenShardedCollection(dir, 2, LD, nil)
+				if err != nil {
+					t.Fatalf("reopen after crash: %v", err)
+				}
+				got := re.Epoch()
+				if got != oldE && got != newE {
+					t.Fatalf("reopened at epoch %d, want %d or %d", got, oldE, newE)
+				}
+				if err := re.CheckConsistency(); err != nil {
+					t.Fatalf("reopened store inconsistent: %v", err)
+				}
+				// The scenario must still complete on the survivor, and
+				// land at an epoch >= the intended one (a re-promote on
+				// a node that had already persisted bumps once more —
+				// that is fine, epochs only need to move forward).
+				if err := scenario(re); err != nil {
+					t.Fatalf("re-running the scenario after reopen: %v", err)
+				}
+				if final := re.Epoch(); final < newE {
+					t.Fatalf("final epoch %d below the intended %d", final, newE)
+				}
+				if err := re.Put("post-crash", []byte("<d/>")); err != nil {
+					t.Fatalf("write after recovery: %v", err)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestPromoteCrashMatrix kills the filesystem at every mutating file
+// operation inside Promote.
+func TestPromoteCrashMatrix(t *testing.T) {
+	runEpochCrashMatrix(t, 0, 1, func(sc *ShardedCollection) error {
+		_, err := sc.Promote()
+		return err
+	})
+}
+
+// TestEpochAdoptCrashMatrix does the same for AdvanceEpoch — the path a
+// follower takes when its handshake learns a newer epoch from upstream.
+func TestEpochAdoptCrashMatrix(t *testing.T) {
+	runEpochCrashMatrix(t, 0, 5, func(sc *ShardedCollection) error {
+		return sc.AdvanceEpoch(5)
+	})
+}

@@ -1,0 +1,375 @@
+// Package cluster manages one node's replication role over its
+// lifetime. PR 4's failover primitives are one-shot: a Follower follows
+// the address it was built with, and a promotion is the end of the
+// story. A self-healing cluster needs the role to stay fluid — a
+// follower re-points at a freshly elected primary, a deposed primary
+// rejoins as a follower, a promotion happens while a co-located relay
+// keeps feeding the tier below — so Node owns the follower loop and the
+// role transitions, and both lazyxmld and the in-process test harnesses
+// wire it identically.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	lazyxml "repro"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// Node roles, as reported in /readyz and /stats.
+const (
+	RolePrimary   = "primary"
+	RoleFollower  = "follower"
+	RolePromoting = "promoting"
+)
+
+// Config shapes a node's replication behavior.
+type Config struct {
+	// Upstream is the replication address this node follows at boot;
+	// "" starts it as a writable primary.
+	Upstream string
+	// Follower tunes every follower loop the node runs. OnReseed and
+	// OnEpochAdvance are composed with the node's own wiring (a
+	// co-located relay re-attaches its taps and kicks its subscribers).
+	Follower repl.FollowerConfig
+	// ReseedOnDiverge lets every follower loop heal divergence by
+	// forced re-seed (see repl.FollowerConfig.ReseedOnDiverge). Loops
+	// started by a runtime Retarget always re-seed on divergence — a
+	// re-target is cluster automation, and a deposed primary rejoining
+	// with unshipped records is exactly the case it must absorb.
+	ReseedOnDiverge bool
+	// ReadyMaxLag marks the node unready once replication lag exceeds
+	// this many records; 0 disables the check.
+	ReadyMaxLag int64
+	// OnFatal, when set, observes a follower loop dying with a fatal
+	// replication error. The node itself stays up and idle — a sentinel
+	// can still re-target it — so this is a reporting hook, not a
+	// lifecycle one.
+	OnFatal func(err error)
+	// Logf receives role-transition events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member: a sharded store plus the machinery that
+// keeps its role current. It runs at most one follower loop at a time
+// and can stop, restart, or re-point it; an attached relay primary is
+// kept consistent across re-seeds and epoch changes.
+type Node struct {
+	sc      *lazyxml.ShardedCollection
+	cfg     Config
+	primary *repl.Primary
+
+	mu         sync.Mutex
+	ctx        context.Context
+	upstream   string
+	f          *repl.Follower
+	folCancel  context.CancelFunc
+	folDone    chan struct{}
+	promoting  bool
+	promotions int64
+	lastFatal  string
+}
+
+// New builds a node over sc. Call AttachPrimary before Start if the
+// node also serves the replication protocol (every cluster member
+// should: a follower that cannot relay cannot be promoted into a chain
+// head without stranding the tier below).
+func New(sc *lazyxml.ShardedCollection, cfg Config) *Node {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Node{sc: sc, cfg: cfg, upstream: cfg.Upstream}
+}
+
+// AttachPrimary hands the node its co-located replication listener, so
+// follower loops re-attach its taps after re-seeds and kick its
+// subscribers when the epoch advances. The primary's Depth hook should
+// be this node's RelayDepth.
+func (n *Node) AttachPrimary(p *repl.Primary) {
+	n.mu.Lock()
+	n.primary = p
+	n.mu.Unlock()
+}
+
+// Start begins the node's replication life: if an upstream is
+// configured, the follower loop starts now. ctx bounds every follower
+// loop the node will ever run, including ones started later by
+// Retarget.
+func (n *Node) Start(ctx context.Context) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ctx = ctx
+	if n.upstream == "" {
+		return nil
+	}
+	return n.startFollowerLocked(n.upstream, false)
+}
+
+// startFollowerLocked builds and launches a follower loop toward addr.
+// Caller holds n.mu and has verified no loop is live.
+func (n *Node) startFollowerLocked(addr string, viaRetarget bool) error {
+	fcfg := n.cfg.Follower
+	fcfg.ReseedOnDiverge = fcfg.ReseedOnDiverge || n.cfg.ReseedOnDiverge || viaRetarget
+	// A loop born from a runtime re-target replaces a history we can no
+	// longer trust — a demoted primary's unshipped tail, or whatever a
+	// fatal replication error left behind. WAL positions can only detect
+	// divergence when this node is strictly ahead of the upstream, so
+	// start from a clean forced snapshot instead of resubscribing.
+	fcfg.ForceInitialReseed = fcfg.ForceInitialReseed || viaRetarget
+	if prim := n.primary; prim != nil {
+		prevReseed := fcfg.OnReseed
+		fcfg.OnReseed = func(shard int) error {
+			if prevReseed != nil {
+				if err := prevReseed(shard); err != nil {
+					return err
+				}
+			}
+			return prim.ReattachShard(shard)
+		}
+		prevAdvance := fcfg.OnEpochAdvance
+		fcfg.OnEpochAdvance = func(epoch int64) {
+			if prevAdvance != nil {
+				prevAdvance(epoch)
+			}
+			prim.KickSubscribers()
+		}
+	}
+	f, err := repl.NewFollower(n.sc, addr, fcfg)
+	if err != nil {
+		return err
+	}
+	fctx, cancel := context.WithCancel(n.ctx)
+	done := make(chan struct{})
+	n.upstream = addr
+	n.f, n.folCancel, n.folDone = f, cancel, done
+	go func() {
+		err := f.Run(fctx)
+		close(done)
+		if err == nil {
+			return
+		}
+		n.mu.Lock()
+		if n.f == f {
+			n.lastFatal = err.Error()
+		}
+		n.mu.Unlock()
+		n.cfg.Logf("cluster: follower stopped: %v", err)
+		if n.cfg.OnFatal != nil {
+			n.cfg.OnFatal(err)
+		}
+	}()
+	return nil
+}
+
+// Promote makes this node the primary: the follower loop is stopped and
+// drained first, then the epoch is bumped and persisted (durably,
+// before any effect — the fencing invariant), and finally an attached
+// relay kicks its subscribers so the tier below adopts the new epoch on
+// re-handshake. The caller (the /promote handler) is responsible for
+// opening the write gate afterwards.
+func (n *Node) Promote() (int64, error) {
+	n.mu.Lock()
+	if n.promoting {
+		n.mu.Unlock()
+		return 0, errors.New("cluster: promotion already in flight")
+	}
+	if n.upstream == "" && n.f == nil {
+		epoch := n.sc.Epoch()
+		n.mu.Unlock()
+		return 0, fmt.Errorf("cluster: already the primary (epoch %d)", epoch)
+	}
+	n.promoting = true
+	cancel, done := n.folCancel, n.folDone
+	n.mu.Unlock()
+
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	epoch, err := n.sc.Promote()
+
+	n.mu.Lock()
+	n.promoting = false
+	if err == nil {
+		n.upstream = ""
+		n.f, n.folCancel, n.folDone = nil, nil, nil
+		n.lastFatal = ""
+		n.promotions++
+	}
+	prim := n.primary
+	n.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	n.cfg.Logf("cluster: promoted to primary at epoch %d", epoch)
+	if prim != nil {
+		prim.KickSubscribers()
+	}
+	return epoch, nil
+}
+
+// Retarget re-points the node's replication upstream at runtime. A live
+// follower loop switches in place (stream teardown + re-handshake at
+// the new address); a dead or never-started one — including a node that
+// is currently the primary, which this demotes — gets a fresh loop.
+// Loops started here always force-re-seed on divergence: an automated
+// re-target must absorb a deposed primary's unshipped records.
+func (n *Node) Retarget(addr string) error {
+	if addr == "" {
+		return errors.New("cluster: retarget needs a non-empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoting {
+		return errors.New("cluster: promotion in flight")
+	}
+	if n.ctx == nil {
+		return errors.New("cluster: node not started")
+	}
+	n.lastFatal = ""
+	if n.f != nil {
+		alive := true
+		select {
+		case <-n.folDone:
+			alive = false
+		default:
+		}
+		if alive {
+			n.upstream = addr
+			n.f.Retarget(addr)
+			n.cfg.Logf("cluster: re-targeted follower at %s", addr)
+			return nil
+		}
+		// The previous loop died (fatal replication error); replace it.
+		n.folCancel()
+	}
+	wasPrimary := n.upstream == "" && n.f == nil
+	if err := n.startFollowerLocked(addr, true); err != nil {
+		return err
+	}
+	if wasPrimary {
+		n.cfg.Logf("cluster: demoted to follower of %s", addr)
+	} else {
+		n.cfg.Logf("cluster: restarted follower toward %s", addr)
+	}
+	return nil
+}
+
+// Role reports the node's current replication role.
+func (n *Node) Role() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.promoting:
+		return RolePromoting
+	case n.upstream == "" && n.f == nil:
+		return RolePrimary
+	default:
+		return RoleFollower
+	}
+}
+
+// Epoch reports the store's durable replication epoch.
+func (n *Node) Epoch() int64 { return n.sc.Epoch() }
+
+// Upstream reports the current upstream replication address ("" when
+// primary).
+func (n *Node) Upstream() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.upstream
+}
+
+// Promotions reports how many times this node has been promoted since
+// it started.
+func (n *Node) Promotions() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.promotions
+}
+
+// RelayDepth reports the node's distance from the root primary: 0 when
+// it is the primary, the upstream's announced depth + 1 otherwise.
+func (n *Node) RelayDepth() int {
+	n.mu.Lock()
+	f := n.f
+	n.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f.Status().RelayDepth
+}
+
+// FollowerStatus returns the live follower's status; ok is false when
+// the node runs no follower loop (it is the primary).
+func (n *Node) FollowerStatus() (repl.Status, bool) {
+	n.mu.Lock()
+	f := n.f
+	n.mu.Unlock()
+	if f == nil {
+		return repl.Status{}, false
+	}
+	return f.Status(), true
+}
+
+// Ready implements the server's readiness hook: a primary (or a
+// promotion in flight) is ready; a follower is ready unless it is
+// re-seeding, its loop died on a fatal error, or its lag exceeds
+// ReadyMaxLag.
+func (n *Node) Ready() (bool, string) {
+	n.mu.Lock()
+	promoting := n.promoting
+	upstream := n.upstream
+	f, done := n.f, n.folDone
+	fatal := n.lastFatal
+	n.mu.Unlock()
+	if promoting || (upstream == "" && f == nil) {
+		return true, ""
+	}
+	if f == nil {
+		return false, "follower not started"
+	}
+	select {
+	case <-done:
+		if fatal != "" {
+			return false, "follower stopped: " + fatal
+		}
+		return false, "follower stopped"
+	default:
+	}
+	st := f.Status()
+	if st.State == repl.StateReseeding {
+		return false, "re-seeding from primary snapshot"
+	}
+	if n.cfg.ReadyMaxLag > 0 && st.Lag > n.cfg.ReadyMaxLag {
+		return false, fmt.Sprintf("replication lag %d exceeds %d", st.Lag, n.cfg.ReadyMaxLag)
+	}
+	return true, ""
+}
+
+// Wire fills the server hooks that expose this node's topology: initial
+// write gating, role, epoch, relay depth, readiness, replication
+// status, promote, and runtime re-target. replAddr is this node's own
+// replication listener address, announced in /readyz and /stats so a
+// sentinel can re-point peers at it after an election without
+// out-of-band configuration.
+func (n *Node) Wire(cfg *server.Config, replAddr string) {
+	cfg.PrimaryAddr = n.cfg.Upstream
+	cfg.ReplAddr = replAddr
+	cfg.Role = n.Role
+	cfg.Epoch = n.Epoch
+	cfg.RelayDepth = n.RelayDepth
+	cfg.Ready = n.Ready
+	cfg.Promote = n.Promote
+	cfg.Retarget = n.Retarget
+	cfg.ReplStatus = func() any {
+		if st, ok := n.FollowerStatus(); ok {
+			return st
+		}
+		return nil
+	}
+}

@@ -39,6 +39,7 @@ const (
 	StateStreaming  = "streaming"  // subscribed, applying records
 	StateBackoff    = "backoff"    // waiting to reconnect
 	StateReseeding  = "reseeding"  // installing a snapshot re-seed
+	StateIdle       = "idle"       // no upstream configured; waiting for Retarget
 	StateStopped    = "stopped"    // Run returned
 )
 
@@ -55,14 +56,40 @@ type FollowerConfig struct {
 	// record, no heartbeat — before the follower declares the connection
 	// dead and reconnects (default 10s).
 	HeartbeatTimeout time.Duration
+	// StallAfter is how stale the last heartbeat may grow before Status
+	// reports Stalled — the latched signal a sentinel or load balancer
+	// reads instead of comparing raw heartbeat ages itself (default 3×
+	// HeartbeatTimeout). A follower that has never heard a heartbeat
+	// counts as stalled once it has been running that long.
+	StallAfter time.Duration
 	// DisableReseed turns off automatic snapshot re-seeding: a
 	// below-horizon subscribe then surfaces ErrSnapshotRequired as a
 	// fatal error instead, leaving the decision to the operator.
 	DisableReseed bool
+	// ReseedOnDiverge heals a diverged replica automatically: instead of
+	// surfacing ErrDiverged as fatal, the follower requests a forced
+	// full snapshot (SNAPFORCE, v4) and discards its own history. This
+	// is what lets a deposed primary rejoin the cluster after a failover
+	// even when it acknowledged records the new primary never saw. Off
+	// by default: for a hand-configured replica, divergence is operator
+	// error and silently discarding records would hide it.
+	ReseedOnDiverge bool
+	// ForceInitialReseed makes the loop's first act a forced full
+	// snapshot (SNAPFORCE) instead of a subscribe. Position-based
+	// divergence detection only fires when this node is strictly AHEAD
+	// of the upstream; a diverged store whose positions merely equal
+	// the new primary's tip would resubscribe cleanly and split-brain
+	// silently. A loop whose history is suspect — a demoted primary, a
+	// restart after a fatal replication error — must discard it first.
+	ForceInitialReseed bool
 	// OnReseed, when set, is called after each shard's snapshot is
 	// installed — the hook a co-located primary uses to rewire its
 	// replication taps onto the replaced shard.
 	OnReseed func(shard int) error
+	// OnEpochAdvance, when set, is called after the handshake adopts a
+	// newer epoch from the upstream — the hook a relay uses to kick its
+	// own subscribers so fencing propagates down the chain.
+	OnEpochAdvance func(epoch int64)
 	// Logf receives connection-level events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +106,9 @@ func (c *FollowerConfig) fill() {
 	}
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 3 * c.HeartbeatTimeout
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -110,6 +140,15 @@ type Status struct {
 	// SecondsSinceHeartbeat is measured on the follower's clock since
 	// the last heartbeat arrived; -1 before the first one.
 	SecondsSinceHeartbeat float64 `json:"secondsSinceHeartbeat"`
+	// Stalled latches once the heartbeat age exceeds StallAfter while
+	// the follower is supposed to be streaming — the upstream is dead or
+	// unreachable and the replica is serving increasingly stale reads.
+	Stalled bool `json:"stalled"`
+	// RelayDepth is this node's distance from the root primary: 1 when
+	// fed by it directly, 2 through one relay, and so on (from the
+	// upstream's v4 HELLO; 1 before the first handshake or against an
+	// older upstream).
+	RelayDepth int `json:"relayDepth"`
 	// Lag is the total records still to apply across all shards.
 	Lag       int64      `json:"lag"`
 	Shards    []ShardLag `json:"shards"`
@@ -118,15 +157,23 @@ type Status struct {
 
 // Follower dials a primary, subscribes from its own durable positions
 // and applies the record stream through its own journals, so a restart
-// resumes exactly where the local WALs end.
+// resumes exactly where the local WALs end. The upstream address can be
+// changed while Run is live (Retarget), which is how a sentinel
+// re-points survivors at a freshly promoted primary.
 type Follower struct {
-	sc   *lazyxml.ShardedCollection
-	addr string
-	cfg  FollowerConfig
+	sc     *lazyxml.ShardedCollection
+	cfg    FollowerConfig
+	kick   chan struct{} // wakes idle/backoff waits after a Retarget
+	seeded bool          // ForceInitialReseed satisfied (Run goroutine only)
 
 	mu         sync.Mutex
+	addr       string
+	conn       net.Conn // the live session's connection, for Retarget teardown
+	retargeted bool     // a Retarget tore down the current session on purpose
 	connected  bool
 	state      string
+	depth      int       // upstream HELLO depth + 1
+	started    time.Time // when Run began, for the never-heartbeated stall clock
 	lastHB     int64     // primary clock, unix millis
 	lastHBSeen time.Time // follower clock
 	primary    []Position
@@ -135,13 +182,75 @@ type Follower struct {
 
 // NewFollower wires a follower over sc, which must be durable: applied
 // records land in the local WALs, and the local sequences are the resume
-// positions.
+// positions. An empty addr starts the follower idle; Retarget points it
+// somewhere.
 func NewFollower(sc *lazyxml.ShardedCollection, addr string, cfg FollowerConfig) (*Follower, error) {
 	if !sc.IsDurable() {
 		return nil, errors.New("repl: following requires a journaled store (-journal)")
 	}
 	cfg.fill()
-	return &Follower{sc: sc, addr: addr, cfg: cfg, state: StateConnecting, primary: make([]Position, sc.ShardCount())}, nil
+	return &Follower{
+		sc: sc, addr: addr, cfg: cfg,
+		kick:    make(chan struct{}, 1),
+		state:   StateConnecting,
+		depth:   1,
+		primary: make([]Position, sc.ShardCount()),
+	}, nil
+}
+
+// Retarget re-points the follower at a new upstream while Run is live:
+// it tears down the current stream (the session's connection is closed,
+// which unblocks any read), resets the reconnect backoff, and the run
+// loop re-handshakes against the new address — adopting its epoch — and
+// resumes from the follower's durable positions, or re-seeds if those
+// fall below the new upstream's horizon. Retargeting at the same
+// address still forces a reconnect, which is deliberate: re-handshaking
+// is how a new epoch propagates after the upstream was promoted in
+// place.
+func (f *Follower) Retarget(addr string) {
+	f.mu.Lock()
+	f.addr = addr
+	f.retargeted = true
+	f.lastErr = ""
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+}
+
+// upstream reads the current upstream address.
+func (f *Follower) upstream() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.addr
+}
+
+// takeRetarget consumes the retarget flag: true when the session that
+// just ended was torn down by Retarget rather than by a real failure.
+func (f *Follower) takeRetarget() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.retargeted
+	f.retargeted = false
+	return v
+}
+
+// setConn registers (or clears) the live connection so Retarget can cut
+// it. Registering fails when a Retarget already landed — the caller's
+// address is stale and the connection must not be used.
+func (f *Follower) setConn(conn net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if conn != nil && f.retargeted {
+		return false
+	}
+	f.conn = conn
+	return true
 }
 
 // Run streams from the primary until ctx is cancelled, reconnecting with
@@ -152,37 +261,77 @@ func NewFollower(sc *lazyxml.ShardedCollection, addr string, cfg FollowerConfig)
 // reconnecting cannot help.
 func (f *Follower) Run(ctx context.Context) error {
 	defer f.setState(StateStopped)
+	f.mu.Lock()
+	f.started = time.Now()
+	f.mu.Unlock()
 	backoff := f.cfg.BackoffMin
 	for {
-		f.setState(StateConnecting)
-		streamed, err := f.session(ctx)
-		if ctx.Err() != nil {
-			return nil
-		}
-		if errors.Is(err, ErrSnapshotRequired) && !f.cfg.DisableReseed {
-			f.setState(StateReseeding)
-			f.cfg.Logf("repl: follower below the horizon; re-seeding from %s", f.addr)
-			rerr := f.reseed(ctx)
-			if ctx.Err() != nil {
+		addr := f.upstream()
+		if addr == "" {
+			// No upstream configured: park until a Retarget points us
+			// somewhere. This is a deliberate state (a demoted node
+			// waiting for the sentinel), not an error.
+			f.setState(StateIdle)
+			select {
+			case <-ctx.Done():
 				return nil
-			}
-			if rerr == nil {
-				// Fresh base installed: resubscribe immediately. The
-				// re-seed transferred real data, so this is progress,
-				// not a dial loop.
+			case <-f.kick:
 				backoff = f.cfg.BackoffMin
 				continue
 			}
-			if errors.Is(rerr, ErrIncompatible) || errors.Is(rerr, ErrStalePrimary) || errors.Is(rerr, ErrDiverged) {
-				f.setErr(rerr)
-				return rerr
+		}
+		f.setState(StateConnecting)
+		var streamed bool
+		var err error
+		if f.cfg.ForceInitialReseed && !f.seeded {
+			f.setState(StateReseeding)
+			f.cfg.Logf("repl: follower history is suspect; force re-seeding from %s before first subscribe", addr)
+			if rerr := f.reseed(ctx, addr, true); rerr == nil {
+				f.seeded = true
+				err = errReseeded
+			} else {
+				err = fmt.Errorf("forced initial re-seed from %s: %w", addr, rerr)
 			}
-			// Transient re-seed failure (dropped connection, primary
-			// restart): fall through to the normal backoff path and try
-			// again from whatever shards were already installed.
-			err = fmt.Errorf("re-seed from %s: %w", f.addr, rerr)
+		} else {
+			streamed, err = f.session(ctx, addr)
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if f.takeRetarget() {
+			// The session was torn down on purpose: whatever error it
+			// surfaced — including a fatal one from the old, possibly
+			// deposed upstream — describes an address we no longer
+			// follow. Reconnect to the new one immediately.
+			f.cfg.Logf("repl: follower re-targeted from %s to %s", addr, f.upstream())
+			backoff = f.cfg.BackoffMin
+			continue
+		}
+		if errors.Is(err, ErrSnapshotRequired) && !f.cfg.DisableReseed {
+			f.setState(StateReseeding)
+			f.cfg.Logf("repl: follower below the horizon; re-seeding from %s", addr)
+			err = f.runReseed(ctx, addr, false)
+		} else if errors.Is(err, ErrDiverged) && f.cfg.ReseedOnDiverge && !f.cfg.DisableReseed {
+			f.setState(StateReseeding)
+			f.cfg.Logf("repl: follower diverged from %s; discarding local history and force re-seeding", addr)
+			err = f.runReseed(ctx, addr, true)
 		} else if errors.Is(err, ErrIncompatible) || errors.Is(err, ErrSnapshotRequired) ||
 			errors.Is(err, ErrDiverged) || errors.Is(err, ErrStalePrimary) {
+			f.setErr(err)
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err == errReseeded {
+			// Fresh base installed: resubscribe immediately. The re-seed
+			// transferred real data, so this is progress, not a dial
+			// loop.
+			backoff = f.cfg.BackoffMin
+			continue
+		}
+		if errors.Is(err, ErrIncompatible) || errors.Is(err, ErrStalePrimary) ||
+			(errors.Is(err, ErrDiverged) && !(f.cfg.ReseedOnDiverge && !f.cfg.DisableReseed)) {
 			f.setErr(err)
 			return err
 		}
@@ -197,17 +346,49 @@ func (f *Follower) Run(ctx context.Context) error {
 			backoff = f.cfg.BackoffMin
 		}
 		f.setState(StateBackoff)
-		// Jitter: sleep in [backoff/2, backoff).
+		// Jitter: sleep in [backoff/2, backoff). A Retarget cuts the wait
+		// short — the new upstream deserves an immediate attempt.
 		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-ctx.Done():
 			return nil
 		case <-time.After(sleep):
+		case <-f.kick:
+			backoff = f.cfg.BackoffMin
+			continue
 		}
 		if backoff *= 2; backoff > f.cfg.BackoffMax {
 			backoff = f.cfg.BackoffMax
 		}
 	}
+}
+
+// errReseeded is an internal sentinel: a re-seed completed and the run
+// loop should resubscribe immediately.
+var errReseeded = errors.New("repl: re-seed complete")
+
+// runReseed wraps reseed with the run loop's error discipline: nil
+// becomes errReseeded (progress, resubscribe now), a retarget-induced
+// teardown is surfaced as a transient error (the loop's takeRetarget
+// already ran, so the next iteration handles the address change), and
+// everything else passes through with context.
+func (f *Follower) runReseed(ctx context.Context, addr string, force bool) error {
+	rerr := f.reseed(ctx, addr, force)
+	if ctx.Err() != nil {
+		return nil
+	}
+	if f.takeRetarget() {
+		f.cfg.Logf("repl: follower re-targeted from %s to %s mid-re-seed", addr, f.upstream())
+		return errReseeded
+	}
+	if rerr == nil {
+		return errReseeded
+	}
+	// Transient re-seed failure (dropped connection, primary restart):
+	// the caller falls through to the normal backoff path and tries
+	// again from whatever shards were already installed. Fatal sentinels
+	// pass through wrapped so errors.Is still sees them.
+	return fmt.Errorf("re-seed from %s: %w", addr, rerr)
 }
 
 // positions reads the follower's durable per-shard resume points.
@@ -226,16 +407,23 @@ func (f *Follower) positions() []Position {
 // in kind, so a v1 primary still serves this follower) and epoch fencing
 // (a primary whose epoch is behind this follower's was deposed by a
 // promotion; its records must never be applied). The returned connection
-// is ready for SUBSCRIBE or SNAPREQUEST and is closed on ctx cancel.
-func (f *Follower) handshake(ctx context.Context) (net.Conn, func(), error) {
+// is ready for SUBSCRIBE or SNAPREQUEST and is closed on ctx cancel or
+// Retarget.
+func (f *Follower) handshake(ctx context.Context, addr string) (net.Conn, func(), error) {
 	d := net.Dialer{Timeout: f.cfg.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", f.addr)
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
+	if !f.setConn(conn) {
+		// A Retarget landed while we were dialing: this connection goes
+		// to an address we no longer follow.
+		conn.Close()
+		return nil, nil, fmt.Errorf("re-targeted away from %s mid-dial", addr)
+	}
 	// Unblock blocking reads when ctx is cancelled.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	cleanup := func() { stop(); conn.Close() }
+	cleanup := func() { stop(); f.setConn(nil); conn.Close() }
 
 	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
 	typ, payload, err := ReadFrame(conn)
@@ -279,9 +467,21 @@ func (f *Follower) handshake(ctx context.Context) (net.Conn, func(), error) {
 				cleanup()
 				return nil, nil, fmt.Errorf("adopting primary epoch %d: %w", h.Epoch, err)
 			}
+			if f.cfg.OnEpochAdvance != nil {
+				f.cfg.OnEpochAdvance(h.Epoch)
+			}
 		}
 	}
-	reply := Hello{Version: h.Version, Shards: f.sc.ShardCount(), Epoch: f.sc.Epoch()}
+	// This node sits one hop below its upstream. A pre-v4 upstream
+	// announces no depth; treat it as a root primary.
+	depth := 1
+	if h.Version >= 4 {
+		depth = h.Depth + 1
+	}
+	f.mu.Lock()
+	f.depth = depth
+	f.mu.Unlock()
+	reply := Hello{Version: h.Version, Shards: f.sc.ShardCount(), Epoch: f.sc.Epoch(), Depth: depth}
 	if err := WriteFrame(conn, TypeHello, reply.encode()); err != nil {
 		cleanup()
 		return nil, nil, err
@@ -293,8 +493,8 @@ func (f *Follower) handshake(ctx context.Context) (net.Conn, func(), error) {
 // until something breaks. streamed reports whether a valid stream frame
 // (RECORD or HEARTBEAT) arrived — only that resets the reconnect
 // backoff; an ERROR or garbage frame after subscribe does not count.
-func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
-	conn, cleanup, err := f.handshake(ctx)
+func (f *Follower) session(ctx context.Context, addr string) (streamed bool, err error) {
+	conn, cleanup, err := f.handshake(ctx, addr)
 	if err != nil {
 		return false, err
 	}
@@ -305,7 +505,7 @@ func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
 	if err := WriteFrame(conn, TypeSubscribe, encodeSubscribe(pos)); err != nil {
 		return false, err
 	}
-	f.cfg.Logf("repl: follower subscribed to %s from %v", f.addr, pos)
+	f.cfg.Logf("repl: follower subscribed to %s from %v", addr, pos)
 	f.setConnected(true)
 	f.setState(StateStreaming)
 
@@ -313,7 +513,7 @@ func (f *Follower) session(ctx context.Context) (streamed bool, err error) {
 		conn.SetReadDeadline(time.Now().Add(f.cfg.HeartbeatTimeout))
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			return streamed, fmt.Errorf("stream from %s broke: %w", f.addr, err)
+			return streamed, fmt.Errorf("stream from %s broke: %w", addr, err)
 		}
 		switch typ {
 		case TypeRecord:
@@ -401,6 +601,11 @@ func (f *Follower) errorFrame(payload []byte) error {
 		// The primary refused us because our epoch is newer than its
 		// own — which means the primary is the stale one.
 		return fmt.Errorf("%w: primary says: %s", ErrStalePrimary, e.Msg)
+	case ErrCodeDiverged:
+		// Our positions are ahead of this primary's log: we hold records
+		// it never shipped — the deposed-primary-rejoining shape. Only a
+		// forced re-seed (ReseedOnDiverge) can reconcile that.
+		return fmt.Errorf("%w: primary says: %s", ErrDiverged, e.Msg)
 	}
 	return fmt.Errorf("primary error %d: %s", e.Code, e.Msg)
 }
@@ -410,19 +615,25 @@ func (f *Follower) errorFrame(payload []byte) error {
 // each one atomically as its SNAPEND arrives. Shards are independent: a
 // connection cut mid-transfer keeps everything already installed, and
 // the retry only re-requests what is still behind (the primary skips
-// shards whose positions are above the horizon).
-func (f *Follower) reseed(ctx context.Context) error {
-	conn, cleanup, err := f.handshake(ctx)
+// shards whose positions are above the horizon). With force set the
+// request is a SNAPFORCE instead: every shard is transferred regardless
+// of horizon, which is how a diverged replica discards its own history.
+func (f *Follower) reseed(ctx context.Context, addr string, force bool) error {
+	conn, cleanup, err := f.handshake(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 
+	reqTyp := TypeSnapRequest
+	if force {
+		reqTyp = TypeSnapForce
+	}
 	pos := f.positions()
-	if err := WriteFrame(conn, TypeSnapRequest, encodeSubscribe(pos)); err != nil {
+	if err := WriteFrame(conn, reqTyp, encodeSubscribe(pos)); err != nil {
 		return err
 	}
-	f.cfg.Logf("repl: follower requesting snapshots from %s at %v", f.addr, pos)
+	f.cfg.Logf("repl: follower requesting snapshots from %s at %v (force=%v)", addr, pos, force)
 
 	// Per-shard assembly state for the one transfer in flight. The
 	// primary streams one shard to completion before the next SNAPBEGIN.
@@ -435,7 +646,7 @@ func (f *Follower) reseed(ctx context.Context) error {
 		conn.SetReadDeadline(time.Now().Add(f.cfg.HeartbeatTimeout))
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			return fmt.Errorf("snapshot stream from %s broke: %w", f.addr, err)
+			return fmt.Errorf("snapshot stream from %s broke: %w", addr, err)
 		}
 		switch typ {
 		case TypeSnapBegin:
@@ -497,7 +708,7 @@ func (f *Follower) reseed(ctx context.Context) error {
 			if cur != nil {
 				return fmt.Errorf("SNAPDONE while shard %d is still in flight", cur.Shard)
 			}
-			f.cfg.Logf("repl: re-seed from %s complete (%d shards installed)", f.addr, installed)
+			f.cfg.Logf("repl: re-seed from %s complete (%d shards installed)", addr, installed)
 			return nil
 		case TypeError:
 			return f.errorFrame(payload)
@@ -548,10 +759,24 @@ func (f *Follower) Status() Status {
 		Connected:               f.connected,
 		LastHeartbeatUnixMillis: f.lastHB,
 		SecondsSinceHeartbeat:   -1,
+		RelayDepth:              f.depth,
 		LastError:               f.lastErr,
 	}
 	if !f.lastHBSeen.IsZero() {
 		st.SecondsSinceHeartbeat = time.Since(f.lastHBSeen).Seconds()
+	}
+	// Stalled is the latched form of the heartbeat age: while the
+	// follower should be hearing from an upstream (not idle, not
+	// stopped), silence past StallAfter means the upstream is dead or
+	// unreachable. Before the first heartbeat, the clock runs from when
+	// Run started, so a follower that never connects still stalls.
+	if f.state != StateStopped && f.state != StateIdle {
+		switch {
+		case !f.lastHBSeen.IsZero():
+			st.Stalled = time.Since(f.lastHBSeen) > f.cfg.StallAfter
+		case !f.started.IsZero():
+			st.Stalled = time.Since(f.started) > f.cfg.StallAfter
+		}
 	}
 	for i, a := range applied {
 		prim := f.primary[i]

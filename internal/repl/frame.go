@@ -30,11 +30,15 @@ import (
 // Version is the protocol version exchanged in HELLO frames. Version 2
 // added the replication epoch to HELLO and the SNAPSHOT frame family
 // (re-seed below the compaction horizon); version 3 added the streaming
-// query lane (QUERY/ROW/QUERYEND). A primary still accepts MinVersion
-// clients — a v1 HELLO simply carries no epoch and is treated as epoch
-// 0, and an old client simply never sends a QUERY.
+// query lane (QUERY/ROW/QUERYEND); version 4 added the relay depth to
+// HELLO (cascading followers announce their distance from the root
+// primary, so fencing and topology propagate down replica chains) and
+// the SNAPFORCE frame (full re-seed of a diverged replica). A primary
+// still accepts MinVersion clients — a v1 HELLO simply carries no
+// epoch, a v3 one no depth, and an old client simply never sends a
+// QUERY or SNAPFORCE.
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -79,6 +83,15 @@ const (
 	TypeQuery    byte = 13
 	TypeRow      byte = 14
 	TypeQueryEnd byte = 15
+
+	// Forced re-seed (v4). Same payload as SNAPREQUEST, but the primary
+	// snapshots every shard regardless of whether the client's position
+	// clears the compaction horizon. A replica whose WAL diverged from
+	// the new primary's — a deposed primary rejoining after failover
+	// with acknowledged-but-unshipped records — cannot resume and would
+	// be skipped by the normal re-seed path (its positions sit at or
+	// above the horizon), so it discards its state and reloads whole.
+	TypeSnapForce byte = 16
 )
 
 // ERROR frame codes.
@@ -90,6 +103,7 @@ const (
 	ErrCodeInternal uint64 = 5 // primary-side failure
 	ErrCodeEpoch    uint64 = 6 // peer's replication epoch is ahead: this primary is stale
 	ErrCodeBudget   uint64 = 7 // query exceeded its memory budget (QUERYEND code)
+	ErrCodeDiverged uint64 = 8 // subscriber's positions are ahead of this primary: histories diverged
 )
 
 // Record kinds: which of the shard's two logs a RECORD frame belongs to.
@@ -143,6 +157,11 @@ type Hello struct {
 	// whose epoch is ahead of its own, for the same reason seen from
 	// the other side.
 	Epoch int64
+	// Depth is the sender's relay depth (v4+): 0 for a root primary, 1
+	// for a follower fed by it, 2 for a follower fed through a relay,
+	// and so on. A follower derives its own depth as the upstream's
+	// HELLO depth plus one, so the gauge is correct anywhere in a chain.
+	Depth int
 }
 
 // Position is one shard's replication position: the sequences of the
@@ -197,6 +216,9 @@ func (h Hello) encode() []byte {
 	if h.Version >= 2 {
 		buf = binary.AppendUvarint(buf, uint64(h.Epoch))
 	}
+	if h.Version >= 4 {
+		buf = binary.AppendUvarint(buf, uint64(h.Depth))
+	}
 	return buf
 }
 
@@ -210,6 +232,9 @@ func decodeHello(p []byte) (Hello, error) {
 	h.Shards = int(d.uvarint())
 	if h.Version >= 2 {
 		h.Epoch = int64(d.uvarint())
+	}
+	if h.Version >= 4 {
+		h.Depth = int(d.uvarint())
 	}
 	return h, d.finish("hello")
 }

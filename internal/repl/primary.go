@@ -36,6 +36,12 @@ type PrimaryConfig struct {
 	// carry its own budget; the smaller of the two wins, so a client can
 	// lower the cap but never raise it. 0 means no server-side cap.
 	QueryBudget int64
+	// Depth reports this node's relay depth, announced in v4 HELLOs: 0
+	// for a root primary, 1+ when this primary relays a store it itself
+	// follows (cascading replication). nil means 0. It is a hook, not a
+	// constant, because a relay's depth changes when its own upstream
+	// chain changes.
+	Depth func() int
 	// Logf receives connection-level events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -243,6 +249,24 @@ func (p *Primary) Serve(l net.Listener) error {
 	}
 }
 
+// KickSubscribers drops every live connection; the listener stays open.
+// A relay calls it after adopting a newer epoch from its upstream (and a
+// freshly promoted node after bumping its own): downstream followers
+// reconnect, and the re-handshake is what carries the new epoch down the
+// chain — without the kick, fencing would wait on the next natural
+// reconnect.
+func (p *Primary) KickSubscribers() {
+	p.mu.Lock()
+	n := len(p.conns)
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	if n > 0 {
+		p.logf("repl: kicked %d subscriber connection(s) for epoch re-handshake", n)
+	}
+}
+
 // Close stops accepting, drops every connection and waits for the
 // handler goroutines. The journal taps stay installed (they are cheap)
 // so Close is safe while writes continue.
@@ -279,7 +303,11 @@ func (p *Primary) handleConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(p.cfg.HandshakeTimeout))
 	n := len(p.feeds)
 	epoch := p.sc.Epoch()
-	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: n, Epoch: epoch}).encode()); err != nil {
+	depth := 0
+	if p.cfg.Depth != nil {
+		depth = p.cfg.Depth()
+	}
+	if err := WriteFrame(conn, TypeHello, (Hello{Version: Version, Shards: n, Epoch: epoch, Depth: depth}).encode()); err != nil {
 		return
 	}
 	typ, payload, err := ReadFrame(conn)
@@ -328,7 +356,7 @@ func (p *Primary) handleConn(conn net.Conn) {
 		}
 		conn.SetDeadline(time.Time{})
 		p.stream(conn, positions)
-	case TypeSnapRequest:
+	case TypeSnapRequest, TypeSnapForce:
 		positions, err := decodeSubscribe(payload)
 		if err != nil {
 			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
@@ -338,7 +366,7 @@ func (p *Primary) handleConn(conn net.Conn) {
 			p.sendErr(conn, ErrCodeShards, "snap-request names %d shards, primary has %d", len(positions), n)
 			return
 		}
-		p.snapshot(conn, positions)
+		p.snapshot(conn, positions, typ == TypeSnapForce)
 	case TypePut:
 		conn.SetDeadline(time.Time{})
 		p.bulk(conn, payload)
@@ -353,15 +381,18 @@ func (p *Primary) handleConn(conn net.Conn) {
 // snapshot serves a re-seed: for every shard whose requested position is
 // below the horizon, capture a consistent snapshot pair and stream it in
 // bounded chunks. Shards already above the horizon are skipped — that is
-// what makes an interrupted re-seed resumable at shard granularity.
-func (p *Primary) snapshot(conn net.Conn, positions []Position) {
-	p.logf("repl: %s requested snapshots from %v", conn.RemoteAddr(), positions)
+// what makes an interrupted re-seed resumable at shard granularity. A
+// forced re-seed (SNAPFORCE) skips nothing: the client declared its own
+// history worthless — it diverged — so every shard ships, even those
+// whose positions look resumable.
+func (p *Primary) snapshot(conn net.Conn, positions []Position, force bool) {
+	p.logf("repl: %s requested snapshots from %v (force=%v)", conn.RemoteAddr(), positions, force)
 	streamed := 0
 	for i, pos := range positions {
 		jc := p.jc(p.feeds[i])
 		_, horizon := jc.Journal().ReplState()
 		_, docHorizon := jc.DocReplState()
-		if pos.Seq >= horizon && pos.DocSeq >= docHorizon {
+		if !force && pos.Seq >= horizon && pos.DocSeq >= docHorizon {
 			continue // resumable from the WAL; no snapshot needed
 		}
 		snap, err := jc.CaptureSnapshot()
@@ -416,7 +447,7 @@ func (p *Primary) checkPositions(positions []Position) (code uint64, err error) 
 				i, pos.Seq, pos.DocSeq, horizon, docHorizon)
 		}
 		if pos.Seq > seq || pos.DocSeq > docSeq {
-			return ErrCodeInternal, fmt.Errorf(
+			return ErrCodeDiverged, fmt.Errorf(
 				"shard %d position (%d,%d) is ahead of the primary (%d,%d): diverged stores",
 				i, pos.Seq, pos.DocSeq, seq, docSeq)
 		}

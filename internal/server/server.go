@@ -130,6 +130,32 @@ type Config struct {
 	// embedded under "planner" in /stats and /metrics — the result-cache
 	// counters and per-algorithm pick counts.
 	PlanStatus func() any
+	// Epoch, when non-nil, reports the store's replication epoch for
+	// /readyz, /stats and the /promote fencing token. A server without
+	// it (an in-memory store) reports epoch 0 and cannot validate
+	// fencing tokens.
+	Epoch func() int64
+	// Role, when non-nil, reports the node's replication role (primary,
+	// follower or promoting) for /readyz and /stats. Without it the
+	// role is derived from the write gate: primary when writable.
+	Role func() string
+	// ReplAddr is this node's own replication listener address,
+	// announced in /readyz and /stats so a sentinel can re-point other
+	// members at a freshly promoted primary without out-of-band
+	// configuration.
+	ReplAddr string
+	// RelayDepth, when non-nil, reports the node's distance from the
+	// root primary (0 for a primary, 1 for its direct followers, …) —
+	// the relay-depth gauge in /stats and /metrics.
+	RelayDepth func() int
+	// Retarget, when non-nil, enables POST /retarget?addr=…: re-point
+	// the node's replication upstream at runtime. On success the server
+	// adopts the new address as its read-only upstream — the sentinel's
+	// re-point (and demote) path.
+	Retarget func(addr string) error
+	// SentinelStatus, when non-nil, embeds the co-located sentinel's
+	// snapshot under "sentinel" in /stats and /metrics.
+	SentinelStatus func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -226,22 +252,42 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Both answers carry the node's identity (role, epoch, own repl
+		// address, relay depth, upstream): the sentinel fences and
+		// elects off this one probe, and an unready body that said only
+		// "no" would force a second round-trip mid-failover.
+		body := map[string]any{"ready": true}
+		for k, v := range s.nodeInfo() {
+			body[k] = v
+		}
 		if s.cfg.Ready != nil {
 			if ok, reason := s.cfg.Ready(); !ok {
-				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+				body["ready"] = false
+				body["reason"] = reason
+				writeJSON(w, http.StatusServiceUnavailable, body)
 				return
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		writeJSON(w, http.StatusOK, body)
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		body := struct {
 			MetricsSnapshot
+			Role        string          `json:"role"`
+			Epoch       int64           `json:"epoch"`
+			RelayDepth  int             `json:"relayDepth"`
 			Views       []ViewStatsJSON `json:"views"`
 			Replication any             `json:"replication,omitempty"`
 			Maintenance any             `json:"maintenance,omitempty"`
 			Planner     any             `json:"planner,omitempty"`
-		}{MetricsSnapshot: s.met.snapshot(), Views: s.viewStats()}
+			Sentinel    any             `json:"sentinel,omitempty"`
+		}{
+			MetricsSnapshot: s.met.snapshot(),
+			Role:            s.role(),
+			Epoch:           s.epoch(),
+			RelayDepth:      s.relayDepth(),
+			Views:           s.viewStats(),
+		}
 		if s.cfg.ReplStatus != nil {
 			body.Replication = s.cfg.ReplStatus()
 		}
@@ -250,6 +296,9 @@ func (s *Server) routes() {
 		}
 		if s.cfg.PlanStatus != nil {
 			body.Planner = s.cfg.PlanStatus()
+		}
+		if s.cfg.SentinelStatus != nil {
+			body.Sentinel = s.cfg.SentinelStatus()
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
@@ -277,6 +326,50 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /rebuild", s.handle(classAdmin, s.handleRebuild))
 	s.mux.Handle("POST /check", s.handle(classAdmin, s.handleCheck))
 	s.mux.Handle("POST /promote", s.handle(classAdmin, s.handlePromote))
+	s.mux.Handle("POST /retarget", s.handle(classAdmin, s.handleRetarget))
+}
+
+// role reports the node's replication role: the Role hook when wired,
+// otherwise derived from the write gate (a gated server is a follower).
+func (s *Server) role() string {
+	if s.cfg.Role != nil {
+		return s.cfg.Role()
+	}
+	if s.PrimaryAddr() == "" {
+		return "primary"
+	}
+	return "follower"
+}
+
+func (s *Server) epoch() int64 {
+	if s.cfg.Epoch != nil {
+		return s.cfg.Epoch()
+	}
+	return 0
+}
+
+func (s *Server) relayDepth() int {
+	if s.cfg.RelayDepth != nil {
+		return s.cfg.RelayDepth()
+	}
+	return 0
+}
+
+// nodeInfo is the identity block shared by /readyz and /stats: who this
+// node is in the replication topology, cheap enough for every probe.
+func (s *Server) nodeInfo() map[string]any {
+	info := map[string]any{
+		"role":       s.role(),
+		"epoch":      s.epoch(),
+		"relayDepth": s.relayDepth(),
+	}
+	if s.cfg.ReplAddr != "" {
+		info["replAddr"] = s.cfg.ReplAddr
+	}
+	if up := s.PrimaryAddr(); up != "" {
+		info["upstream"] = up
+	}
+	return info
 }
 
 // handlerFunc is an engine handler: it returns a status and a JSON body,
@@ -607,8 +700,18 @@ type StatsResponse struct {
 	Removes        int              `json:"removes"`
 	Docs           int              `json:"docs"`
 	Durable        bool             `json:"durable"`
-	ShardCount     int              `json:"shardCount"`
-	Shards         []ShardStatsJSON `json:"shards"`
+	// Role/Epoch/RelayDepth/ReplAddr/Upstream locate this node in the
+	// replication topology: its current role (primary, follower or
+	// promoting), its durable fencing epoch, its distance from the root
+	// primary, its own replication listener, and the upstream it
+	// follows. The sentinel's election and fencing decisions read these.
+	Role       string           `json:"role"`
+	Epoch      int64            `json:"epoch"`
+	RelayDepth int              `json:"relayDepth"`
+	ReplAddr   string           `json:"replAddr,omitempty"`
+	Upstream   string           `json:"upstream,omitempty"`
+	ShardCount int              `json:"shardCount"`
+	Shards     []ShardStatsJSON `json:"shards"`
 	// Views is the per-shard MVCC view lifecycle readout: live snapshot
 	// handles, the generations they pin, and reclamation progress.
 	Views []ViewStatsJSON `json:"views"`
@@ -624,6 +727,9 @@ type StatsResponse struct {
 	// Planner is the query planner's cache counters and per-algorithm
 	// picks; absent when no planner is attached.
 	Planner any `json:"planner,omitempty"`
+	// Sentinel is the co-located failover sentinel's snapshot (member
+	// health, elections, promotions); absent when none runs here.
+	Sentinel any `json:"sentinel,omitempty"`
 	// TagCardinality maps each tag named in ?tags=a,b,... to its
 	// indexed-element count summed across shards — the planner's own
 	// statistics surface, exposed for inspection.
@@ -714,7 +820,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 			DocSeq:         ss.DocSeq,
 		}
 	}
-	var replication, maintenance, planner any
+	var replication, maintenance, planner, sentinel any
 	if s.cfg.ReplStatus != nil {
 		replication = s.cfg.ReplStatus()
 	}
@@ -723,6 +829,9 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 	}
 	if s.cfg.PlanStatus != nil {
 		planner = s.cfg.PlanStatus()
+	}
+	if s.cfg.SentinelStatus != nil {
+		sentinel = s.cfg.SentinelStatus()
 	}
 	var tagCards map[string]int
 	if raw := r.URL.Query().Get("tags"); raw != "" {
@@ -747,6 +856,11 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Removes:        st.Removes,
 		Docs:           s.backend.Len(),
 		Durable:        dur,
+		Role:           s.role(),
+		Epoch:          s.epoch(),
+		RelayDepth:     s.relayDepth(),
+		ReplAddr:       s.cfg.ReplAddr,
+		Upstream:       s.PrimaryAddr(),
 		ShardCount:     s.backend.ShardCount(),
 		Shards:         shards,
 		Views:          s.viewStats(),
@@ -754,6 +868,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Replication:    replication,
 		Maintenance:    maintenance,
 		Planner:        planner,
+		Sentinel:       sentinel,
 		TagCardinality: tagCards,
 	}, nil
 }
@@ -1112,10 +1227,29 @@ func (s *Server) handleCheck(r *http.Request) (int, any, error) {
 // callback stops the replication stream and bumps the store's epoch (so
 // the deposed primary's records are refused by fencing), then the server
 // drops its read-only stance. Runs under the admin gate — every write
-// lane is quiesced while roles flip.
+// lane is quiesced while roles flip, and two racing promotes serialize
+// here, so exactly one can win.
+//
+// ?epoch=N is an optional fencing token: the caller promotes this node
+// *as observed at epoch N*, and if the node has moved past N — another
+// sentinel's election already won — the request fails with 409 and the
+// current epoch, instead of stacking a second promotion on the first.
 func (s *Server) handlePromote(r *http.Request) (int, any, error) {
 	if s.cfg.Promote == nil {
 		return 0, nil, failf(http.StatusNotImplemented, "this server has no promote hook (not a follower)")
+	}
+	if raw := r.URL.Query().Get("epoch"); raw != "" {
+		want, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return 0, nil, failf(http.StatusBadRequest, "bad epoch fencing token %q: %v", raw, err)
+		}
+		if s.cfg.Epoch == nil {
+			return 0, nil, failf(http.StatusNotImplemented, "this server has no epoch surface; cannot honor a fencing token")
+		}
+		if cur := s.cfg.Epoch(); cur != want {
+			return 0, nil, failf(http.StatusConflict,
+				"fencing token mismatch: node is at epoch %d, caller observed %d (another promotion won)", cur, want)
+		}
 	}
 	epoch, err := s.cfg.Promote()
 	if err != nil {
@@ -1123,4 +1257,25 @@ func (s *Server) handlePromote(r *http.Request) (int, any, error) {
 	}
 	s.SetPrimaryAddr("")
 	return http.StatusOK, map[string]any{"promoted": true, "epoch": epoch}, nil
+}
+
+// handleRetarget re-points the node's replication upstream at runtime —
+// the sentinel's path for re-pointing survivors at a freshly promoted
+// primary and for demoting a deposed primary that came back. Like
+// promote it runs under the admin gate, so a retarget cannot interleave
+// with a promotion.
+func (s *Server) handleRetarget(r *http.Request) (int, any, error) {
+	if s.cfg.Retarget == nil {
+		return 0, nil, failf(http.StatusNotImplemented, "this server has no retarget hook (not a cluster member)")
+	}
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		return 0, nil, failf(http.StatusBadRequest, "retarget needs ?addr=host:port (a replication address)")
+	}
+	if err := s.cfg.Retarget(addr); err != nil {
+		return 0, nil, failf(http.StatusConflict, "retarget: %v", err)
+	}
+	// Following addr now: writes are refused and redirected there.
+	s.SetPrimaryAddr(addr)
+	return http.StatusOK, map[string]any{"retargeted": true, "upstream": addr, "epoch": s.epoch()}, nil
 }
