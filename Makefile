@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact bench-plan bench-mvcc bench-stream
+.PHONY: verify vet build test race bench bench-shards bench-repl bench-compact bench-plan bench-mvcc bench-stream bench-ingest
 
 # The standard pre-merge gate: vet, build, race-enabled tests.
 verify:
@@ -49,3 +49,8 @@ bench-mvcc:
 # iterator pipeline vs materialized Query; records BENCH_stream.json.
 bench-stream:
 	./scripts/bench_stream.sh
+
+# Sustained writes/s at equal durability (sync on ack): per-op fsync
+# baseline vs the group-commit lane; records BENCH_ingest.json.
+bench-ingest:
+	./scripts/bench_ingest.sh

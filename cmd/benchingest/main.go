@@ -1,0 +1,123 @@
+// Command benchingest measures the write-path ingest ceiling at equal
+// durability. It runs concurrent writers against one durable sharded
+// collection for a fixed duration — every op is acknowledged only after
+// its WAL record is fsynced — and reports sustained writes/s plus
+// per-op latency percentiles.
+//
+// Two commit disciplines are compared:
+//
+//   - peropfsync (the pre-group-commit discipline): every op pays its
+//     own WAL append and its own fsync before returning, so the ingest
+//     rate is capped near the device's sync rate regardless of writer
+//     count.
+//   - group (the engine's commit lane): concurrent writers enqueue at
+//     the shard's lane, one leader drains the queue and retires the
+//     whole batch with a single WAL write and a single fsync, then
+//     wakes every waiter. Same durability guarantee — no caller
+//     observes success before its record is on disk — amortised over
+//     the batch.
+//
+// scripts/bench_ingest.sh runs the lanes back to back and records
+// BENCH_ingest.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	lazyxml "repro"
+)
+
+// frag builds one insert payload: a small indexed element plus pad
+// bytes of inert text, enough to look like a real record without making
+// encode time the bottleneck.
+func frag(n, pad int) []byte {
+	return []byte(fmt.Sprintf("<e><k>%04d</k><v>%s</v></e>",
+		n%10000, strings.Repeat("x", pad)))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchingest: ")
+	var (
+		shards   = flag.Int("shards", 4, "shard count (commit lanes)")
+		writers  = flag.Int("c", 32, "concurrent writers")
+		duration = flag.Duration("d", 3*time.Second, "measurement duration")
+		mode     = flag.String("mode", "group", "commit discipline: peropfsync | group")
+		window   = flag.Duration("window", 0, "group-commit window (group mode only)")
+		pad      = flag.Int("pad", 64, "inert text bytes per fragment")
+	)
+	flag.Parse()
+	if *mode != "peropfsync" && *mode != "group" {
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	dir, err := os.MkdirTemp("", "benchingest-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	jOpts := []lazyxml.JournalOption{lazyxml.WithSync()}
+	if *mode == "group" {
+		jOpts = append(jOpts, lazyxml.WithGroupCommit(*window))
+	}
+	sc, err := lazyxml.OpenShardedCollection(dir, *shards, lazyxml.LD, nil, jOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sc.Close()
+
+	// Each op ingests one fresh small document — constant per-op work
+	// (parse, index, WAL record) in both modes, so the throughput gap
+	// is pure commit-path overhead: one fsync per op versus one fsync
+	// per batch.
+	lats := make([][]time.Duration, *writers)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; time.Now().Before(deadline); n++ {
+				text := append(append([]byte("<d>"), frag(n, *pad)...), "</d>"...)
+				start := time.Now()
+				if err := sc.Put(fmt.Sprintf("w-%d-%d", w, n), text); err != nil {
+					log.Fatal(err)
+				}
+				lats[w] = append(lats[w], time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		log.Fatal("no writes completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p int) time.Duration { return all[len(all)*p/100] }
+
+	var batches, laneOps, maxBatch int64
+	for _, l := range sc.CommitLaneStats() {
+		batches += l.Batches
+		laneOps += l.Ops
+		if l.MaxBatch > maxBatch {
+			maxBatch = l.MaxBatch
+		}
+	}
+	fmt.Printf("mode=%s shards=%d writers=%d pad=%d duration=%v\n",
+		*mode, *shards, *writers, *pad, *duration)
+	fmt.Printf("  writes  n=%d wps=%.0f p50=%v p95=%v p99=%v max=%v batches=%d laneops=%d maxbatch=%d\n",
+		len(all), float64(len(all))/duration.Seconds(),
+		pct(50), pct(95), pct(99), all[len(all)-1], batches, laneOps, maxBatch)
+}

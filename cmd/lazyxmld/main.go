@@ -7,13 +7,28 @@
 //
 //	lazyxmld [-addr :8080] [-journal dir] [-shards 1] [-mode ld|ls]
 //	         [-alg lazy|std|skip|auto] [-attrs] [-values] [-sync]
+//	         [-group-commit] [-commit-window 0]
 //	         [-plan] [-cache-bytes 67108864]
-//	         [-timeout 30s] [-drain 10s] [-writers 1] [-readers 0]
+//	         [-timeout 30s] [-drain 10s] [-writers 0] [-readers 0]
 //	         [-write-queue 64] [-shed-after 1s] [-ready-max-lag 0]
 //	         [-compact-on-exit] [-repl addr] [-relay addr] [-follow addr]
 //	         [-peers url,url,...] [-sentinel]
 //	         [-auto-compact] [-compact-segments 64] [-compact-log-bytes N]
 //	         [-compact-interval 5s] [-compact-view-age 30s]
+//
+// Group commit (-group-commit, requires -journal): each shard runs a
+// commit lane — concurrent writers enqueue, a leader applies the whole
+// queue and makes it durable with a single WAL write plus a single
+// fsync, then wakes every waiter with its individual result. No write
+// is acknowledged before its record is on disk, so -sync durability is
+// preserved while its per-op fsync cost amortizes across the batch.
+// -commit-window adds a bounded wait (e.g. 1ms) that gathers larger
+// batches at low concurrency; 0 relies on natural batching alone (ops
+// arriving during a flush form the next batch). -writers defaults to 32
+// under -group-commit so concurrent requests actually meet in the lane.
+// Batch sizes and flush latencies are exported under "groupCommit" in
+// /metrics, per-shard lane counters under "groupCommit" in /stats, and
+// POST /batch submits many ops in one request.
 //
 // Query planning (-plan): every query runs through the cost-based
 // planner, which prices the whole join arsenal (Lazy-Join, parallel
@@ -112,6 +127,11 @@
 //	POST   /docs/{name}/insert?off=N    insert a fragment (body: XML)
 //	DELETE /docs/{name}/range?off=N&len=L   remove a byte range
 //	DELETE /docs/{name}/element?off=N   remove one element
+//	POST   /batch                       apply many write ops in one request
+//	                                    (body: {"ops":[{"op":"put"|"delete"|
+//	                                    "insert"|"remove"|"removeElement",
+//	                                    "doc":...,"off":N,"len":L,"text":...}]};
+//	                                    per-op results in request order)
 //	GET    /query?path=a//b             whole-collection structural query
 //	                                    (&algo= force, &explain=1 plan, &nocache=1)
 //	GET    /count?path=a//b             cardinality only
@@ -156,6 +176,8 @@ func main() {
 	journalDir := flag.String("journal", "", "directory of the durable journal (empty: in-memory)")
 	shards := flag.Int("shards", 1, "independent stores; documents are routed by name hash (1 = single store, legacy layout)")
 	syncWAL := flag.Bool("sync", false, "fsync the journal on every update (durable against power loss)")
+	groupCommit := flag.Bool("group-commit", false, "leader-based group commit: concurrent writers share one WAL write+fsync per batch (requires -journal)")
+	commitWindow := flag.Duration("commit-window", 0, "with -group-commit: wait up to this long gathering a batch before flushing (0 = natural batching only)")
 	mode := flag.String("mode", "ld", "maintenance mode: ld (lazy dynamic) or ls (lazy static)")
 	alg := flag.String("alg", "lazy", "join algorithm: lazy, std, skip or auto")
 	attrs := flag.Bool("attrs", false, "index attributes as @name pseudo-elements")
@@ -165,7 +187,7 @@ func main() {
 	queryBudget := flag.Int64("query-budget", 0, "per-query buffered-state cap in bytes; exceeding it fails the query with 507 (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-	writers := flag.Int("writers", 1, "concurrently applied updates (1 = single-writer, many-reader)")
+	writers := flag.Int("writers", 0, "concurrently applied updates per shard (0 = auto: 1, or 32 with -group-commit)")
 	readers := flag.Int("readers", 0, "accepted for compatibility and ignored: reads run lock-free against MVCC snapshot views")
 	writeQueue := flag.Int("write-queue", 64, "max writes queued per shard lane before shedding with 503 (-1 = unbounded)")
 	shedAfter := flag.Duration("shed-after", time.Second, "max time a write waits for its shard slot before shedding with 503 (-1 = wait the full deadline)")
@@ -192,6 +214,12 @@ func main() {
 	}
 	if (*replAddr != "" || *follow != "") && *journalDir == "" {
 		log.Fatalf("lazyxmld: -repl and -follow require -journal: replication ships the write-ahead log")
+	}
+	if *groupCommit && *journalDir == "" {
+		log.Fatalf("lazyxmld: -group-commit requires -journal: the lane batches WAL flushes")
+	}
+	if *commitWindow != 0 && !*groupCommit {
+		log.Fatalf("lazyxmld: -commit-window only applies with -group-commit")
 	}
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -240,6 +268,10 @@ func main() {
 		if *syncWAL {
 			jOpts = append(jOpts, lazyxml.WithSync())
 		}
+		if *groupCommit {
+			jOpts = append(jOpts, lazyxml.WithGroupCommit(*commitWindow))
+			log.Printf("lazyxmld: group commit on (window %v): concurrent writers share WAL flushes", *commitWindow)
+		}
 		var err error
 		sc, err = lazyxml.OpenShardedCollection(*journalDir, *shards, m, dbOpts, jOpts...)
 		if err != nil {
@@ -271,6 +303,7 @@ func main() {
 		WriteQueue:     *writeQueue,
 		ShedAfter:      *shedAfter,
 		QueryBudget:    *queryBudget,
+		GroupCommit:    *groupCommit,
 	}
 	if *queryBudget > 0 {
 		log.Printf("lazyxmld: per-query memory budget %dB (507 on exceed)", *queryBudget)
@@ -403,8 +436,15 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	effWriters := *writers
+	if effWriters <= 0 {
+		effWriters = 1
+		if *groupCommit {
+			effWriters = 32
+		}
+	}
 	log.Printf("lazyxmld: serving on %s (mode=%s alg=%s shards=%d writers=%d timeout=%s)",
-		*addr, m, *alg, backend.ShardCount(), *writers, *timeout)
+		*addr, m, *alg, backend.ShardCount(), effWriters, *timeout)
 
 	select {
 	case err := <-errCh:

@@ -41,6 +41,14 @@ type Collection struct {
 	// view.go). Rename-class mutations (Put, Delete, Collapse re-point)
 	// invalidate it under the write lock; readers rebuild it lazily.
 	cut atomic.Pointer[docsCut]
+
+	// pinned is the pre-batch cut held steady while a group-commit batch
+	// is open (guarded by mu). Snapshot readers resolve names through it
+	// so the name map they see stays consistent with the pre-batch store
+	// view the deferred generation keeps serving; it drops, and the live
+	// map becomes visible, in the same critical section that publishes
+	// the batch's generation.
+	pinned *docsCut
 }
 
 // NewCollection returns an empty collection backed by a fresh database.
@@ -90,22 +98,32 @@ func (c *Collection) Delete(name string) error {
 	return nil
 }
 
-// Names lists the document names in sorted order.
+// Names lists the document names in sorted order. During a group-commit
+// batch the pre-batch cut answers, so a name is never listed before its
+// record is durable.
 func (c *Collection) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.docs))
-	for name := range c.docs {
+	docs := c.docs
+	if c.pinned != nil {
+		docs = c.pinned.docs
+	}
+	out := make([]string, 0, len(docs))
+	for name := range docs {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Len returns the number of documents.
+// Len returns the number of documents (pre-batch during a group-commit
+// batch, matching Names).
 func (c *Collection) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.pinned != nil {
+		return len(c.pinned.docs)
+	}
 	return len(c.docs)
 }
 
@@ -283,6 +301,35 @@ func (c *Collection) DocSegments() []DocSegStat {
 func (c *Collection) SID(name string) (SID, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	sid, ok := c.docs[name]
+	return sid, ok
+}
+
+// pinCutLocked freezes the current name map as the cut snapshot readers
+// resolve through for the duration of a group-commit batch. Caller
+// holds c.mu (write).
+func (c *Collection) pinCutLocked() {
+	c.pinned = c.loadCutRLocked()
+}
+
+// unpinCutLocked drops the pinned cut and invalidates the published
+// one, making the post-batch name map visible to readers. Caller holds
+// c.mu (write) — the same critical section that publishes the batch's
+// generation, so readers never pair a fresh cut with a stale view or
+// vice versa.
+func (c *Collection) unpinCutLocked() {
+	c.pinned = nil
+	c.invalidateCut()
+}
+
+// resolveRLocked resolves a name for a snapshot reader: through the
+// pinned pre-batch cut while a group-commit batch is open, through the
+// live map otherwise. Caller holds c.mu (read or write).
+func (c *Collection) resolveRLocked(name string) (SID, bool) {
+	if c.pinned != nil {
+		sid, ok := c.pinned.docs[name]
+		return sid, ok
+	}
 	sid, ok := c.docs[name]
 	return sid, ok
 }

@@ -1,0 +1,322 @@
+package lazyxml
+
+// Leader-based group commit (DESIGN.md §15). Every write on a
+// group-commit collection is enqueued on the shard's commit lane; the
+// lane's leader drains the queue, applies the ops in arrival order
+// under the collection lock while their WAL records stage in memory,
+// then makes the whole batch durable with a single WAL write plus a
+// single fsync and publishes a single MVCC generation for it. Each
+// waiter is woken with its individual result, and no waiter is woken
+// before its record is durable — ack-after-fsync is the invariant the
+// crash matrix pins.
+//
+// Durability cost per op therefore amortizes as O(1/batch): under
+// contention the leader's fsync pays for every writer that arrived
+// while the previous flush was in flight ("natural batching"), and an
+// optional commit window trades bounded extra latency for larger
+// batches at low concurrency.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// commitKind enumerates the write ops a commit lane carries.
+type commitKind int
+
+const (
+	ckPut commitKind = iota
+	ckDelete
+	ckInsert
+	ckRemove
+	ckRemoveElement
+)
+
+// commitOp is one writer's queued operation plus its result slots. The
+// submitting goroutine blocks on done; the leader fills sid/err before
+// closing it.
+type commitOp struct {
+	kind commitKind
+	name string
+	off  int
+	l    int
+	data []byte // document text (put) or fragment (insert)
+
+	sid  SID
+	err  error
+	done chan struct{}
+}
+
+// GroupCommitStats is one commit lane's lifetime counters, exported
+// through the backend stats surface.
+type GroupCommitStats struct {
+	Enabled  bool  `json:"enabled"`
+	Batches  int64 `json:"batches"`
+	Ops      int64 `json:"ops"`
+	MaxBatch int64 `json:"maxBatch"`
+}
+
+// commitLane is one shard's write queue and its leader. The leader is a
+// single long-lived goroutine: writers enqueue and kick it, it sleeps
+// the commit window, then drains and commits batches back-to-back until
+// the queue is empty — ops that arrive while a flush is in flight form
+// the next batch without waiting the window again.
+type commitLane struct {
+	jc     *JournaledCollection
+	window time.Duration
+
+	mu       sync.Mutex
+	queue    []*commitOp
+	closed   bool
+	batches  int64
+	ops      int64
+	maxBatch int64
+	observer func(ops int, flush time.Duration)
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newCommitLane(jc *JournaledCollection, window time.Duration) *commitLane {
+	l := &commitLane{
+		jc:     jc,
+		window: window,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+// submit enqueues op and blocks until the leader has committed (or
+// refused) it. The op's err field carries the individual result.
+func (l *commitLane) submit(op *commitOp) {
+	op.done = make(chan struct{})
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		op.err = fmt.Errorf("lazyxml: journal is closed")
+		return
+	}
+	l.queue = append(l.queue, op)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	<-op.done
+}
+
+// run is the leader loop.
+func (l *commitLane) run() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+		case <-l.stop:
+			return
+		}
+		if l.window > 0 {
+			t := time.NewTimer(l.window)
+			select {
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+				return
+			}
+		}
+		for {
+			l.mu.Lock()
+			batch := l.queue
+			l.queue = nil
+			l.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			flush := l.jc.commitBatch(batch)
+			l.mu.Lock()
+			l.batches++
+			l.ops += int64(len(batch))
+			if n := int64(len(batch)); n > l.maxBatch {
+				l.maxBatch = n
+			}
+			obs := l.observer
+			l.mu.Unlock()
+			if obs != nil {
+				obs(len(batch), flush)
+			}
+			for _, op := range batch {
+				close(op.done)
+			}
+		}
+	}
+}
+
+// close stops the leader, waits for an in-flight batch to finish, and
+// refuses anything still queued.
+func (l *commitLane) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	l.mu.Lock()
+	q := l.queue
+	l.queue = nil
+	l.mu.Unlock()
+	for _, op := range q {
+		op.err = fmt.Errorf("lazyxml: journal is closed")
+		close(op.done)
+	}
+}
+
+// stats returns the lane's counters.
+func (l *commitLane) stats() GroupCommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return GroupCommitStats{Enabled: true, Batches: l.batches, Ops: l.ops, MaxBatch: l.maxBatch}
+}
+
+// setObserver installs a callback invoked after every committed batch
+// with its op count and flush (write+fsync) duration — the feed for the
+// server's batch-size and flush-latency histograms.
+func (l *commitLane) setObserver(fn func(ops int, flush time.Duration)) {
+	l.mu.Lock()
+	l.observer = fn
+	l.mu.Unlock()
+}
+
+// commitBatch executes one batch: ops apply in order while their
+// records stage in memory, then the staged records of both logs are
+// flushed (one write + one fsync each, segment journal first — the
+// same segment-before-name order the record-at-a-time path guarantees)
+// and the batch's generation is published. It returns the flush
+// duration. Runs only on the lane's leader goroutine.
+func (jc *JournaledCollection) commitBatch(batch []*commitOp) time.Duration {
+	// cmu serializes the batch against Compact and re-seed capture —
+	// neither may observe a half-staged batch. Lock order stays
+	// cmu → mu → dmu → j.mu.
+	jc.cmu.Lock()
+	defer jc.cmu.Unlock()
+
+	// A poisoned shard refuses the whole batch up front — applying more
+	// ops to memory the WAL can never cover would only widen the gap.
+	if err := jc.groupPoisoned(); err != nil {
+		for _, op := range batch {
+			op.err = err
+		}
+		return 0
+	}
+
+	// Open the publish batch first (it refreshes the published view so
+	// mid-batch readers are served, never building from half-applied
+	// state), then pin the pre-batch name cut and open both staging
+	// windows.
+	jc.db.store.BeginGenBatch()
+	jc.mu.Lock()
+	jc.pinCutLocked()
+	jc.mu.Unlock()
+	jc.j.beginStage()
+	jc.beginDocStage()
+
+	for _, op := range batch {
+		jc.runOp(op)
+	}
+
+	start := time.Now()
+	_, segErr := jc.j.flushStaged()
+	docErr := jc.flushDocStaged(segErr)
+	flush := time.Since(start)
+
+	flushErr := segErr
+	if flushErr == nil {
+		flushErr = docErr
+	}
+	if flushErr == nil {
+		// Publish: one generation advance for the whole batch, and the
+		// post-batch name cut, in one collection-lock critical section so
+		// no reader pairs a fresh cut with a stale view or vice versa.
+		// Only now — after the fsync — may any waiter be woken.
+		jc.mu.Lock()
+		jc.db.store.EndGenBatch()
+		jc.unpinCutLocked()
+		jc.mu.Unlock()
+		return flush
+	}
+	// The flush failed: both logs are poisoned (no further appends on
+	// either — one advancing without the other would diverge), the
+	// generation stays unpublished and the cut stays pinned, so readers
+	// keep seeing the pre-batch state the WAL can actually replay. Every
+	// op that applied cleanly is failed with the flush error — its
+	// effect was never made visible or durable.
+	jc.j.poison(flushErr)
+	jc.poisonDocs(flushErr)
+	for _, op := range batch {
+		if op.err == nil {
+			op.err = flushErr
+		}
+	}
+	return flush
+}
+
+// groupPoisoned reports the sticky failure of either log, if any.
+func (jc *JournaledCollection) groupPoisoned() error {
+	if err := jc.j.poisonErr(); err != nil {
+		return err
+	}
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	return jc.docFailed
+}
+
+// poisonDocs marks the name log failed (sticky) if it isn't already.
+func (jc *JournaledCollection) poisonDocs(err error) {
+	jc.dmu.Lock()
+	if jc.docFailed == nil {
+		jc.docFailed = err
+	}
+	jc.dmu.Unlock()
+}
+
+// runOp applies one queued op through the normal (now staging) write
+// paths, recording its individual result.
+func (jc *JournaledCollection) runOp(op *commitOp) {
+	switch op.kind {
+	case ckPut:
+		op.err = jc.directPut(op.name, op.data)
+	case ckDelete:
+		op.err = jc.directDelete(op.name)
+	case ckInsert:
+		op.sid, op.err = jc.Collection.Insert(op.name, op.off, op.data)
+	case ckRemove:
+		op.err = jc.Collection.Remove(op.name, op.off, op.l)
+	case ckRemoveElement:
+		op.err = jc.Collection.RemoveElementAt(op.name, op.off)
+	default:
+		op.err = fmt.Errorf("lazyxml: unknown commit op %d", op.kind)
+	}
+}
+
+// CommitLaneStats reports the collection's group-commit counters; a
+// collection opened without WithGroupCommit reports Enabled=false.
+func (jc *JournaledCollection) CommitLaneStats() GroupCommitStats {
+	if jc.lane == nil {
+		return GroupCommitStats{}
+	}
+	return jc.lane.stats()
+}
+
+// SetCommitObserver installs a per-batch callback (op count + flush
+// duration); nil removes it. No-op without group commit.
+func (jc *JournaledCollection) SetCommitObserver(fn func(ops int, flush time.Duration)) {
+	if jc.lane != nil {
+		jc.lane.setObserver(fn)
+	}
+}

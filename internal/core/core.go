@@ -138,6 +138,16 @@ type Store struct {
 	id  uint64
 	gen atomic.Uint64
 
+	// Generation batching (group commit): while a publish batch is open,
+	// update bumps accumulate in genPending instead of advancing gen, so
+	// MVCC readers keep acquiring the pre-batch published view; the whole
+	// batch becomes visible in one atomic gen advance at EndGenBatch.
+	// Both fields are written under mu (the same lock every bump site
+	// holds); genPending is read atomically by newViewLocked under the
+	// read lock so a mid-batch build is stamped with the state it saw.
+	genBatch   atomic.Bool
+	genPending atomic.Uint64
+
 	// View publication state (view.go): the latest published immutable
 	// view, the single-flight build lock, and the retained-view registry
 	// behind reclamation accounting.
@@ -282,7 +292,7 @@ func (s *Store) insertLocked(gp int, fragment []byte, doc *xmltree.Document) (se
 		s.text = next
 	}
 	s.inserts++
-	s.gen.Add(1)
+	s.bumpGenLocked()
 	return seg.SID, nil
 }
 
@@ -339,7 +349,7 @@ func (s *Store) removeLocked(gp, l int) error {
 		s.text = next
 	}
 	s.removes++
-	s.gen.Add(1)
+	s.bumpGenLocked()
 	return nil
 }
 
@@ -655,6 +665,44 @@ func (s *Store) Generation() uint64 { return s.gen.Load() }
 // pre-compact statistics are retired along with the old WAL.
 func (s *Store) BumpGeneration() { s.gen.Add(1) }
 
+// bumpGenLocked advances the generation, or stages the advance while a
+// publish batch is open. Caller holds s.mu (write).
+func (s *Store) bumpGenLocked() {
+	if s.genBatch.Load() {
+		s.genPending.Add(1)
+	} else {
+		s.gen.Add(1)
+	}
+}
+
+// BeginGenBatch opens a generation publish batch: until EndGenBatch,
+// update bumps are staged and MVCC readers keep being served the
+// pre-batch published view — the batch's content is invisible to the
+// snapshot-read surface. The published view is refreshed first so
+// mid-batch acquisitions hit the lock-free served path instead of
+// building a view from half-applied batch state. One batch may be open
+// at a time; the group-commit leader serializes Begin/End externally.
+func (s *Store) BeginGenBatch() {
+	s.AcquireView().Release()
+	s.mu.Lock()
+	s.genBatch.Store(true)
+	s.mu.Unlock()
+}
+
+// EndGenBatch closes the publish batch, folding every staged bump into
+// one atomic generation advance: readers observe the whole batch as a
+// single update event. Call it only after the batch is durable — the
+// ack-after-fsync ordering is what keeps a snapshot read from observing
+// state a crash could still lose.
+func (s *Store) EndGenBatch() {
+	s.mu.Lock()
+	s.genBatch.Store(false)
+	if p := s.genPending.Swap(0); p > 0 {
+		s.gen.Add(p)
+	}
+	s.mu.Unlock()
+}
+
 // TagCardinality returns the number of indexed elements with the given
 // tag, summed from the tag-list entry counts — O(|SL_tag|), no scan of
 // the element index.
@@ -848,7 +896,7 @@ func (s *Store) Rebuild() error {
 	s.spans = fresh.spans
 	s.vix = fresh.vix
 	s.text = text
-	s.gen.Add(1)
+	s.bumpGenLocked()
 	return nil
 }
 

@@ -212,7 +212,11 @@ func (s *Store) newViewLocked() *View {
 		// mutation-free.
 		d.tags.SortAll()
 	}
-	v := &View{viewData: d, gen: s.gen.Load(), store: s, created: time.Now()}
+	// gen + genPending: outside a publish batch genPending is zero; inside
+	// one, a build that does happen (the published view was invalidated
+	// mid-batch) has seen exactly genPending staged updates under the same
+	// lock, so stamping their count keeps the view's generation honest.
+	v := &View{viewData: d, gen: s.gen.Load() + s.genPending.Load(), store: s, created: time.Now()}
 	v.refs.Store(2)
 	s.vmu.Lock()
 	if s.retained == nil {

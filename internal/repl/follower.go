@@ -525,6 +525,15 @@ func (f *Follower) session(ctx context.Context, addr string) (streamed bool, err
 			if err := f.apply(rec); err != nil {
 				return streamed, err
 			}
+		case TypeRecordBatch:
+			b, err := decodeRecordBatch(payload)
+			if err != nil {
+				return streamed, err
+			}
+			streamed = true
+			if err := f.applyBatch(b); err != nil {
+				return streamed, err
+			}
 		case TypeHeartbeat:
 			hb, err := decodeHeartbeat(payload)
 			if err != nil {
@@ -582,6 +591,45 @@ func (f *Follower) apply(rec Record) error {
 	}
 	if rec.Kind == KindDoc && rec.Seq > p.DocSeq {
 		p.DocSeq = rec.Seq
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// applyBatch lands a contiguous run of replicated records through the
+// local journal's group-commit path: the whole run is applied with one
+// WAL write, one fsync and one published generation, so catch-up does
+// not re-pay the per-record durability cost. The local sequence after
+// the run must land exactly where the primary said it would.
+func (f *Follower) applyBatch(b RecordBatch) error {
+	if b.Shard < 0 || b.Shard >= f.sc.ShardCount() {
+		return fmt.Errorf("record batch for shard %d, store has %d", b.Shard, f.sc.ShardCount())
+	}
+	lastSeq := b.FirstSeq + int64(len(b.Datas)) - 1
+	var seq int64
+	var err error
+	switch b.Kind {
+	case KindSegment:
+		seq, err = f.sc.ApplySegmentRecords(b.Shard, b.Datas)
+	case KindDoc:
+		seq, err = f.sc.ApplyDocRecords(b.Shard, b.Datas)
+	default:
+		return fmt.Errorf("unknown record kind %d", b.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("applying shard %d records %d..%d: %w", b.Shard, b.FirstSeq, lastSeq, err)
+	}
+	if seq != lastSeq {
+		return fmt.Errorf("%w: shard %d batch landed at sequence %d locally, %d on the primary",
+			ErrDiverged, b.Shard, seq, lastSeq)
+	}
+	f.mu.Lock()
+	p := &f.primary[b.Shard]
+	if b.Kind == KindSegment && lastSeq > p.Seq {
+		p.Seq = lastSeq
+	}
+	if b.Kind == KindDoc && lastSeq > p.DocSeq {
+		p.DocSeq = lastSeq
 	}
 	f.mu.Unlock()
 	return nil

@@ -355,7 +355,7 @@ func (p *Primary) handleConn(conn net.Conn) {
 			return
 		}
 		conn.SetDeadline(time.Time{})
-		p.stream(conn, positions)
+		p.stream(conn, positions, h.Version)
 	case TypeSnapRequest, TypeSnapForce:
 		positions, err := decodeSubscribe(payload)
 		if err != nil {
@@ -455,12 +455,20 @@ func (p *Primary) checkPositions(positions []Position) (code uint64, err error) 
 	return 0, nil
 }
 
+// maxBatchFrameBytes bounds how much WAL data one RECORDBATCH frame
+// carries; a run bigger than this is split so no frame approaches
+// MaxFrame even with large fragments.
+const maxBatchFrameBytes = 4 << 20
+
 // stream is the per-subscriber sender loop. Ordering invariant: for each
 // shard it observes the name-log target BEFORE the segment target, then
 // ships segment records up to the segment target BEFORE name records up
 // to the name target. A name record only ever references a segment
 // appended before it, so the follower never sees a dangling name.
-func (p *Primary) stream(conn net.Conn, positions []Position) {
+// subVersion is the subscriber's HELLO version: v5+ peers get contiguous
+// runs as RECORDBATCH frames (applied follower-side with one fsync per
+// run), older peers get the byte-compatible per-record stream.
+func (p *Primary) stream(conn net.Conn, positions []Position, subVersion uint64) {
 	if code, err := p.checkPositions(positions); err != nil {
 		p.sendErr(conn, code, "%v", err)
 		return
@@ -496,19 +504,59 @@ func (p *Primary) stream(conn net.Conn, positions []Position) {
 	beat := time.NewTicker(p.cfg.HeartbeatEvery)
 	defer beat.Stop()
 
+	advance := func(shard int, kind byte, seq int64) {
+		if kind == KindSegment {
+			positions[shard].Seq = seq
+		} else {
+			positions[shard].DocSeq = seq
+		}
+		sub.set(shard, positions[shard])
+	}
+	sendOne := func(shard int, kind byte, r lazyxml.ReplRecord) error {
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		f := Record{Shard: shard, Kind: kind, Seq: r.Seq, Data: r.Data}
+		if err := WriteFrame(conn, TypeRecord, f.encode()); err != nil {
+			return err
+		}
+		advance(shard, kind, r.Seq)
+		return nil
+	}
 	send := func(shard int, kind byte, recs []lazyxml.ReplRecord) error {
-		for _, r := range recs {
+		if subVersion < 5 {
+			for _, r := range recs {
+				if err := sendOne(shard, kind, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// v5+: ship contiguous runs as RECORDBATCH frames so the follower
+		// applies each run with a single fsync. Runs are split at
+		// maxBatchFrameBytes; a run of one degrades to a plain RECORD.
+		for start := 0; start < len(recs); {
+			end, total := start, 0
+			for end < len(recs) && (end == start || total+len(recs[end].Data) <= maxBatchFrameBytes) {
+				total += len(recs[end].Data)
+				end++
+			}
+			if end-start == 1 {
+				if err := sendOne(shard, kind, recs[start]); err != nil {
+					return err
+				}
+				start = end
+				continue
+			}
+			datas := make([][]byte, 0, end-start)
+			for _, r := range recs[start:end] {
+				datas = append(datas, r.Data)
+			}
 			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-			f := Record{Shard: shard, Kind: kind, Seq: r.Seq, Data: r.Data}
-			if err := WriteFrame(conn, TypeRecord, f.encode()); err != nil {
+			b := RecordBatch{Shard: shard, Kind: kind, FirstSeq: recs[start].Seq, Datas: datas}
+			if err := WriteFrame(conn, TypeRecordBatch, b.encode()); err != nil {
 				return err
 			}
-			if kind == KindSegment {
-				positions[shard].Seq = r.Seq
-			} else {
-				positions[shard].DocSeq = r.Seq
-			}
-			sub.set(shard, positions[shard])
+			advance(shard, kind, recs[end-1].Seq)
+			start = end
 		}
 		return nil
 	}
@@ -763,31 +811,69 @@ func (p *Primary) serveQuery(conn net.Conn, bw *bufio.Writer, q Query) bool {
 	}
 }
 
+// bulkWindow is how many PUTs a bulk session keeps in flight at once.
+// A pipelining client's concurrent puts land in the group-commit lane
+// together, so a whole window shares one fsync instead of paying one
+// each; acks still go out strictly in arrival order.
+const bulkWindow = 32
+
 // bulk runs a bulk-load session: a stream of PUT frames, each answered
 // in order with a PUT_OK. first is the payload of the PUT that ended the
-// handshake.
+// handshake. Up to bulkWindow puts are applied concurrently; the
+// in-order ack writer preserves the wire contract for v1 clients.
 func (p *Primary) bulk(conn net.Conn, first []byte) {
 	p.logf("repl: %s bulk load session", conn.RemoteAddr())
+
+	type pendingPut struct {
+		ack  PutOK
+		done chan struct{}
+	}
+	queue := make(chan *pendingPut, bulkWindow)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		failed := false
+		for pd := range queue {
+			<-pd.done
+			if failed {
+				continue // drain so the reader never blocks on a full queue
+			}
+			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			if err := WriteFrame(conn, TypePutOK, pd.ack.encode()); err != nil {
+				failed = true
+				conn.Close() // unblock the reader side too
+			}
+		}
+	}()
+	finish := func() {
+		close(queue)
+		<-writerDone
+	}
+
 	payload := first
 	for {
 		put, err := decodePut(payload)
 		if err != nil {
+			finish()
 			p.sendErr(conn, ErrCodeBadFrame, "%v", err)
 			return
 		}
-		ack := PutOK{}
-		if err := p.sc.Put(put.Name, put.Text); err != nil {
-			ack = PutOK{Code: 1, Msg: err.Error()}
-		}
-		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-		if err := WriteFrame(conn, TypePutOK, ack.encode()); err != nil {
-			return
-		}
+		pd := &pendingPut{done: make(chan struct{})}
+		queue <- pd // caps in-flight puts at bulkWindow
+		go func(name string, text []byte, pd *pendingPut) {
+			defer close(pd.done)
+			if err := p.sc.Put(name, text); err != nil {
+				pd.ack = PutOK{Code: 1, Msg: err.Error()}
+			}
+		}(put.Name, put.Text, pd)
+
 		typ, next, err := ReadFrame(conn)
 		if err != nil {
+			finish()
 			return // connection done
 		}
 		if typ != TypePut {
+			finish()
 			p.sendErr(conn, ErrCodeBadFrame, "expected PUT, got frame type %d", typ)
 			return
 		}

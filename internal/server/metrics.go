@@ -18,14 +18,20 @@ type histogram struct {
 }
 
 func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
+	h.observeValue(d.Microseconds())
+}
+
+// observeValue records a raw value in the log2 buckets — the same
+// machinery serves dimensionless distributions (batch sizes) as well as
+// microsecond latencies.
+func (h *histogram) observeValue(v int64) {
 	b := 0
-	for v := us; v > 0 && b < numBuckets-1; v >>= 1 {
+	for x := v; x > 0 && b < numBuckets-1; x >>= 1 {
 		b++
 	}
 	h.buckets[b].Add(1)
 	h.count.Add(1)
-	h.sumUS.Add(us)
+	h.sumUS.Add(v)
 }
 
 // quantile returns an upper bound (the bucket boundary) for the q-th
@@ -72,6 +78,29 @@ type HistogramStats struct {
 	P99US  int64 `json:"p99Micros"`
 }
 
+// ValueStats is the JSON form of a dimensionless log2 histogram (batch
+// sizes). Quantiles are upper bounds of power-of-two buckets.
+type ValueStats struct {
+	Count int64 `json:"count"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// snapshotValues renders the histogram as a dimensionless summary.
+func (h *histogram) snapshotValues() ValueStats {
+	count := h.count.Load()
+	s := ValueStats{Count: count}
+	if count > 0 {
+		s.Mean = h.sumUS.Load() / count
+		s.P50 = h.quantile(0.50)
+		s.P95 = h.quantile(0.95)
+		s.P99 = h.quantile(0.99)
+	}
+	return s
+}
+
 // metrics aggregates request counters for the /metrics endpoint. All
 // fields are updated with atomics; reads are approximate but torn-free
 // per counter.
@@ -100,9 +129,33 @@ type metrics struct {
 	budgetKills     atomic.Int64 // queries failed by the per-query memory budget
 	streamCancels   atomic.Int64 // streams ended by client disconnect/cancellation
 
+	// Group-commit lane feed (the backend's commit observer): one
+	// observation per committed batch — its op count and its flush
+	// (WAL write + fsync) wall time.
+	gcEnabled  atomic.Bool
+	gcBatches  atomic.Int64
+	gcOps      atomic.Int64
+	gcMaxBatch atomic.Int64
+	batchSize  histogram // dimensionless: ops per batch
+	flushLat   histogram // per-batch flush latency
+
 	// perShard tracks the write path per shard lane, sized once at
 	// construction to the backend's shard count.
 	perShard []shardCounters
+}
+
+// observeBatch records one committed group-commit batch.
+func (m *metrics) observeBatch(ops int, flush time.Duration) {
+	m.gcBatches.Add(1)
+	m.gcOps.Add(int64(ops))
+	for {
+		cur := m.gcMaxBatch.Load()
+		if int64(ops) <= cur || m.gcMaxBatch.CompareAndSwap(cur, int64(ops)) {
+			break
+		}
+	}
+	m.batchSize.observeValue(int64(ops))
+	m.flushLat.observe(flush)
 }
 
 // shardCounters is the write-path slice of one shard's traffic.
@@ -151,9 +204,23 @@ type MetricsSnapshot struct {
 	// stream counts, delivered rows and bytes, budget kills and client
 	// cancellations.
 	Streams StreamMetrics `json:"streams"`
+	// GroupCommit is the commit-lane readout: batch counts, the
+	// batch-size distribution and per-batch flush latency. Enabled is
+	// false when the backend journals per-op.
+	GroupCommit GroupCommitMetrics `json:"groupCommit"`
 	// Shards is the write path broken down by shard lane: the evidence
 	// that writes to different shards really run in parallel.
 	Shards []ShardMetrics `json:"shards"`
+}
+
+// GroupCommitMetrics is the group-commit slice of the counters.
+type GroupCommitMetrics struct {
+	Enabled      bool           `json:"enabled"`
+	Batches      int64          `json:"batches"`
+	Ops          int64          `json:"ops"`
+	MaxBatch     int64          `json:"maxBatch"`
+	BatchSize    ValueStats     `json:"batchSize"`
+	FlushLatency HistogramStats `json:"flushLatency"`
 }
 
 // StreamMetrics is the streaming-query slice of the counters.
@@ -201,6 +268,14 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			StreamedBytes: m.streamedBytes.Load(),
 			BudgetKills:   m.budgetKills.Load(),
 			Cancels:       m.streamCancels.Load(),
+		},
+		GroupCommit: GroupCommitMetrics{
+			Enabled:      m.gcEnabled.Load(),
+			Batches:      m.gcBatches.Load(),
+			Ops:          m.gcOps.Load(),
+			MaxBatch:     m.gcMaxBatch.Load(),
+			BatchSize:    m.batchSize.snapshotValues(),
+			FlushLatency: m.flushLat.snapshot(),
 		},
 		Shards: shards,
 	}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -153,6 +154,13 @@ type Config struct {
 	// adopts the new address as its read-only upstream — the sentinel's
 	// re-point (and demote) path.
 	Retarget func(addr string) error
+	// GroupCommit declares the backend's journal runs a group-commit
+	// lane (opened with WithGroupCommit — the -group-commit flag). The
+	// server then defaults Writers to 32 so concurrent single-op writes
+	// actually meet in the lane and share an fsync, and wires the
+	// backend's commit observer into the batch-size and flush-latency
+	// histograms in /metrics and /stats.
+	GroupCommit bool
 	// SentinelStatus, when non-nil, embeds the co-located sentinel's
 	// snapshot under "sentinel" in /stats and /metrics.
 	SentinelStatus func() any
@@ -166,7 +174,15 @@ func (c Config) withDefaults() Config {
 		c.MaxBodyBytes = 32 << 20
 	}
 	if c.Writers <= 0 {
-		c.Writers = 1
+		// Single-writer per shard by default: without a commit lane,
+		// concurrent appliers would only contend on the store lock. With
+		// group commit the point is the opposite — writers that overlap
+		// in time share one fsync — so the lane gets real concurrency.
+		if c.GroupCommit {
+			c.Writers = 32
+		} else {
+			c.Writers = 1
+		}
 	}
 	if c.MaxMatches <= 0 {
 		c.MaxMatches = 10000
@@ -208,6 +224,23 @@ func New(backend Backend, cfg Config) *Server {
 		queue = 0 // unbounded
 	}
 	s.gate = newGate(backend.ShardCount(), s.cfg.Writers, queue)
+	if s.cfg.GroupCommit {
+		// The observer is wired by type assertion — the Backend interface
+		// stays free of journal concerns, and an in-memory backend simply
+		// reports the lane disabled.
+		switch b := backend.(type) {
+		case interface {
+			SetCommitObserver(func(shard, ops int, flush time.Duration))
+		}:
+			b.SetCommitObserver(func(_, ops int, flush time.Duration) { s.met.observeBatch(ops, flush) })
+			s.met.gcEnabled.Store(true)
+		case interface {
+			SetCommitObserver(func(ops int, flush time.Duration))
+		}:
+			b.SetCommitObserver(func(ops int, flush time.Duration) { s.met.observeBatch(ops, flush) })
+			s.met.gcEnabled.Store(true)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -240,6 +273,7 @@ const (
 	classRead = iota
 	classWrite
 	classAdmin // maintenance: exclusive like a write, counted separately
+	classBatch // multi-op write: gates per op inside the handler, not here
 )
 
 func (s *Server) routes() {
@@ -314,6 +348,11 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /docs/{name}/insert", s.handle(classWrite, s.handleInsert))
 	s.mux.Handle("DELETE /docs/{name}/range", s.handle(classWrite, s.handleRemoveRange))
 	s.mux.Handle("DELETE /docs/{name}/element", s.handle(classWrite, s.handleRemoveElement))
+
+	// Multi-op batch: one request carrying many write ops, fanned out
+	// concurrently through the shard gates so a group-commit lane lands
+	// them in shared fsyncs; per-op results come back in request order.
+	s.mux.Handle("POST /batch", s.handle(classBatch, s.handleBatch))
 
 	// Queries.
 	s.mux.Handle("GET /query", s.handle(classRead, s.handleQuery))
@@ -394,7 +433,7 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 		// stream, and a local write would fork the two histories. The
 		// address is read per request so a promotion flips the server
 		// writable without a restart.
-		if primary := s.PrimaryAddr(); class == classWrite && primary != "" {
+		if primary := s.PrimaryAddr(); (class == classWrite || class == classBatch) && primary != "" {
 			s.met.errors.Add(1)
 			writeJSON(w, http.StatusForbidden, map[string]any{
 				"error":   "read-only replication follower: send writes to the primary",
@@ -425,6 +464,10 @@ func (s *Server) handle(class int, fn handlerFunc) http.Handler {
 					s.gate.releaseWrite(shard)
 				}
 			}(shard)
+		case classBatch:
+			// The batch handler gates each op on its own shard lane; a
+			// request-wide slot here would deadlock against them.
+			s.met.updates.Add(1)
 		default:
 			// Maintenance spans every shard: take one write slot on each.
 			s.met.admin.Add(1)
@@ -687,19 +730,19 @@ func (s *Server) planParams(r *http.Request) (planned bool, opt lazyxml.PlanOpt,
 // update counters and update-log footprint down per shard — the signal
 // feed an auto-compaction policy keys on.
 type StatsResponse struct {
-	Mode           string           `json:"mode"`
-	TextLen        int              `json:"textLen"`
-	Segments       int              `json:"segments"`
-	Elements       int              `json:"elements"`
-	Tags           int              `json:"tags"`
-	SBTreeBytes    int              `json:"sbTreeBytes"`
-	TagListBytes   int              `json:"tagListBytes"`
-	ElemIdxBytes   int              `json:"elemIdxBytes"`
-	UpdateLogBytes int              `json:"updateLogBytes"`
-	Inserts        int              `json:"inserts"`
-	Removes        int              `json:"removes"`
-	Docs           int              `json:"docs"`
-	Durable        bool             `json:"durable"`
+	Mode           string `json:"mode"`
+	TextLen        int    `json:"textLen"`
+	Segments       int    `json:"segments"`
+	Elements       int    `json:"elements"`
+	Tags           int    `json:"tags"`
+	SBTreeBytes    int    `json:"sbTreeBytes"`
+	TagListBytes   int    `json:"tagListBytes"`
+	ElemIdxBytes   int    `json:"elemIdxBytes"`
+	UpdateLogBytes int    `json:"updateLogBytes"`
+	Inserts        int    `json:"inserts"`
+	Removes        int    `json:"removes"`
+	Docs           int    `json:"docs"`
+	Durable        bool   `json:"durable"`
 	// Role/Epoch/RelayDepth/ReplAddr/Upstream locate this node in the
 	// replication topology: its current role (primary, follower or
 	// promoting), its durable fencing epoch, its distance from the root
@@ -730,6 +773,9 @@ type StatsResponse struct {
 	// Sentinel is the co-located failover sentinel's snapshot (member
 	// health, elections, promotions); absent when none runs here.
 	Sentinel any `json:"sentinel,omitempty"`
+	// GroupCommit is the backend's commit-lane counters (per shard on a
+	// sharded backend); absent when the journal commits per op.
+	GroupCommit any `json:"groupCommit,omitempty"`
 	// TagCardinality maps each tag named in ?tags=a,b,... to its
 	// indexed-element count summed across shards — the planner's own
 	// statistics surface, exposed for inspection.
@@ -833,6 +879,25 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 	if s.cfg.SentinelStatus != nil {
 		sentinel = s.cfg.SentinelStatus()
 	}
+	var groupCommit any
+	switch b := s.backend.(type) {
+	case interface {
+		CommitLaneStats() []lazyxml.GroupCommitStats
+	}:
+		lanes := b.CommitLaneStats()
+		for _, l := range lanes {
+			if l.Enabled {
+				groupCommit = lanes
+				break
+			}
+		}
+	case interface {
+		CommitLaneStats() lazyxml.GroupCommitStats
+	}:
+		if l := b.CommitLaneStats(); l.Enabled {
+			groupCommit = l
+		}
+	}
 	var tagCards map[string]int
 	if raw := r.URL.Query().Get("tags"); raw != "" {
 		tagCards = map[string]int{}
@@ -869,6 +934,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		Maintenance:    maintenance,
 		Planner:        planner,
 		Sentinel:       sentinel,
+		GroupCommit:    groupCommit,
 		TagCardinality: tagCards,
 	}, nil
 }
@@ -950,6 +1016,138 @@ func (s *Server) handleRemoveElement(r *http.Request) (int, any, error) {
 		return 0, nil, err
 	}
 	return http.StatusOK, map[string]any{"doc": name, "off": off}, nil
+}
+
+// batchOp is one operation of a POST /batch request.
+type batchOp struct {
+	Op   string `json:"op"` // put | delete | insert | remove | removeElement
+	Doc  string `json:"doc"`
+	Off  int    `json:"off"`
+	Len  int    `json:"len"`
+	Text string `json:"text"`
+}
+
+// batchResult is one op's outcome, returned in request order.
+type batchResult struct {
+	Ok     bool   `json:"ok"`
+	Sid    int    `json:"sid,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// maxBatchOps bounds one /batch request; a loader wanting more sends
+// more requests.
+const maxBatchOps = 1024
+
+// handleBatch applies a JSON array of write ops. Ops on the same
+// document run sequentially in request order; ops on different
+// documents fan out concurrently through the per-shard write gates, so
+// on a group-commit backend they meet in the lane and share fsyncs. One
+// op failing does not stop the others — each slot in results carries
+// its own verdict, exactly as if the ops had been separate requests.
+func (s *Server) handleBatch(r *http.Request) (int, any, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	var req struct {
+		Ops []batchOp `json:"ops"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return 0, nil, failf(http.StatusBadRequest, "parsing batch: %v", err)
+	}
+	if len(req.Ops) == 0 {
+		return 0, nil, failf(http.StatusBadRequest, "batch has no ops")
+	}
+	if len(req.Ops) > maxBatchOps {
+		return 0, nil, failf(http.StatusBadRequest, "batch has %d ops, limit %d", len(req.Ops), maxBatchOps)
+	}
+	for i, op := range req.Ops {
+		if op.Doc == "" {
+			return 0, nil, failf(http.StatusBadRequest, "op %d: missing doc", i)
+		}
+		switch op.Op {
+		case "put", "delete", "insert", "remove", "removeElement":
+		default:
+			return 0, nil, failf(http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
+		}
+	}
+
+	// Group op indices by document, preserving per-document order.
+	groups := make(map[string][]int)
+	var order []string
+	for i, op := range req.Ops {
+		if _, seen := groups[op.Doc]; !seen {
+			order = append(order, op.Doc)
+		}
+		groups[op.Doc] = append(groups[op.Doc], i)
+	}
+
+	results := make([]batchResult, len(req.Ops))
+	var wg sync.WaitGroup
+	for _, doc := range order {
+		wg.Add(1)
+		go func(doc string, idxs []int) {
+			defer wg.Done()
+			shard := s.backend.ShardOf(doc)
+			for _, i := range idxs {
+				results[i] = s.applyBatchOp(r.Context(), shard, req.Ops[i])
+			}
+		}(doc, groups[doc])
+	}
+	wg.Wait()
+
+	failed := 0
+	for _, res := range results {
+		if !res.Ok {
+			failed++
+		}
+	}
+	return http.StatusOK, map[string]any{
+		"results": results,
+		"ops":     len(results),
+		"failed":  failed,
+	}, nil
+}
+
+// applyBatchOp runs one batch op under its shard's write slot, with the
+// same shedding, counting and latency observation a single-op request
+// gets.
+func (s *Server) applyBatchOp(ctx context.Context, shard int, op batchOp) batchResult {
+	if err := s.gate.acquireWrite(ctx, shard, s.cfg.ShedAfter); err != nil {
+		if errors.Is(err, errShed) {
+			s.met.shed.Add(1)
+			return batchResult{Error: fmt.Sprintf("write queue for shard %d is saturated: retry later", shard),
+				Status: http.StatusServiceUnavailable}
+		}
+		return batchResult{Error: fmt.Sprintf("shard %d: queued past deadline: %v", shard, err),
+			Status: http.StatusServiceUnavailable}
+	}
+	defer s.gate.releaseWrite(shard)
+	s.met.countUpdate(shard)
+	start := time.Now()
+	defer func() { s.met.observeWrite(shard, time.Since(start)) }()
+
+	var sid lazyxml.SID
+	var err error
+	switch op.Op {
+	case "put":
+		if err = s.backend.Put(op.Doc, []byte(op.Text)); err == nil {
+			sid, _ = s.backend.SID(op.Doc)
+		}
+	case "delete":
+		err = s.backend.Delete(op.Doc)
+	case "insert":
+		sid, err = s.backend.Insert(op.Doc, op.Off, []byte(op.Text))
+	case "remove":
+		err = s.backend.Remove(op.Doc, op.Off, op.Len)
+	case "removeElement":
+		err = s.backend.RemoveElementAt(op.Doc, op.Off)
+	}
+	if err != nil {
+		return batchResult{Error: err.Error(), Status: errStatus(err)}
+	}
+	return batchResult{Ok: true, Sid: int(sid)}
 }
 
 func (s *Server) handleQuery(r *http.Request) (int, any, error) {

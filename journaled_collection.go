@@ -46,6 +46,16 @@ type JournaledCollection struct {
 	docWalStart int64
 	docHorizon  int64
 	docTap      func(seq int64, rec []byte)
+
+	// Group commit (DESIGN.md §15): when the journal was opened with
+	// WithGroupCommit, lane is the shard's commit queue + leader; every
+	// public write routes through it. docStaging/docPending mirror the
+	// segment journal's staging window for the name log, and docFailed is
+	// its sticky poison after a failed batch flush.
+	lane       *commitLane
+	docStaging bool
+	docPending [][]byte
+	docFailed  error
 }
 
 const (
@@ -106,14 +116,28 @@ func OpenJournaledCollection(dir string, mode Mode, dbOpts []Option, jOpts ...Jo
 		return nil, err
 	}
 	jc.dwal = dwal
+	if j.groupCommit {
+		jc.lane = newCommitLane(jc, j.window)
+	}
 	return jc, nil
 }
 
 // Journal exposes the underlying journaled database.
 func (jc *JournaledCollection) Journal() *JournaledDB { return jc.j }
 
-// Put adds a named document and records the name durably.
+// Put adds a named document and records the name durably. With group
+// commit on, the op rides the shard's commit lane and the call returns
+// only after its records are fsynced as part of a batch.
 func (jc *JournaledCollection) Put(name string, text []byte) error {
+	if jc.lane != nil {
+		op := &commitOp{kind: ckPut, name: name, data: text}
+		jc.lane.submit(op)
+		return op.err
+	}
+	return jc.directPut(name, text)
+}
+
+func (jc *JournaledCollection) directPut(name string, text []byte) error {
 	if err := jc.Collection.Put(name, text); err != nil {
 		return err
 	}
@@ -123,6 +147,15 @@ func (jc *JournaledCollection) Put(name string, text []byte) error {
 
 // Delete removes a named document and records the deletion durably.
 func (jc *JournaledCollection) Delete(name string) error {
+	if jc.lane != nil {
+		op := &commitOp{kind: ckDelete, name: name}
+		jc.lane.submit(op)
+		return op.err
+	}
+	return jc.directDelete(name)
+}
+
+func (jc *JournaledCollection) directDelete(name string) error {
 	sid, ok := jc.SID(name)
 	if !ok {
 		return fmt.Errorf("lazyxml: unknown document %q", name)
@@ -131,6 +164,39 @@ func (jc *JournaledCollection) Delete(name string) error {
 		return err
 	}
 	return jc.appendDoc(dopDel, sid, name)
+}
+
+// Insert routes a lazy in-document insert through the commit lane when
+// group commit is on; otherwise it is the plain Collection insert.
+func (jc *JournaledCollection) Insert(name string, off int, frag []byte) (SID, error) {
+	if jc.lane != nil {
+		op := &commitOp{kind: ckInsert, name: name, off: off, data: frag}
+		jc.lane.submit(op)
+		return op.sid, op.err
+	}
+	return jc.Collection.Insert(name, off, frag)
+}
+
+// Remove routes a lazy in-document delete through the commit lane when
+// group commit is on.
+func (jc *JournaledCollection) Remove(name string, off, l int) error {
+	if jc.lane != nil {
+		op := &commitOp{kind: ckRemove, name: name, off: off, l: l}
+		jc.lane.submit(op)
+		return op.err
+	}
+	return jc.Collection.Remove(name, off, l)
+}
+
+// RemoveElementAt routes an element removal through the commit lane when
+// group commit is on.
+func (jc *JournaledCollection) RemoveElementAt(name string, off int) error {
+	if jc.lane != nil {
+		op := &commitOp{kind: ckRemoveElement, name: name, off: off}
+		jc.lane.submit(op)
+		return op.err
+	}
+	return jc.Collection.RemoveElementAt(name, off)
 }
 
 // Collapse packs a named document into one fresh segment, durably: the
@@ -164,6 +230,12 @@ func (jc *JournaledCollection) CollapseAll() error {
 func (jc *JournaledCollection) Compact() error {
 	jc.cmu.Lock()
 	defer jc.cmu.Unlock()
+	// After a failed group-commit flush the in-memory map is ahead of the
+	// WAL; folding it into a snapshot would make unacknowledged writes
+	// durable. Refuse instead.
+	if err := jc.groupPoisoned(); err != nil {
+		return err
+	}
 	// The collection write lock spans the whole docs phase so no name
 	// can slip between the map encode and the log truncation; lock
 	// order everywhere is cmu → mu → dmu → j.mu.
@@ -217,6 +289,11 @@ func (jc *JournaledCollection) CompactShard(i int) error {
 // Close flushes and closes both journals; the collection remains usable
 // in memory but further updates fail.
 func (jc *JournaledCollection) Close() error {
+	// Stop the commit lane first: its leader may hold dmu mid-flush, and
+	// no new batch may start once the files are closing.
+	if jc.lane != nil {
+		jc.lane.close()
+	}
 	jc.dmu.Lock()
 	defer jc.dmu.Unlock()
 	var err error
@@ -251,10 +328,20 @@ func encodeDocRecord(op byte, sid SID, name string) []byte {
 func (jc *JournaledCollection) appendDoc(op byte, sid SID, name string) error {
 	jc.dmu.Lock()
 	defer jc.dmu.Unlock()
+	if jc.docFailed != nil {
+		return jc.docFailed
+	}
 	if jc.dwal == nil {
 		return fmt.Errorf("lazyxml: journal is closed")
 	}
 	buf := encodeDocRecord(op, sid, name)
+	if jc.docStaging {
+		// Inside a group-commit batch: buffer the record for the batch
+		// flush. Sequence numbers and the replication tap fire there,
+		// after the one fsync, in this same order.
+		jc.docPending = append(jc.docPending, buf)
+		return nil
+	}
 	if _, err := jc.dwal.Write(buf); err != nil {
 		return err
 	}
@@ -266,6 +353,66 @@ func (jc *JournaledCollection) appendDoc(op byte, sid SID, name string) error {
 	jc.docSeq++
 	if jc.docTap != nil {
 		jc.docTap(jc.docSeq, buf)
+	}
+	return nil
+}
+
+// beginDocStage opens the name log's staging window for a group-commit
+// batch.
+func (jc *JournaledCollection) beginDocStage() {
+	jc.dmu.Lock()
+	jc.docStaging = true
+	jc.dmu.Unlock()
+}
+
+// flushDocStaged closes the staging window and makes the buffered name
+// records durable with one write and one fsync, then assigns their
+// sequence numbers and feeds the replication tap in order. If the
+// segment-journal flush already failed (abort != nil), or this flush
+// fails, the staged records are discarded and the name log is poisoned:
+// the in-memory map is ahead of what the WAL can replay, so accepting
+// further appends would ack writes a reopen must lose.
+func (jc *JournaledCollection) flushDocStaged(abort error) error {
+	jc.dmu.Lock()
+	defer jc.dmu.Unlock()
+	pending := jc.docPending
+	jc.docPending, jc.docStaging = nil, false
+	if abort != nil {
+		jc.docFailed = abort
+		return nil
+	}
+	if len(pending) == 0 {
+		return jc.docFailed
+	}
+	if jc.docFailed != nil {
+		return jc.docFailed
+	}
+	if jc.dwal == nil {
+		return fmt.Errorf("lazyxml: journal is closed")
+	}
+	n := 0
+	for _, rec := range pending {
+		n += len(rec)
+	}
+	buf := make([]byte, 0, n)
+	for _, rec := range pending {
+		buf = append(buf, rec...)
+	}
+	if _, err := jc.dwal.Write(buf); err != nil {
+		jc.docFailed = fmt.Errorf("lazyxml: group-commit flush failed, name log poisoned: %w", err)
+		return jc.docFailed
+	}
+	if jc.j.sync {
+		if err := jc.dwal.Sync(); err != nil {
+			jc.docFailed = fmt.Errorf("lazyxml: group-commit flush failed, name log poisoned: %w", err)
+			return jc.docFailed
+		}
+	}
+	for _, rec := range pending {
+		jc.docSeq++
+		if jc.docTap != nil {
+			jc.docTap(jc.docSeq, rec)
+		}
 	}
 	return nil
 }

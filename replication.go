@@ -302,6 +302,116 @@ func (jc *JournaledCollection) applyDocRecord(data []byte) (seq int64, op byte, 
 	return seq, op, name, nil
 }
 
+// ApplySegmentRecords applies a contiguous run of replicated segment
+// records as one group-commit batch: every record applies in order while
+// its WAL encoding stages in memory, then the whole run lands with a
+// single write and a single fsync, and one MVCC generation publishes for
+// the batch. Catch-up over N records therefore pays one fsync, not N.
+// On a mid-run apply error the applied prefix is still flushed — memory
+// and WAL stay in step — and the error is returned. It returns the local
+// sequence after the last applied record.
+func (jc *JournaledCollection) ApplySegmentRecords(datas [][]byte) (int64, error) {
+	if len(datas) == 0 {
+		seq, _ := jc.j.ReplState()
+		return seq, nil
+	}
+	if len(datas) == 1 {
+		return jc.ApplySegmentRecord(datas[0])
+	}
+	jc.cmu.Lock()
+	defer jc.cmu.Unlock()
+	if err := jc.groupPoisoned(); err != nil {
+		return 0, err
+	}
+	jc.db.store.BeginGenBatch()
+	jc.mu.Lock()
+	jc.pinCutLocked()
+	jc.mu.Unlock()
+	jc.j.beginStage()
+	var applyErr error
+	for _, data := range datas {
+		if _, applyErr = jc.ApplySegmentRecord(data); applyErr != nil {
+			break
+		}
+	}
+	_, flushErr := jc.j.flushStaged()
+	if flushErr != nil {
+		jc.j.poison(flushErr)
+		jc.poisonDocs(flushErr)
+		return 0, flushErr
+	}
+	jc.mu.Lock()
+	jc.db.store.EndGenBatch()
+	jc.unpinCutLocked()
+	jc.mu.Unlock()
+	if applyErr != nil {
+		return 0, applyErr
+	}
+	seq, _ := jc.j.ReplState()
+	return seq, nil
+}
+
+// ApplyDocRecords applies a contiguous run of replicated name records
+// with one write and one fsync, mirroring ApplySegmentRecords. The
+// returned ops and names let a sharded wrapper keep its routing map in
+// step.
+func (jc *JournaledCollection) applyDocRecords(datas [][]byte) (seq int64, ops []byte, names []string, err error) {
+	if len(datas) == 0 {
+		seq, _ = jc.DocReplState()
+		return seq, nil, nil, nil
+	}
+	if len(datas) == 1 {
+		seq, op, name, err := jc.applyDocRecord(datas[0])
+		return seq, []byte{op}, []string{name}, err
+	}
+	jc.cmu.Lock()
+	defer jc.cmu.Unlock()
+	if err := jc.groupPoisoned(); err != nil {
+		return 0, nil, nil, err
+	}
+	// Name records never bump the store generation, so no publish batch
+	// is needed — the pinned cut alone keeps the new names invisible
+	// until they are durable.
+	jc.mu.Lock()
+	jc.pinCutLocked()
+	jc.mu.Unlock()
+	jc.beginDocStage()
+	ops = make([]byte, 0, len(datas))
+	names = make([]string, 0, len(datas))
+	var applyErr error
+	for _, data := range datas {
+		_, op, name, err := jc.applyDocRecord(data)
+		if err != nil {
+			applyErr = err
+			break
+		}
+		ops = append(ops, op)
+		names = append(names, name)
+	}
+	flushErr := jc.flushDocStaged(nil)
+	if flushErr != nil {
+		// The cut stays pinned: the applied-but-unflushed names must
+		// never become visible on the poisoned shard.
+		jc.j.poison(flushErr)
+		return 0, nil, nil, flushErr
+	}
+	jc.mu.Lock()
+	jc.unpinCutLocked()
+	jc.mu.Unlock()
+	if applyErr != nil {
+		return 0, ops, names, applyErr
+	}
+	seq, _ = jc.DocReplState()
+	return seq, ops, names, nil
+}
+
+// ApplyDocRecords applies a contiguous run of replicated name records as
+// one batch (one write, one fsync).
+func (jc *JournaledCollection) ApplyDocRecords(datas [][]byte) (int64, error) {
+	seq, _, _, err := jc.applyDocRecords(datas)
+	return seq, err
+}
+
 // ApplySegmentRecord applies a replicated segment record to shard i.
 func (sc *ShardedCollection) ApplySegmentRecord(shard int, data []byte) (int64, error) {
 	jc := sc.ShardJournal(shard)
@@ -332,6 +442,41 @@ func (sc *ShardedCollection) ApplyDocRecord(shard int, data []byte) (int64, erro
 		delete(sc.route, name)
 	}
 	sc.mu.Unlock()
+	return seq, nil
+}
+
+// ApplySegmentRecords applies a contiguous run of replicated segment
+// records to shard i as one batch (one write, one fsync).
+func (sc *ShardedCollection) ApplySegmentRecords(shard int, datas [][]byte) (int64, error) {
+	jc := sc.ShardJournal(shard)
+	if jc == nil {
+		return 0, fmt.Errorf("lazyxml: no journaled shard %d", shard)
+	}
+	return jc.ApplySegmentRecords(datas)
+}
+
+// ApplyDocRecords applies a contiguous run of replicated name records to
+// shard i as one batch, keeping the name→shard routing map in step for
+// every record that applied.
+func (sc *ShardedCollection) ApplyDocRecords(shard int, datas [][]byte) (int64, error) {
+	jc := sc.ShardJournal(shard)
+	if jc == nil {
+		return 0, fmt.Errorf("lazyxml: no journaled shard %d", shard)
+	}
+	seq, ops, names, err := jc.applyDocRecords(datas)
+	sc.mu.Lock()
+	for i := range ops {
+		switch ops[i] {
+		case dopPut:
+			sc.route[names[i]] = shard
+		case dopDel:
+			delete(sc.route, names[i])
+		}
+	}
+	sc.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	return seq, nil
 }
 

@@ -56,6 +56,11 @@ type ShardSnapshot struct {
 func (jc *JournaledCollection) CaptureSnapshot() (*ShardSnapshot, error) {
 	jc.cmu.Lock()
 	defer jc.cmu.Unlock()
+	// A poisoned shard's memory is ahead of its WAL; a re-seed captured
+	// from it would propagate unacknowledged writes.
+	if err := jc.groupPoisoned(); err != nil {
+		return nil, err
+	}
 	jc.mu.Lock()
 	defer jc.mu.Unlock()
 	jc.dmu.Lock()

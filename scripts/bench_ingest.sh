@@ -1,0 +1,70 @@
+#!/bin/sh
+# Measure the group-commit ingest ceiling at equal durability: the same
+# concurrent insert workload against one durable sharded collection,
+# once with every op paying its own fsync (the pre-group-commit
+# baseline) and once through the commit lane, where a leader retires
+# the whole queue with a single WAL write and a single fsync — plus a
+# windowed lane that trades a bounded wait for fuller batches. Records
+# all three throughput profiles in BENCH_ingest.json (make
+# bench-ingest). Tunables via env:
+#   SHARDS (default 1)  C writers (default 32)  PAD bytes (default 64)
+#   D duration per lane (default 3s)  WINDOW (default 1ms)
+#   OUT json path (default BENCH_ingest.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+SHARDS=${SHARDS:-1}
+C=${C:-32}
+PAD=${PAD:-64}
+D=${D:-3s}
+WINDOW=${WINDOW:-1ms}
+OUT=${OUT:-BENCH_ingest.json}
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/benchingest" ./cmd/benchingest
+
+# pick <out-file> <field>: pull one field out of the summary line
+# "  writes  n=... wps=... p50=... p95=... p99=... max=... batches=...
+# laneops=... maxbatch=...".
+pick() {
+    sed -n "s/.*$2=\([^ ]*\).*/\1/p" "$1" | tail -1
+}
+
+run_lane() {
+    label=$1
+    shift
+    echo "== ingest $label  (shards=$SHARDS c=$C pad=$PAD d=$D) =="
+    # A failed lane fails the bench: CI treats this script as a gate.
+    if ! "$BIN/benchingest" -shards "$SHARDS" -c "$C" -pad "$PAD" -d "$D" "$@" \
+        | tee "$BIN/out-$label"; then
+        echo "bench_ingest: $label lane FAILED" >&2
+        exit 1
+    fi
+    echo
+}
+
+run_lane peropfsync -mode peropfsync
+run_lane natural -mode group
+run_lane group -mode group -window "$WINDOW"
+
+# The headline groupCommit lane runs the recommended deployment shape —
+# a small commit window — against the per-op-fsync baseline; the
+# natural lane (window=0, batches form only from queue pressure) is
+# kept as the zero-added-latency datapoint.
+cat >"$OUT" <<EOF
+{
+  "bench": "group-commit ingest at equal durability (sync on ack)",
+  "workload": {"shards": $SHARDS, "writers": $C, "padBytes": $PAD, "durationPerLane": "$D", "window": "$WINDOW"},
+  "perOpFsync": {"writesPerSec": $(pick "$BIN/out-peropfsync" wps), "writes": $(pick "$BIN/out-peropfsync" n),
+                 "p50": "$(pick "$BIN/out-peropfsync" p50)", "p99": "$(pick "$BIN/out-peropfsync" p99)"},
+  "groupCommit": {"writesPerSec": $(pick "$BIN/out-group" wps), "writes": $(pick "$BIN/out-group" n),
+                  "p50": "$(pick "$BIN/out-group" p50)", "p99": "$(pick "$BIN/out-group" p99)",
+                  "batches": $(pick "$BIN/out-group" batches), "maxBatch": $(pick "$BIN/out-group" maxbatch)},
+  "groupCommitNoWindow": {"writesPerSec": $(pick "$BIN/out-natural" wps), "writes": $(pick "$BIN/out-natural" n),
+                          "p50": "$(pick "$BIN/out-natural" p50)", "p99": "$(pick "$BIN/out-natural" p99)",
+                          "batches": $(pick "$BIN/out-natural" batches), "maxBatch": $(pick "$BIN/out-natural" maxbatch)}
+}
+EOF
+echo "recorded $OUT:"
+cat "$OUT"

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/faultline"
 )
@@ -544,6 +545,36 @@ func (sc *ShardedCollection) ShardJournal(i int) *JournaledCollection {
 // CollapseAll collapses every document on every shard, shard-parallel.
 func (sc *ShardedCollection) CollapseAll() error {
 	return sc.fanOut(func(i int, sh Backend) error { return sh.CollapseAll() })
+}
+
+// CommitLaneStats returns each shard's group-commit counters, indexed by
+// shard; all-disabled entries for an in-memory or unbatched collection.
+func (sc *ShardedCollection) CommitLaneStats() []GroupCommitStats {
+	out := make([]GroupCommitStats, len(sc.jcs))
+	for i := range sc.jcs {
+		if jc := sc.ShardJournal(i); jc != nil {
+			out[i] = jc.CommitLaneStats()
+		}
+	}
+	return out
+}
+
+// SetCommitObserver installs fn on every shard's commit lane, called
+// after each committed batch with the shard index, op count and flush
+// duration. No-op on shards without group commit.
+func (sc *ShardedCollection) SetCommitObserver(fn func(shard, ops int, flush time.Duration)) {
+	for i := range sc.jcs {
+		jc := sc.ShardJournal(i)
+		if jc == nil {
+			continue
+		}
+		shard := i
+		if fn == nil {
+			jc.SetCommitObserver(nil)
+			continue
+		}
+		jc.SetCommitObserver(func(ops int, flush time.Duration) { fn(shard, ops, flush) })
+	}
 }
 
 // CheckConsistency audits every shard in parallel.

@@ -75,8 +75,17 @@ func (c *Collection) loadCut() *docsCut {
 	return c.loadCutRLocked()
 }
 
-// loadCutRLocked is loadCut with c.mu already read-held.
+// loadCutRLocked is loadCut with c.mu already read-held. While a
+// group-commit batch is open the pinned pre-batch cut is served instead
+// of rebuilding from the live map: the live map already holds ops whose
+// generation has not been published, and a cut naming them would not
+// resolve in the pre-batch view readers are still being served. The
+// pinned cut is deliberately not stored into c.cut — it must not
+// outlive the batch.
 func (c *Collection) loadCutRLocked() *docsCut {
+	if c.pinned != nil {
+		return c.pinned
+	}
 	if cut := c.cut.Load(); cut != nil {
 		return cut
 	}
@@ -122,7 +131,10 @@ func (c *Collection) View(name string) (*DocView, error) {
 		v.Release()
 	}
 	c.mu.RLock()
-	sid, ok := c.docs[name]
+	// resolveRLocked, not c.docs: while a group-commit batch is open the
+	// live map holds unpublished ops, and only the pinned pre-batch cut
+	// pairs consistently with the view the deferred generation serves.
+	sid, ok := c.resolveRLocked(name)
 	if !ok {
 		c.mu.RUnlock()
 		return nil, fmt.Errorf("lazyxml: unknown document %q", name)
